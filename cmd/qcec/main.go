@@ -1,0 +1,206 @@
+// Command qcec checks the equivalence of two quantum circuits using the
+// paper's simulation-first flow: a handful of random basis-state simulations
+// followed, if necessary, by a complete DD-based equivalence check.
+//
+// Usage:
+//
+//	qcec [flags] <circuit1> <circuit2>
+//
+// Circuit files may be OpenQASM 2.0 (.qasm) or RevLib (.real).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qcec/internal/circuit"
+	"qcec/internal/core"
+	"qcec/internal/ec"
+	"qcec/internal/qasm"
+	"qcec/internal/revlib"
+)
+
+func loadCircuit(path string) (*circuit.Circuit, error) {
+	switch {
+	case strings.HasSuffix(path, ".real"):
+		f, err := revlib.ParseFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return f.Circuit, nil
+	case strings.HasSuffix(path, ".qasm"):
+		prog, err := qasm.ParseFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Circuit, nil
+	default:
+		return nil, fmt.Errorf("unsupported circuit format %q (want .qasm or .real)", path)
+	}
+}
+
+func parseStrategy(s string) (ec.Strategy, error) {
+	switch s {
+	case "construction":
+		return ec.Construction, nil
+	case "sequential":
+		return ec.Sequential, nil
+	case "proportional":
+		return ec.Proportional, nil
+	case "lookahead":
+		return ec.Lookahead, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func main() {
+	var (
+		r         = flag.Int("r", core.DefaultR, "number of random basis-state simulations before complete checking")
+		seed      = flag.Int64("seed", 0, "stimulus selection seed")
+		timeout   = flag.Duration("timeout", time.Minute, "complete-check timeout (0 = none)")
+		strategy  = flag.String("strategy", "proportional", "complete-check strategy: construction|sequential|proportional|lookahead")
+		phase     = flag.Bool("up-to-phase", false, "treat circuits differing only by a global phase as equivalent")
+		simOnly   = flag.Bool("sim-only", false, "skip the complete check (simulation stage only)")
+		parallel  = flag.Int("parallel", 1, "simulation workers (each with a private DD package)")
+		rewrite   = flag.Bool("rewrite", false, "try the gate-rewriting prover first (sound, incomplete)")
+		zxFlag    = flag.Bool("zx", false, "try the ZX-calculus prover first (sound, incomplete, up-to-phase)")
+		fidThresh = flag.Float64("fidelity-threshold", 0, "approximate mode: accept per-stimulus fidelities above this (0 = exact)")
+		jsonOut   = flag.Bool("json", false, "print the full report as JSON")
+		verbose   = flag.Bool("v", false, "print per-stage details")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: qcec [flags] <circuit1> <circuit2>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qcec:", err)
+		os.Exit(2)
+	}
+	g1, err := loadCircuit(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qcec:", err)
+		os.Exit(2)
+	}
+	g2, err := loadCircuit(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qcec:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		fmt.Printf("G : %s — %d qubits, %d gates\n", flag.Arg(0), g1.N, g1.NumGates())
+		fmt.Printf("G': %s — %d qubits, %d gates\n", flag.Arg(1), g2.N, g2.NumGates())
+	}
+
+	rep := core.Check(g1, g2, core.Options{
+		R:                 *r,
+		Seed:              *seed,
+		SkipEC:            *simOnly,
+		Strategy:          strat,
+		ECTimeout:         *timeout,
+		UpToGlobalPhase:   *phase,
+		Parallel:          *parallel,
+		RewritePrefilter:  *rewrite,
+		ZXPrefilter:       *zxFlag,
+		FidelityThreshold: *fidThresh,
+	})
+
+	if *jsonOut {
+		printJSON(g1.N, rep)
+	} else {
+		printHuman(g1.N, rep, *verbose)
+	}
+	switch rep.Verdict {
+	case core.NotEquivalent:
+		os.Exit(1)
+	case core.ProbablyEquivalent:
+		os.Exit(3)
+	}
+}
+
+func printHuman(n int, rep core.Report, verbose bool) {
+	fmt.Printf("verdict: %s\n", rep.Verdict)
+	if rep.Rewriting != nil {
+		fmt.Printf("rewriting prover: %s (miter %d -> %d gates, %.4fs)\n",
+			rep.Rewriting.Verdict, rep.Rewriting.MiterGates, rep.Rewriting.ResidualGates,
+			rep.Rewriting.Runtime.Seconds())
+	}
+	if rep.ZX != nil {
+		fmt.Printf("zx prover: %s (spiders %d -> %d, %.4fs)\n",
+			rep.ZX.Verdict, rep.ZX.SpidersBefore, rep.ZX.SpidersAfter, rep.ZX.Runtime.Seconds())
+	}
+	fmt.Printf("simulations: %d (%.3fs, min fidelity %.6f)\n", rep.NumSims, rep.SimTime.Seconds(), rep.MinFidelity)
+	if rep.EC != nil {
+		fmt.Printf("complete check: %s via %s (%.3fs)\n", rep.EC.Verdict, rep.EC.Strategy, rep.EC.Runtime.Seconds())
+	}
+	if rep.Counterexample != nil {
+		ce := rep.Counterexample
+		fmt.Printf("counterexample: input |%0*b> (fidelity %.6f)\n", n, ce.Input, ce.Fidelity)
+		if verbose && ce.StateG != "" {
+			fmt.Printf("  G  output: %s\n", ce.StateG)
+			fmt.Printf("  G' output: %s\n", ce.StateGp)
+		}
+	}
+	if verbose {
+		fmt.Printf("total: %.3fs\n", rep.TotalTime.Seconds())
+	}
+}
+
+// printJSON emits a machine-readable report (for CI integration).
+func printJSON(n int, rep core.Report) {
+	type counterexample struct {
+		Input    uint64  `json:"input"`
+		Fidelity float64 `json:"fidelity"`
+		StateG   string  `json:"state_g,omitempty"`
+		StateGp  string  `json:"state_gp,omitempty"`
+	}
+	out := struct {
+		Verdict        string          `json:"verdict"`
+		Qubits         int             `json:"qubits"`
+		NumSims        int             `json:"num_sims"`
+		SimSeconds     float64         `json:"sim_seconds"`
+		MinFidelity    float64         `json:"min_fidelity"`
+		AvgFidelity    float64         `json:"avg_fidelity"`
+		ECVerdict      string          `json:"ec_verdict,omitempty"`
+		ECSeconds      float64         `json:"ec_seconds,omitempty"`
+		Rewriting      string          `json:"rewriting_verdict,omitempty"`
+		ZX             string          `json:"zx_verdict,omitempty"`
+		Counterexample *counterexample `json:"counterexample,omitempty"`
+		TotalSeconds   float64         `json:"total_seconds"`
+	}{
+		Verdict:      rep.Verdict.String(),
+		Qubits:       n,
+		NumSims:      rep.NumSims,
+		SimSeconds:   rep.SimTime.Seconds(),
+		MinFidelity:  rep.MinFidelity,
+		AvgFidelity:  rep.AvgFidelity,
+		TotalSeconds: rep.TotalTime.Seconds(),
+	}
+	if rep.EC != nil {
+		out.ECVerdict = rep.EC.Verdict.String()
+		out.ECSeconds = rep.EC.Runtime.Seconds()
+	}
+	if rep.Rewriting != nil {
+		out.Rewriting = rep.Rewriting.Verdict.String()
+	}
+	if rep.ZX != nil {
+		out.ZX = rep.ZX.Verdict.String()
+	}
+	if ce := rep.Counterexample; ce != nil {
+		out.Counterexample = &counterexample{
+			Input: ce.Input, Fidelity: ce.Fidelity, StateG: ce.StateG, StateGp: ce.StateGp,
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "qcec:", err)
+	}
+}

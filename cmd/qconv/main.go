@@ -1,0 +1,99 @@
+// Command qconv converts circuits between the supported formats and
+// optionally lowers them through the decomposition pipeline on the way:
+//
+//	qconv [-decompose toffoli|cx] [-optimize] -o out.{qasm,real} in.{qasm,real}
+//
+// Converting a RevLib MCT netlist to OpenQASM requires -decompose cx (plain
+// qelib1 has no gates with three or more controls); converting OpenQASM to
+// RevLib requires a purely classical circuit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qcec/internal/circuit"
+	"qcec/internal/decompose"
+	"qcec/internal/opt"
+	"qcec/internal/qasm"
+	"qcec/internal/revlib"
+)
+
+func load(path string) (*circuit.Circuit, error) {
+	switch {
+	case strings.HasSuffix(path, ".real"):
+		f, err := revlib.ParseFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return f.Circuit, nil
+	case strings.HasSuffix(path, ".qasm"):
+		prog, err := qasm.ParseFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Circuit, nil
+	default:
+		return nil, fmt.Errorf("unsupported input format %q", path)
+	}
+}
+
+func save(path string, c *circuit.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".real"):
+		return revlib.Write(f, c)
+	case strings.HasSuffix(path, ".qasm"):
+		return qasm.Write(f, c)
+	default:
+		return fmt.Errorf("unsupported output format %q", path)
+	}
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output file (.qasm or .real)")
+		level    = flag.String("decompose", "", "lower gates first: toffoli|cx")
+		optimize = flag.Bool("optimize", false, "run the peephole optimizer")
+		quiet    = flag.Bool("q", false, "suppress the summary line")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: qconv [flags] -o out.{qasm,real} in.{qasm,real}")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	c, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qconv:", err)
+		os.Exit(1)
+	}
+	before := c.NumGates()
+	switch *level {
+	case "":
+	case "toffoli":
+		c = decompose.Circuit(c, decompose.LevelToffoli)
+	case "cx":
+		c = decompose.Circuit(c, decompose.LevelCX)
+	default:
+		fmt.Fprintf(os.Stderr, "qconv: unknown decomposition level %q\n", *level)
+		os.Exit(2)
+	}
+	if *optimize {
+		c, _ = opt.Optimize(c, opt.Options{})
+	}
+	if err := save(*out, c); err != nil {
+		fmt.Fprintln(os.Stderr, "qconv:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("%s (%d gates) -> %s (%d gates, %d qubits)\n",
+			flag.Arg(0), before, *out, c.NumGates(), c.N)
+	}
+}

@@ -1,0 +1,38 @@
+// Quickstart: build two circuits, check their equivalence with the paper's
+// simulation-first flow, then plant a bug and watch a single random
+// simulation expose it.
+package main
+
+import (
+	"fmt"
+
+	"qcec/internal/circuit"
+	"qcec/internal/core"
+	"qcec/internal/opt"
+)
+
+func main() {
+	// G: prepare a 4-qubit GHZ state with some single-qubit dressing.
+	g := circuit.New(4, "ghz")
+	g.H(0).CX(0, 1).CX(1, 2).CX(2, 3).T(3).H(2).H(2) // note the H·H pair
+
+	// G': the "compiled" version — an optimizer removed the H·H pair.
+	gp, stats := opt.Optimize(g, opt.Options{})
+	fmt.Printf("G has %d gates; optimized G' has %d (cancelled %d pairs)\n",
+		g.NumGates(), gp.NumGates(), stats.CancelledPairs)
+
+	// The proposed flow: a few random simulations, then a complete check.
+	rep := core.Check(g, gp, core.Options{Seed: 1})
+	fmt.Printf("flow verdict: %s after %d simulations (sim %.4fs, ec %.4fs)\n\n",
+		rep.Verdict, rep.NumSims, rep.SimTime.Seconds(), rep.ECTime().Seconds())
+
+	// Now a buggy compilation: the optimizer "also removed" a real CX.
+	buggy := gp.Clone()
+	buggy.Gates = append(buggy.Gates[:2], buggy.Gates[3:]...) // drop CX(1,2)
+	rep = core.Check(g, buggy, core.Options{Seed: 1})
+	fmt.Printf("buggy compile verdict: %s after %d simulation(s)\n", rep.Verdict, rep.NumSims)
+	if rep.Counterexample != nil {
+		fmt.Printf("counterexample: input |%04b>, overlap %.4f (must be 1 for equivalence)\n",
+			rep.Counterexample.Input, real(rep.Counterexample.Overlap))
+	}
+}

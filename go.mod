@@ -1,0 +1,3 @@
+module qcec
+
+go 1.22

@@ -1,0 +1,436 @@
+package bench
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"testing"
+
+	"qcec/internal/circuit"
+	"qcec/internal/sim"
+	"qcec/internal/synth"
+)
+
+func TestGroverStructure(t *testing.T) {
+	c := Grover(4, 11)
+	if c.N != 5 {
+		t.Fatalf("Grover(4) register = %d", c.N)
+	}
+	iters := int(math.Floor(math.Pi / 4 * 4)) // sqrt(16) = 4
+	// Gates per iteration: oracle (2*zeros + 1) + diffusion (4k + 1); plus k
+	// initial Hadamards.
+	if c.NumGates() < iters*10 {
+		t.Errorf("Grover(4) suspiciously small: %d gates", c.NumGates())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroverAmplifiesMarked(t *testing.T) {
+	marked := uint64(5)
+	c := Grover(4, marked)
+	s := sim.New(c.N)
+	st := s.Run(c, 0)
+	amp := s.P.Amplitude(st, marked) // ancilla 0, search reg = marked
+	prob := real(amp)*real(amp) + imag(amp)*imag(amp)
+	if prob < 0.9 {
+		t.Fatalf("Grover found marked element with probability %g", prob)
+	}
+}
+
+func TestQFTGateCount(t *testing.T) {
+	for _, n := range []int{4, 16, 48, 64} {
+		c := QFT(n)
+		want := n * (n + 1) / 2
+		if c.NumGates() != want {
+			t.Errorf("QFT(%d) = %d gates, want %d (paper Table I)", n, c.NumGates(), want)
+		}
+	}
+}
+
+func TestQFTOnBasisState(t *testing.T) {
+	// QFT|0> = uniform superposition with amplitude 2^{-n/2}.
+	n := 4
+	c := QFT(n)
+	s := sim.New(n)
+	st := s.Run(c, 0)
+	want := 1 / math.Sqrt(16)
+	for i := uint64(0); i < 16; i++ {
+		if a := s.P.Amplitude(st, i); cmplx.Abs(a-complex(want, 0)) > 1e-9 {
+			t.Fatalf("QFT|0> amplitude[%d] = %v", i, a)
+		}
+	}
+	// QFT|1> has phases e^{2 pi i k/16}/4; without the final swap layer
+	// (matching the paper's gate counts) the output register is
+	// bit-reversed.
+	st1 := s.Run(c, 1)
+	bitrev := func(k uint64) uint64 {
+		var r uint64
+		for b := 0; b < n; b++ {
+			if k&(1<<uint(b)) != 0 {
+				r |= 1 << uint(n-1-b)
+			}
+		}
+		return r
+	}
+	for k := uint64(0); k < 16; k++ {
+		wantAmp := cmplx.Exp(complex(0, 2*math.Pi*float64(k)/16)) / 4
+		if a := s.P.Amplitude(st1, bitrev(k)); cmplx.Abs(a-wantAmp) > 1e-9 {
+			t.Fatalf("QFT|1> amplitude[rev(%d)] = %v, want %v", k, a, wantAmp)
+		}
+	}
+}
+
+func TestSupremacyDeterministicPerSeed(t *testing.T) {
+	a := Supremacy(2, 2, 8, 7)
+	b := Supremacy(2, 2, 8, 7)
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("supremacy generator not deterministic")
+	}
+	for i := range a.Gates {
+		if !a.Gates[i].Equal(b.Gates[i]) {
+			t.Fatal("supremacy gates differ across identical seeds")
+		}
+	}
+	c := Supremacy(2, 2, 8, 8)
+	same := a.NumGates() == c.NumGates()
+	if same {
+		for i := range a.Gates {
+			if !a.Gates[i].Equal(c.Gates[i]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestSupremacyEntangles(t *testing.T) {
+	c := Supremacy(2, 2, 10, 1)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(4)
+	st := s.Run(c, 0)
+	if math.Abs(s.P.Norm(st)-1) > 1e-8 {
+		t.Fatalf("norm = %g", s.P.Norm(st))
+	}
+	// A supremacy state should not be a computational basis state.
+	maxP := 0.0
+	for i := uint64(0); i < 16; i++ {
+		a := s.P.Amplitude(st, i)
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if maxP > 0.9 {
+		t.Errorf("supremacy output looks classical (max prob %g)", maxP)
+	}
+}
+
+func TestChemistrySizes(t *testing.T) {
+	c22 := Chemistry(2, 2, 2)
+	if c22.N != 8 {
+		t.Errorf("Chemistry(2,2) on %d qubits, want 8 (paper: n=8)", c22.N)
+	}
+	c33 := Chemistry(3, 3, 1)
+	if c33.N != 18 {
+		t.Errorf("Chemistry(3,3) on %d qubits, want 18 (paper: n=18)", c33.N)
+	}
+	if err := c22.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(8)
+	st := s.Run(c22, 0b10011010)
+	if math.Abs(s.P.Norm(st)-1) > 1e-8 {
+		t.Fatalf("chemistry norm = %g", s.P.Norm(st))
+	}
+}
+
+func TestHWBPermutation(t *testing.T) {
+	c, err := HWB(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := synth.PermutationOf(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 32; x++ {
+		w := uint64(bits.OnesCount64(x)) % 5
+		want := ((x << w) | (x >> (5 - w))) & 31
+		if w == 0 {
+			want = x
+		}
+		if perm[x] != want {
+			t.Fatalf("hwb5(%05b) = %05b, want %05b", x, perm[x], want)
+		}
+	}
+}
+
+func TestRandomReversibleIsPermutation(t *testing.T) {
+	c, err := RandomReversible(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := synth.PermutationOf(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for _, v := range perm {
+		if seen[v] {
+			t.Fatal("not a permutation")
+		}
+		seen[v] = true
+	}
+	if c.NumGates() < 32 {
+		t.Errorf("random reversible suspiciously small: %d gates", c.NumGates())
+	}
+}
+
+func TestIncrement(t *testing.T) {
+	c := Increment(6, 1)
+	if c.NumGates() != 6 {
+		t.Fatalf("Increment(6,1) = %d gates", c.NumGates())
+	}
+	for x := uint64(0); x < 64; x++ {
+		y, err := synth.EvalReversible(c, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y != (x+1)%64 {
+			t.Fatalf("inc(%d) = %d", x, y)
+		}
+	}
+	c3 := Increment(4, 3)
+	y, _ := synth.EvalReversible(c3, 0)
+	if y != 3 {
+		t.Fatalf("inc^3(0) = %d", y)
+	}
+}
+
+func TestBooleanBenchmarkSignatures(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*circuit.Circuit, error)
+		wantN int
+	}{
+		{"rd84", func() (*circuit.Circuit, error) { return RD(8) }, 12},
+		{"5xp1", FiveXP1, 17},
+		{"sqr6", func() (*circuit.Circuit, error) { return Sqr(6) }, 18},
+		{"root", Root, 13},
+		{"maj9", func() (*circuit.Circuit, error) { return Majority(9) }, 10},
+		{"cmp11", func() (*circuit.Circuit, error) { return Comparator(11) }, 14},
+		{"modexp8_7", func() (*circuit.Circuit, error) { return ModExp(8, 7, 3, 113) }, 15},
+		{"sum7mod8", func() (*circuit.Circuit, error) { return SumMod(7, 3) }, 10},
+		{"clz16", func() (*circuit.Circuit, error) { return LeadingZeros(16) }, 21},
+	}
+	for _, tc := range cases {
+		c, err := tc.build()
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if c.N != tc.wantN {
+			t.Errorf("%s: n = %d, want %d (paper Table I)", tc.name, c.N, tc.wantN)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if c.NumGates() == 0 {
+			t.Errorf("%s: empty circuit", tc.name)
+		}
+	}
+}
+
+func TestRDFunctional(t *testing.T) {
+	c, err := RD(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 16; x++ {
+		y, err := synth.EvalReversible(c, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := y >> 4; got != uint64(bits.OnesCount64(x)) {
+			t.Fatalf("rd4(%04b) = %d", x, got)
+		}
+	}
+}
+
+func TestFiveXP1Functional(t *testing.T) {
+	c, err := FiveXP1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []uint64{0, 1, 17, 100, 127} {
+		y, err := synth.EvalReversible(c, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := y >> 7; got != 5*x+1 {
+			t.Fatalf("5xp1(%d) = %d, want %d", x, got, 5*x+1)
+		}
+	}
+}
+
+func TestRootFunctional(t *testing.T) {
+	c, err := Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []uint64{0, 1, 4, 15, 16, 100, 255} {
+		y, err := synth.EvalReversible(c, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(math.Sqrt(float64(x)))
+		if got := y >> 8; got != want {
+			t.Fatalf("root(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestLeadingZerosFunctional(t *testing.T) {
+	c, err := LeadingZeros(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []uint64{0, 1, 128, 255, 16} {
+		y, err := synth.EvalReversible(c, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(bits.LeadingZeros8(uint8(x)))
+		if got := y >> 8; got != want {
+			t.Fatalf("clz8(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestRandomLogicDeterministic(t *testing.T) {
+	a, err := RandomLogic(5, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomLogic(5, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("random logic not deterministic per seed")
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	c := PaperExample()
+	if c.N != 3 || c.NumGates() != 8 {
+		t.Fatalf("paper example: n=%d gates=%d, want 3 and 8", c.N, c.NumGates())
+	}
+	if c.Gates[0].Kind != circuit.H || c.Gates[0].Target != 1 {
+		t.Error("first gate must be H on the middle qubit (paper Example 4)")
+	}
+	for _, g := range c.Gates {
+		if g.Kind != circuit.H && !(g.Kind == circuit.X && len(g.Controls) == 1) {
+			t.Errorf("paper example contains non-H/CX gate %v", g)
+		}
+	}
+}
+
+func TestBernsteinVaziraniRecoversString(t *testing.T) {
+	for _, s := range []uint64{0, 1, 0b1011, 0b11111} {
+		n := 5
+		c := BernsteinVazirani(n, s)
+		sim := sim.New(c.N)
+		st := sim.Run(c, 0)
+		// Output must be |0>|s> deterministically (ancilla restored to 0).
+		amp := sim.P.Amplitude(st, s)
+		if p := real(amp)*real(amp) + imag(amp)*imag(amp); math.Abs(p-1) > 1e-9 {
+			t.Fatalf("BV(%b): P[|s>] = %g", s, p)
+		}
+	}
+}
+
+func TestDeutschJozsa(t *testing.T) {
+	n := 4
+	s := sim.New(n + 1)
+	constant := DeutschJozsa(n, true)
+	st := s.Run(constant, 0)
+	amp := s.P.Amplitude(st, 0) // all-zero data register, ancilla restored
+	if p := real(amp)*real(amp) + imag(amp)*imag(amp); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("constant DJ: P[|0...0>] = %g", p)
+	}
+	balanced := DeutschJozsa(n, false)
+	st = s.Run(balanced, 0)
+	amp = s.P.Amplitude(st, 0)
+	if p := real(amp)*real(amp) + imag(amp)*imag(amp); p > 1e-9 {
+		t.Fatalf("balanced DJ: P[|0...0>] = %g, want 0", p)
+	}
+}
+
+func TestGHZ(t *testing.T) {
+	c := GHZ(4)
+	s := sim.New(4)
+	st := s.Run(c, 0)
+	a0 := s.P.Amplitude(st, 0)
+	a15 := s.P.Amplitude(st, 15)
+	if cmplx.Abs(a0-complex(1/math.Sqrt2, 0)) > 1e-9 || cmplx.Abs(a15-complex(1/math.Sqrt2, 0)) > 1e-9 {
+		t.Fatalf("GHZ amplitudes: %v, %v", a0, a15)
+	}
+}
+
+func TestOracleValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { BernsteinVazirani(0, 0) },
+		func() { BernsteinVazirani(3, 8) },
+		func() { DeutschJozsa(0, true) },
+		func() { GHZ(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid oracle parameters did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPhaseEstimationExact(t *testing.T) {
+	bits := 4
+	for _, k := range []uint64{0, 1, 5, 11, 15} {
+		phase := float64(k) / 16
+		c := PhaseEstimation(bits, phase)
+		s := sim.New(c.N)
+		st := s.Run(c, 0)
+		want := k | 1<<uint(bits) // counting register = k, target restored to |1>
+		amp := s.P.Amplitude(st, want)
+		p := real(amp)*real(amp) + imag(amp)*imag(amp)
+		if math.Abs(p-1) > 1e-8 {
+			t.Fatalf("QPE(%d/16): P[|%0*b>] = %g\nstate: %s", k, c.N, want, p, s.P.FormatState(st, 6))
+		}
+	}
+}
+
+func TestPhaseEstimationInexact(t *testing.T) {
+	// A phase that is not a multiple of 1/2^bits concentrates near the
+	// closest estimates rather than landing exactly.
+	bits := 4
+	c := PhaseEstimation(bits, 0.3) // 0.3*16 = 4.8
+	s := sim.New(c.N)
+	st := s.Run(c, 0)
+	pOf := func(k uint64) float64 {
+		amp := s.P.Amplitude(st, k|1<<uint(bits))
+		return real(amp)*real(amp) + imag(amp)*imag(amp)
+	}
+	if pOf(5)+pOf(4) < 0.6 {
+		t.Errorf("mass near 4.8 too small: P[4]=%g P[5]=%g", pOf(4), pOf(5))
+	}
+}

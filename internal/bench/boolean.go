@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"qcec/internal/circuit"
+	"qcec/internal/synth"
+)
+
+// The paper's remaining reversible benchmarks are Bennett embeddings of
+// irreversible Boolean functions on in+out lines.  The generators below
+// regenerate circuits with the same I/O signatures and function character
+// (counting, arithmetic, comparison, random logic) as the RevLib originals;
+// DESIGN.md documents this substitution.
+
+// RD returns the bit-counting benchmark rdXY: in inputs, out = popcount,
+// with out = ceil(log2(in+1)) output lines (rd84: 8 -> 4, n = 12).
+func RD(in int) (*circuit.Circuit, error) {
+	out := bits.Len(uint(in))
+	f := func(x uint64) uint64 { return uint64(bits.OnesCount64(x)) }
+	return synth.Embed(f, in, out, fmt.Sprintf("rd%d%d", in, out))
+}
+
+// FiveXP1 returns the 5xp1 arithmetic benchmark: y = 5x + 1 on 7 input and
+// 10 output lines (n = 17).
+func FiveXP1() (*circuit.Circuit, error) {
+	return synth.Embed(func(x uint64) uint64 { return 5*x + 1 }, 7, 10, "5xp1")
+}
+
+// Sqr returns the squaring benchmark sqrN: y = x^2 on in inputs and 2*in
+// outputs (sqr6: n = 18).
+func Sqr(in int) (*circuit.Circuit, error) {
+	return synth.Embed(func(x uint64) uint64 { return x * x }, in, 2*in, fmt.Sprintf("sqr%d", in))
+}
+
+// Root returns the integer-square-root benchmark: y = floor(sqrt(x)) on 8
+// input and 5 output lines (root_255: n = 13).
+func Root() (*circuit.Circuit, error) {
+	f := func(x uint64) uint64 {
+		var r uint64
+		for (r+1)*(r+1) <= x {
+			r++
+		}
+		return r
+	}
+	return synth.Embed(f, 8, 5, "root")
+}
+
+// Majority returns a 9-input majority benchmark (the max46_240 slot:
+// 9 -> 1, n = 10).
+func Majority(in int) (*circuit.Circuit, error) {
+	f := func(x uint64) uint64 {
+		if bits.OnesCount64(x) > in/2 {
+			return 1
+		}
+		return 0
+	}
+	return synth.Embed(f, in, 1, fmt.Sprintf("maj%d", in))
+}
+
+// Comparator returns an unsigned comparator: the in inputs split into two
+// halves a and b, outputs (a<b, a==b, a>b) — the cm85a_209 slot
+// (11 -> 3, n = 14, with an odd leftover bit joining a).
+func Comparator(in int) (*circuit.Circuit, error) {
+	hi := (in + 1) / 2
+	f := func(x uint64) uint64 {
+		a := x & (1<<uint(hi) - 1)
+		b := x >> uint(hi)
+		switch {
+		case a < b:
+			return 0b001
+		case a == b:
+			return 0b010
+		default:
+			return 0b100
+		}
+	}
+	return synth.Embed(f, in, 3, fmt.Sprintf("cmp%d", in))
+}
+
+// ModExp returns y = g^x mod m truncated to out bits — dense random-looking
+// arithmetic logic filling the dc2_222 slot (8 -> 7, n = 15).
+func ModExp(in, out int, g, m uint64) (*circuit.Circuit, error) {
+	f := func(x uint64) uint64 {
+		r := uint64(1) % m
+		base := g % m
+		for e := x; e > 0; e >>= 1 {
+			if e&1 == 1 {
+				r = r * base % m
+			}
+			base = base * base % m
+		}
+		return r & (1<<uint(out) - 1)
+	}
+	return synth.Embed(f, in, out, fmt.Sprintf("modexp%d_%d", in, out))
+}
+
+// SumMod returns y = popcount(x) mod 2^out — the sqn_258 slot (7 -> 3,
+// n = 10).
+func SumMod(in, out int) (*circuit.Circuit, error) {
+	f := func(x uint64) uint64 {
+		return uint64(bits.OnesCount64(x)) & (1<<uint(out) - 1)
+	}
+	return synth.Embed(f, in, out, fmt.Sprintf("sum%dmod%d", in, out))
+}
+
+// LeadingZeros returns y = number of leading zeros of the in-bit input —
+// sparse priority-encoder logic filling the pcler8_248 slot
+// (16 -> 5, n = 21).
+func LeadingZeros(in int) (*circuit.Circuit, error) {
+	out := bits.Len(uint(in))
+	f := func(x uint64) uint64 {
+		return uint64(bits.LeadingZeros64(x) - (64 - in))
+	}
+	return synth.Embed(f, in, out, fmt.Sprintf("clz%d", in))
+}
+
+// RandomLogic returns a dense random truth table embedding (deterministic
+// per seed) — generic combinational logic of a given signature.
+func RandomLogic(in, out int, seed int64) (*circuit.Circuit, error) {
+	rng := rand.New(rand.NewSource(seed))
+	table := make([]uint64, 1<<uint(in))
+	mask := uint64(1)<<uint(out) - 1
+	for i := range table {
+		table[i] = rng.Uint64() & mask
+	}
+	return synth.Embed(func(x uint64) uint64 { return table[x] }, in, out, fmt.Sprintf("rnd%d_%d", in, out))
+}

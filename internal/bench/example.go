@@ -1,0 +1,23 @@
+package bench
+
+import "qcec/internal/circuit"
+
+// PaperExample returns a 3-qubit, 8-gate circuit of Hadamard and CNOT gates
+// in the style of the paper's Fig. 1b worked example.  The paper's figure is
+// not reproduced verbatim in the text; this instance matches everything the
+// text states (m = 8 gates, n = 3 qubits, only H and CNOT, the first
+// Hadamard acting on the middle qubit) and contains non-adjacent CNOTs so
+// that mapping it to a linear architecture inserts SWAP gates exactly as in
+// Fig. 2.
+func PaperExample() *circuit.Circuit {
+	c := circuit.New(3, "fig1b")
+	c.H(1)
+	c.CX(1, 0)
+	c.CX(2, 0) // non-adjacent on a line: forces a SWAP during mapping
+	c.H(2)
+	c.CX(0, 2) // non-adjacent again
+	c.H(0)
+	c.CX(1, 2)
+	c.H(1)
+	return c
+}

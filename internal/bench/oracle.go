@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"qcec/internal/circuit"
+)
+
+// BernsteinVazirani returns the Bernstein-Vazirani circuit recovering the
+// hidden bit string s on n data qubits plus one oracle ancilla (qubit n).
+// Running it on |0...0> yields |1>|s> deterministically, which the tests
+// exploit.
+func BernsteinVazirani(n int, s uint64) *circuit.Circuit {
+	if n < 1 || n > 62 {
+		panic(fmt.Sprintf("bench: unsupported BV size %d", n))
+	}
+	if s >= uint64(1)<<uint(n) {
+		panic(fmt.Sprintf("bench: hidden string %d out of range", s))
+	}
+	c := circuit.New(n+1, fmt.Sprintf("bv-%d", n))
+	c.X(n).H(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for q := 0; q < n; q++ {
+		if s&(1<<uint(q)) != 0 {
+			c.CX(q, n)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	c.H(n).X(n)
+	return c
+}
+
+// DeutschJozsa returns the Deutsch-Jozsa circuit on n data qubits plus one
+// ancilla.  With constant true the oracle is f(x) = 1 (a constant function);
+// otherwise the oracle is the balanced function f(x) = x_0 XOR ... XOR
+// x_{n-1}.  Measuring the data register of DJ|0...0> yields all zeros iff
+// the function is constant.
+func DeutschJozsa(n int, constant bool) *circuit.Circuit {
+	if n < 1 || n > 62 {
+		panic(fmt.Sprintf("bench: unsupported DJ size %d", n))
+	}
+	kind := "balanced"
+	if constant {
+		kind = "constant"
+	}
+	c := circuit.New(n+1, fmt.Sprintf("dj-%d-%s", n, kind))
+	c.X(n).H(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	if constant {
+		c.X(n) // f(x) = 1: unconditionally flip the ancilla
+	} else {
+		for q := 0; q < n; q++ {
+			c.CX(q, n)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	c.H(n).X(n)
+	return c
+}
+
+// GHZ returns the n-qubit GHZ-state preparation circuit — the smallest
+// interesting entangling benchmark, used throughout the examples.
+func GHZ(n int) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("bench: GHZ needs at least 2 qubits, got %d", n))
+	}
+	c := circuit.New(n, fmt.Sprintf("ghz-%d", n))
+	c.H(0)
+	for q := 1; q < n; q++ {
+		c.CX(q-1, q)
+	}
+	return c
+}
+
+// PhaseEstimation returns a quantum-phase-estimation circuit with bits
+// counting qubits estimating the eigenphase of the single-qubit unitary
+// P(2π·phase) applied to one target qubit prepared in its |1> eigenstate.
+// With phase = k/2^bits the measured register equals k deterministically,
+// which the tests exploit.  Register layout: counting qubits 0..bits-1
+// (qubit j weighted 2^j), target qubit = bits.
+func PhaseEstimation(bits int, phase float64) *circuit.Circuit {
+	if bits < 1 || bits > 20 {
+		panic(fmt.Sprintf("bench: unsupported QPE size %d", bits))
+	}
+	n := bits + 1
+	c := circuit.New(n, fmt.Sprintf("qpe-%d", bits))
+	target := bits
+	c.X(target) // |1> eigenstate of P(θ)
+	for q := 0; q < bits; q++ {
+		c.H(q)
+	}
+	// Controlled powers: qubit j controls P(2π·phase·2^j).
+	for j := 0; j < bits; j++ {
+		angle := 2 * math.Pi * phase * math.Exp2(float64(j))
+		c.CPhase(angle, j, target)
+	}
+	// Inverse QFT on the counting register.  Our swap-free QFT convention
+	// (see QFT) produces bit-reversed output, so undo the reversal first and
+	// then invert the swap-free QFT.
+	for i, j := 0, bits-1; i < j; i, j = i+1, j-1 {
+		c.Swap(i, j)
+	}
+	for i := 0; i < bits; i++ {
+		for jj := i - 1; jj >= 0; jj-- {
+			c.CPhase(-math.Pi/math.Exp2(float64(i-jj)), jj, i)
+		}
+		c.H(i)
+	}
+	return c
+}

@@ -1,0 +1,222 @@
+// Package cn provides an interning table for complex numbers with
+// tolerance-based lookup.
+//
+// Decision-diagram packages for quantum computing (QMDDs) require edge
+// weights to be canonical: two weights that are numerically "the same" (up to
+// a small tolerance that absorbs floating-point round-off) must be
+// represented by the same object, so that node hashing and structural
+// equality reduce to pointer comparison.  This package is the Go counterpart
+// of the "complex table" used by the JKU/MQT DD packages.
+package cn
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Value is an interned complex number.  Values are created exclusively by a
+// Table; two Values obtained from the same Table are numerically equal (up to
+// the table tolerance) if and only if they are the same pointer.
+type Value struct {
+	c  complex128
+	id uint64
+}
+
+// Complex returns the numeric value.
+func (v *Value) Complex() complex128 { return v.c }
+
+// Real returns the real part of the value.
+func (v *Value) Real() float64 { return real(v.c) }
+
+// Imag returns the imaginary part of the value.
+func (v *Value) Imag() float64 { return imag(v.c) }
+
+// ID returns a process-unique identifier assigned at interning time.  IDs are
+// stable for the lifetime of the table and are used for hashing in compute
+// tables.
+func (v *Value) ID() uint64 { return v.id }
+
+// Abs returns the magnitude |v|.
+func (v *Value) Abs() float64 { return cmplx.Abs(v.c) }
+
+// Abs2 returns the squared magnitude |v|^2.
+func (v *Value) Abs2() float64 {
+	re, im := real(v.c), imag(v.c)
+	return re*re + im*im
+}
+
+// String formats the value as a complex literal.
+func (v *Value) String() string {
+	if v == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%g%+gi", real(v.c), imag(v.c))
+}
+
+type bucketKey struct {
+	re, im int64
+}
+
+// Table interns complex numbers.  It is not safe for concurrent use.
+type Table struct {
+	tol     float64
+	buckets map[bucketKey][]*Value
+	nextID  uint64
+
+	// Zero and One are the canonical entries for the exact values 0 and 1.
+	// They are pre-interned so that hot-path comparisons against them are
+	// single pointer comparisons.
+	Zero *Value
+	One  *Value
+
+	lookups int64
+	hits    int64
+}
+
+// DefaultTolerance is the tolerance used by NewDefault.  It matches the order
+// of magnitude used by the JKU DD package and comfortably absorbs the
+// round-off accumulated by circuits with hundreds of thousands of gates.
+const DefaultTolerance = 1e-10
+
+// NewTable creates a table with the given tolerance.  The tolerance must be
+// positive and smaller than 1e-2 (larger values would merge numerically
+// distinct amplitudes of real circuits).
+func NewTable(tol float64) *Table {
+	if tol <= 0 || tol >= 1e-2 {
+		panic(fmt.Sprintf("cn: invalid tolerance %g", tol))
+	}
+	t := &Table{
+		tol:     tol,
+		buckets: make(map[bucketKey][]*Value, 1024),
+	}
+	t.Zero = t.insert(complex(0, 0))
+	t.One = t.insert(complex(1, 0))
+	return t
+}
+
+// NewDefault creates a table with DefaultTolerance.
+func NewDefault() *Table { return NewTable(DefaultTolerance) }
+
+// Tolerance returns the table tolerance.
+func (t *Table) Tolerance() float64 { return t.tol }
+
+// Size returns the number of distinct interned values.
+func (t *Table) Size() int { return int(t.nextID) }
+
+// Stats returns the number of lookups performed and how many of them hit an
+// existing entry.
+func (t *Table) Stats() (lookups, hits int64) { return t.lookups, t.hits }
+
+func (t *Table) key(c complex128) bucketKey {
+	return bucketKey{
+		re: int64(math.Floor(real(c) / t.tol)),
+		im: int64(math.Floor(imag(c) / t.tol)),
+	}
+}
+
+func (t *Table) insert(c complex128) *Value {
+	v := &Value{c: c, id: t.nextID}
+	t.nextID++
+	k := t.key(c)
+	t.buckets[k] = append(t.buckets[k], v)
+	return v
+}
+
+func (t *Table) approx(a, b complex128) bool {
+	return math.Abs(real(a)-real(b)) <= t.tol && math.Abs(imag(a)-imag(b)) <= t.tol
+}
+
+// Lookup returns the canonical Value for c, interning it if no value within
+// the tolerance exists yet.  Values within tolerance of 0 or 1 snap exactly
+// to the canonical Zero / One entries.  Non-finite values panic: they can
+// only arise from a bug upstream (amplitudes and matrix entries are bounded)
+// and would corrupt the bucket quantization.
+func (t *Table) Lookup(c complex128) *Value {
+	if math.IsNaN(real(c)) || math.IsNaN(imag(c)) ||
+		math.IsInf(real(c), 0) || math.IsInf(imag(c), 0) {
+		panic(fmt.Sprintf("cn: non-finite value %v", c))
+	}
+	t.lookups++
+	// Fast paths for the two values that dominate DD construction.
+	if t.approx(c, 0) {
+		t.hits++
+		return t.Zero
+	}
+	if t.approx(c, 1) {
+		t.hits++
+		return t.One
+	}
+	k := t.key(c)
+	// A value within tolerance may have been quantized into a neighboring
+	// bucket; scan the 3x3 neighborhood.
+	for dr := int64(-1); dr <= 1; dr++ {
+		for di := int64(-1); di <= 1; di++ {
+			for _, v := range t.buckets[bucketKey{k.re + dr, k.im + di}] {
+				if t.approx(v.c, c) {
+					t.hits++
+					return v
+				}
+			}
+		}
+	}
+	return t.insert(c)
+}
+
+// LookupReal is shorthand for Lookup(complex(r, 0)).
+func (t *Table) LookupReal(r float64) *Value { return t.Lookup(complex(r, 0)) }
+
+// Mul returns the interned product of two values.
+func (t *Table) Mul(a, b *Value) *Value {
+	if a == t.Zero || b == t.Zero {
+		return t.Zero
+	}
+	if a == t.One {
+		return b
+	}
+	if b == t.One {
+		return a
+	}
+	return t.Lookup(a.c * b.c)
+}
+
+// Div returns the interned quotient a/b.  b must be non-zero.
+func (t *Table) Div(a, b *Value) *Value {
+	if b == t.Zero {
+		panic("cn: division by interned zero")
+	}
+	if a == t.Zero {
+		return t.Zero
+	}
+	if b == t.One {
+		return a
+	}
+	return t.Lookup(a.c / b.c)
+}
+
+// Add returns the interned sum of two values.
+func (t *Table) Add(a, b *Value) *Value {
+	if a == t.Zero {
+		return b
+	}
+	if b == t.Zero {
+		return a
+	}
+	return t.Lookup(a.c + b.c)
+}
+
+// Neg returns the interned negation of a value.
+func (t *Table) Neg(a *Value) *Value {
+	if a == t.Zero {
+		return t.Zero
+	}
+	return t.Lookup(-a.c)
+}
+
+// Conj returns the interned complex conjugate of a value.
+func (t *Table) Conj(a *Value) *Value {
+	if imag(a.c) == 0 {
+		return a
+	}
+	return t.Lookup(cmplx.Conj(a.c))
+}

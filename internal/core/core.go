@@ -1,0 +1,323 @@
+// Package core implements the paper's proposed equivalence checking flow
+// (Fig. 3): before constructing any complete functionality, simulate both
+// circuits on r << 2^n randomly chosen computational basis states and compare
+// the resulting states.
+//
+//   - If any simulation pair differs, the circuits are proven NOT equivalent
+//     and the stimulus is a counterexample.  Because design-flow errors
+//     typically perturb most columns of the system matrix (Sec. IV-A), this
+//     almost always happens on the very first stimulus.
+//   - If all r simulations agree, a conventional complete equivalence
+//     checking routine (internal/ec) is employed.  If it finishes, its
+//     verdict is definitive; if it times out, the flow still reports a
+//     high-probability equivalence estimate — strictly more information than
+//     the state of the art, which reports nothing on timeout.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"qcec/internal/circuit"
+	"qcec/internal/ec"
+	"qcec/internal/ecrw"
+	"qcec/internal/zx"
+)
+
+// Verdict is the outcome of the proposed flow.
+type Verdict int
+
+// The flow's possible outcomes (the three boxes at the bottom of Fig. 3,
+// plus the strict/phase distinction).
+const (
+	// Equivalent: proven equivalent (by the complete routine, or exhaustively
+	// by simulating all 2^n basis states).
+	Equivalent Verdict = iota
+	// EquivalentUpToGlobalPhase: proven equivalent modulo a scalar phase.
+	EquivalentUpToGlobalPhase
+	// NotEquivalent: proven different; a counterexample stimulus is attached.
+	NotEquivalent
+	// ProbablyEquivalent: all simulations agreed but the complete routine
+	// timed out (or was skipped) — the paper's "Timeout" outcome, now
+	// carrying a high-probability estimate instead of no information.
+	ProbablyEquivalent
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "equivalent"
+	case EquivalentUpToGlobalPhase:
+		return "equivalent up to global phase"
+	case NotEquivalent:
+		return "not equivalent"
+	case ProbablyEquivalent:
+		return "probably equivalent (complete check inconclusive)"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// DefaultR is the number of random simulation runs; the paper concludes
+// r = 10 "suffices to reason about the operations' equivalence in practice".
+const DefaultR = 10
+
+// Options configures the flow.
+type Options struct {
+	// R is the number of random basis-state simulations (default DefaultR).
+	// If R >= 2^n the flow simulates all basis states, which proves
+	// equivalence exhaustively in strict-phase mode.
+	R int
+	// Seed drives stimulus selection; runs are deterministic per seed.
+	Seed int64
+	// Stimuli overrides random stimulus selection (used by the ablation
+	// experiments); R is ignored when non-nil.
+	Stimuli []uint64
+	// SkipEC stops after the simulation stage (simulation-only mode); an
+	// all-agree outcome then yields ProbablyEquivalent.
+	SkipEC bool
+	// Strategy, ECTimeout and ECNodeLimit configure the complete routine.
+	Strategy    ec.Strategy
+	ECTimeout   time.Duration
+	ECNodeLimit int
+	// RewritePrefilter runs the rewriting-based prover (internal/ecrw,
+	// paper ref [16]) before anything else.  It is sound but incomplete:
+	// it proves peephole-style recompilations equivalent in microseconds
+	// and silently falls through otherwise.  Ignored when OutputPerm is
+	// set (the rewriter has no permutation notion).
+	RewritePrefilter bool
+	// ZXPrefilter runs the ZX-calculus prover (internal/zx) before the
+	// simulation stage.  Also sound but incomplete; a positive answer
+	// establishes equivalence up to global phase (ZX drops scalars), so
+	// the flow reports EquivalentUpToGlobalPhase.  Ignored when OutputPerm
+	// is set.
+	ZXPrefilter bool
+	// Parallel runs the simulation stage with this many workers, each on
+	// its own DD package (the DD package is single-threaded).  Verdicts and
+	// counterexamples are identical to the sequential run: the first
+	// distinguishing stimulus in stimulus order wins.  0 or 1 = sequential.
+	Parallel int
+	// UpToGlobalPhase compares states and unitaries modulo a scalar phase.
+	UpToGlobalPhase bool
+	// OutputPerm declares that output wire OutputPerm[q] of G' corresponds
+	// to wire q of G (see ec.Options.OutputPerm).
+	OutputPerm []int
+	// Tolerance is the DD weight tolerance (0 = default).
+	Tolerance float64
+	// FidelityThreshold enables approximate equivalence checking: a
+	// stimulus only counts as a counterexample when its output fidelity
+	// |<u|u'>|^2 drops below the threshold (e.g. 0.99 when verifying a
+	// compiler that deliberately prunes small rotations).  0 disables the
+	// feature (exact comparison).  When enabled, the complete routine is
+	// skipped — approximate equivalence has no exact DD verdict — and an
+	// all-agree outcome reports ProbablyEquivalent with the observed
+	// fidelity statistics in the report.
+	FidelityThreshold float64
+}
+
+// Counterexample records a distinguishing stimulus found by simulation.
+type Counterexample struct {
+	// Input is the basis state |i> on which the circuits differ.
+	Input uint64
+	// Overlap is <u_i | u'_i>; equivalence requires 1 (Sec. IV-A).
+	Overlap complex128
+	// Fidelity is |Overlap|^2.
+	Fidelity float64
+	// StateG and StateGp render the two differing output states (largest
+	// amplitudes first, truncated) for reports and CLI output.
+	StateG  string
+	StateGp string
+}
+
+// Report is the full outcome of the flow.
+type Report struct {
+	Verdict        Verdict
+	NumSims        int           // simulation runs performed
+	SimTime        time.Duration // paper column t_sim
+	Counterexample *Counterexample
+	Exhaustive     bool         // simulation covered all 2^n basis states
+	EC             *ec.Result   // complete-routine outcome (nil if not run)
+	Rewriting      *ecrw.Result // rewriting prefilter outcome (nil if not run)
+	ZX             *zx.Result   // ZX prefilter outcome (nil if not run)
+	// MinFidelity and AvgFidelity summarize the per-stimulus output
+	// fidelities observed by the simulation stage (1 when no simulations
+	// ran).  Under FidelityThreshold these quantify how approximate the
+	// pair is.
+	MinFidelity float64
+	AvgFidelity float64
+	TotalTime   time.Duration
+}
+
+// ECTime returns the complete-routine runtime (paper column t_ec), zero if
+// the routine never ran.
+func (r Report) ECTime() time.Duration {
+	if r.EC == nil {
+		return 0
+	}
+	return r.EC.Runtime
+}
+
+func invertPerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return inv
+}
+
+// Check runs the proposed flow on the circuit pair.
+func Check(g1, g2 *circuit.Circuit, opts Options) Report {
+	start := time.Now()
+	report := Report{}
+	if g1.N != g2.N {
+		report.Verdict = NotEquivalent
+		report.TotalTime = time.Since(start)
+		return report
+	}
+
+	if opts.RewritePrefilter && opts.OutputPerm == nil {
+		rw := ecrw.Check(g1, g2)
+		report.Rewriting = &rw
+		if rw.Verdict == ecrw.Equivalent {
+			report.Verdict = Equivalent
+			report.TotalTime = time.Since(start)
+			return report
+		}
+	}
+	if opts.ZXPrefilter && opts.OutputPerm == nil {
+		zr, err := zx.Check(g1, g2)
+		if err == nil {
+			report.ZX = &zr
+			if zr.Verdict == zx.EquivalentUpToPhase {
+				report.Verdict = EquivalentUpToGlobalPhase
+				report.TotalTime = time.Since(start)
+				return report
+			}
+		}
+	}
+
+	stimuli := chooseStimuli(g1.N, opts)
+	report.Exhaustive = g1.N < 63 && uint64(len(stimuli)) == uint64(1)<<uint(g1.N)
+
+	simStart := time.Now()
+	var numSims int
+	var ce *Counterexample
+	var stats fidStats
+	if opts.Parallel > 1 && len(stimuli) > 1 {
+		numSims, ce, stats = runStimuliParallel(g1, g2, stimuli, opts)
+	} else {
+		numSims, ce, stats = runStimuliSequential(g1, g2, stimuli, opts)
+	}
+	report.NumSims = numSims
+	report.SimTime = time.Since(simStart)
+	report.MinFidelity = stats.min
+	report.AvgFidelity = stats.avg()
+	if ce != nil {
+		report.Verdict = NotEquivalent
+		report.Counterexample = ce
+		report.TotalTime = time.Since(start)
+		return report
+	}
+
+	if opts.FidelityThreshold > 0 {
+		// Approximate mode: the complete routine has no approximate verdict;
+		// the fidelity statistics in the report are the result.
+		report.Verdict = ProbablyEquivalent
+		report.TotalTime = time.Since(start)
+		return report
+	}
+
+	if report.Exhaustive && !opts.UpToGlobalPhase {
+		// <u_i|u'_i> = 1 for every basis state means every column pair is
+		// identical, i.e. U = U' — a complete proof (paper Sec. III-B).
+		report.Verdict = Equivalent
+		report.TotalTime = time.Since(start)
+		return report
+	}
+
+	if opts.SkipEC {
+		report.Verdict = ProbablyEquivalent
+		report.TotalTime = time.Since(start)
+		return report
+	}
+
+	res := ec.Check(g1, g2, ec.Options{
+		Strategy:        opts.Strategy,
+		Timeout:         opts.ECTimeout,
+		NodeLimit:       opts.ECNodeLimit,
+		UpToGlobalPhase: opts.UpToGlobalPhase,
+		OutputPerm:      opts.OutputPerm,
+		Tolerance:       opts.Tolerance,
+	})
+	report.EC = &res
+	switch res.Verdict {
+	case ec.Equivalent:
+		report.Verdict = Equivalent
+	case ec.EquivalentUpToGlobalPhase:
+		report.Verdict = EquivalentUpToGlobalPhase
+	case ec.NotEquivalent:
+		// Possible in principle (footnote 4 of the paper) though never
+		// observed there: simulation missed the difference but the complete
+		// routine found it.
+		report.Verdict = NotEquivalent
+		if res.Counterexample != nil {
+			report.Counterexample = &Counterexample{Input: *res.Counterexample}
+		}
+	case ec.TimedOut:
+		report.Verdict = ProbablyEquivalent
+	}
+	report.TotalTime = time.Since(start)
+	return report
+}
+
+func statesAgree(overlap complex128, upToPhase bool) bool {
+	const tol = 1e-6
+	if upToPhase {
+		re, im := real(overlap), imag(overlap)
+		return re*re+im*im > 1-tol
+	}
+	return math.Abs(real(overlap)-1) < tol && math.Abs(imag(overlap)) < tol
+}
+
+// chooseStimuli picks the basis states to simulate: the caller's explicit
+// list, all 2^n states when r covers them, or r distinct random states.
+func chooseStimuli(n int, opts Options) []uint64 {
+	if opts.Stimuli != nil {
+		return opts.Stimuli
+	}
+	r := opts.R
+	if r <= 0 {
+		r = DefaultR
+	}
+	if n < 63 {
+		total := uint64(1) << uint(n)
+		if uint64(r) >= total {
+			all := make([]uint64, total)
+			for i := range all {
+				all[i] = uint64(i)
+			}
+			return all
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var mask uint64
+	if n >= 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (uint64(1) << uint(n)) - 1
+	}
+	seen := make(map[uint64]bool, r)
+	out := make([]uint64, 0, r)
+	for len(out) < r {
+		i := rng.Uint64() & mask
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"qcec/internal/circuit"
+	"qcec/internal/dd"
+	"qcec/internal/sim"
+)
+
+// simRunner bundles the per-worker simulation state: one DD package, one
+// simulator, and the pre-built un-permutation matrix if the pair declares an
+// output permutation.
+type simRunner struct {
+	p         *dd.Package
+	s         *sim.Simulator
+	unperm    dd.MEdge
+	havePerm  bool
+	upToPhase bool
+	threshold float64 // approximate mode when > 0
+}
+
+func newSimRunner(n int, opts Options) *simRunner {
+	tol := opts.Tolerance
+	if tol == 0 {
+		tol = 1e-10
+	}
+	r := &simRunner{
+		p:         dd.New(n, tol),
+		havePerm:  opts.OutputPerm != nil,
+		upToPhase: opts.UpToGlobalPhase,
+		threshold: opts.FidelityThreshold,
+	}
+	r.s = sim.NewOn(r.p)
+	if r.havePerm {
+		r.unperm = sim.PermutationDD(r.p, invertPerm(opts.OutputPerm))
+	}
+	return r
+}
+
+// compare simulates both circuits on |input>, returning the output fidelity
+// and a counterexample if the outputs disagree (under the exact or the
+// approximate criterion), nil otherwise.
+func (r *simRunner) compare(g1, g2 *circuit.Circuit, input uint64) (*Counterexample, float64) {
+	u := r.s.RunFrom(g1, r.p.BasisState(input))
+	v := r.s.RunFromWithPins(g2, r.p.BasisState(input), []dd.VEdge{u})
+	if r.havePerm {
+		v = r.p.MulMV(r.unperm, v)
+	}
+	overlap := r.p.InnerProduct(u, v)
+	re, im := real(overlap), imag(overlap)
+	fidelity := re*re + im*im
+	agree := statesAgree(overlap, r.upToPhase)
+	if r.threshold > 0 {
+		agree = fidelity >= r.threshold
+	}
+	if agree {
+		return nil, fidelity
+	}
+	return &Counterexample{
+		Input:    input,
+		Overlap:  overlap,
+		Fidelity: fidelity,
+		StateG:   r.p.FormatState(u, 4),
+		StateGp:  r.p.FormatState(v, 4),
+	}, fidelity
+}
+
+// gcBetween drops everything but the permutation matrix between stimuli.
+func (r *simRunner) gcBetween() {
+	var roots []dd.MEdge
+	if r.havePerm {
+		roots = append(roots, r.unperm)
+	}
+	r.p.MaybeGC(nil, roots)
+}
+
+// fidStats accumulates per-stimulus output fidelities.
+type fidStats struct {
+	min   float64
+	sum   float64
+	count int
+}
+
+func newFidStats() fidStats { return fidStats{min: 1} }
+
+func (f *fidStats) add(fid float64) {
+	if fid < f.min {
+		f.min = fid
+	}
+	f.sum += fid
+	f.count++
+}
+
+func (f fidStats) avg() float64 {
+	if f.count == 0 {
+		return 1
+	}
+	return f.sum / float64(f.count)
+}
+
+// runStimuliSequential is the paper's loop: one stimulus at a time, stopping
+// at the first counterexample.
+func runStimuliSequential(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (int, *Counterexample, fidStats) {
+	r := newSimRunner(g1.N, opts)
+	stats := newFidStats()
+	for i, input := range stimuli {
+		ce, fid := r.compare(g1, g2, input)
+		stats.add(fid)
+		if ce != nil {
+			return i + 1, ce, stats
+		}
+		r.gcBetween()
+	}
+	return len(stimuli), nil, stats
+}
+
+// runStimuliParallel distributes the stimuli round-robin over
+// opts.Parallel workers, each with a private DD package.  The result is
+// bit-identical to the sequential run: the first distinguishing stimulus in
+// stimulus order is reported, and every stimulus before it has been
+// checked.  Workers fast-forward past indices beyond the current best
+// counterexample, so the early-exit behaviour parallelizes too.
+func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (int, *Counterexample, fidStats) {
+	workers := opts.Parallel
+	if workers > len(stimuli) {
+		workers = len(stimuli)
+	}
+	ces := make([]*Counterexample, len(stimuli))
+	fids := make([]float64, len(stimuli))
+	evaluated := make([]bool, len(stimuli))
+	var firstFail atomic.Int64
+	firstFail.Store(int64(len(stimuli)))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := newSimRunner(g1.N, opts)
+			for i := w; i < len(stimuli); i += workers {
+				if int64(i) > firstFail.Load() {
+					return // a strictly earlier stimulus already failed
+				}
+				ce, fid := r.compare(g1, g2, stimuli[i])
+				fids[i] = fid
+				evaluated[i] = true
+				if ce != nil {
+					ces[i] = ce
+					// Lower firstFail monotonically.
+					for {
+						cur := firstFail.Load()
+						if int64(i) >= cur || firstFail.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					return
+				}
+				r.gcBetween()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	stats := newFidStats()
+	if idx := firstFail.Load(); idx < int64(len(stimuli)) {
+		// Deterministic statistics: only the sequential prefix counts.
+		for i := int64(0); i <= idx; i++ {
+			if evaluated[i] {
+				stats.add(fids[i])
+			}
+		}
+		return int(idx) + 1, ces[idx], stats
+	}
+	for i := range fids {
+		if evaluated[i] {
+			stats.add(fids[i])
+		}
+	}
+	return len(stimuli), nil, stats
+}

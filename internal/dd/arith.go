@@ -1,0 +1,386 @@
+package dd
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"qcec/internal/cn"
+)
+
+// Compute tables are fixed-size, power-of-two hash arrays with
+// overwrite-on-collision semantics, matching the JKU package.  This bounds
+// memory and keeps lookups O(1) regardless of circuit length.
+const (
+	ctBits = 17
+	ctSize = 1 << ctBits
+	ctMask = ctSize - 1
+)
+
+func mix(h, x uint64) uint64 {
+	h ^= x
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h
+}
+
+type addVEntry struct {
+	aN, bN *VNode
+	aW, bW *cn.Value
+	res    VEdge
+	ok     bool
+}
+
+type addVTable struct{ e []addVEntry }
+
+func newAddVTable() *addVTable { return &addVTable{e: make([]addVEntry, ctSize)} }
+
+type addMEntry struct {
+	aN, bN *MNode
+	aW, bW *cn.Value
+	res    MEdge
+	ok     bool
+}
+
+type addMTable struct{ e []addMEntry }
+
+func newAddMTable() *addMTable { return &addMTable{e: make([]addMEntry, ctSize)} }
+
+type mvEntry struct {
+	m   *MNode
+	x   *VNode
+	res VEdge
+	ok  bool
+}
+
+type mvTable struct{ e []mvEntry }
+
+func newMVTable() *mvTable { return &mvTable{e: make([]mvEntry, ctSize)} }
+
+type mmEntry struct {
+	a, b *MNode
+	res  MEdge
+	ok   bool
+}
+
+type mmTable struct{ e []mmEntry }
+
+func newMMTable() *mmTable { return &mmTable{e: make([]mmEntry, ctSize)} }
+
+type ipEntry struct {
+	a, b *VNode
+	res  complex128
+	ok   bool
+}
+
+type ipTable struct{ e []ipEntry }
+
+func newIPTable() *ipTable { return &ipTable{e: make([]ipEntry, ctSize)} }
+
+type ctEntry struct {
+	m   *MNode
+	res MEdge
+	ok  bool
+}
+
+type ctTable struct{ e []ctEntry }
+
+func newCTTable() *ctTable { return &ctTable{e: make([]ctEntry, ctSize)} }
+
+type krEntry struct {
+	aM, bM *MNode
+	aV, bV *VNode
+	shift  int
+	resM   MEdge
+	resV   VEdge
+	ok     bool
+}
+
+type krTable struct{ e []krEntry }
+
+func newKRTable() *krTable { return &krTable{e: make([]krEntry, ctSize)} }
+
+func (p *Package) clearComputeTables() {
+	clear(p.addV.e)
+	clear(p.addM.e)
+	clear(p.mv.e)
+	clear(p.mm.e)
+	clear(p.ip.e)
+	clear(p.ct.e)
+	clear(p.kr.e)
+}
+
+// AddV returns the sum of two vector DDs.  Both operands must be rooted at
+// the same level (or be terminal/zero edges).
+func (p *Package) AddV(a, b VEdge) VEdge {
+	zero := p.CN.Zero
+	if a.W == zero {
+		return b
+	}
+	if b.W == zero {
+		return a
+	}
+	if a.N == nil && b.N == nil {
+		return VEdge{W: p.CN.Add(a.W, b.W), N: nil}
+	}
+	if a.N == nil || b.N == nil || a.N.v != b.N.v {
+		panic("dd: AddV level mismatch")
+	}
+	if a.N == b.N { // same function: weights add directly
+		w := p.CN.Add(a.W, b.W)
+		if w == zero {
+			return p.VZero()
+		}
+		return VEdge{W: w, N: a.N}
+	}
+	if b.N.id < a.N.id { // commutative: canonical operand order
+		a, b = b, a
+	}
+	h := mix(mix(mix(mix(14695981039346656037, a.N.id), a.W.ID()), b.N.id), b.W.ID()) & ctMask
+	if ent := &p.addV.e[h]; ent.ok && ent.aN == a.N && ent.bN == b.N && ent.aW == a.W && ent.bW == b.W {
+		p.cacheHits++
+		return ent.res
+	}
+	p.cacheMisses++
+	v := a.N.v
+	r0 := p.AddV(p.scaleV(a.N.e[0], a.W), p.scaleV(b.N.e[0], b.W))
+	r1 := p.AddV(p.scaleV(a.N.e[1], a.W), p.scaleV(b.N.e[1], b.W))
+	res := p.makeVNode(v, r0, r1)
+	p.addV.e[h] = addVEntry{aN: a.N, bN: b.N, aW: a.W, bW: b.W, res: res, ok: true}
+	return res
+}
+
+// AddM returns the sum of two matrix DDs rooted at the same level.
+func (p *Package) AddM(a, b MEdge) MEdge {
+	zero := p.CN.Zero
+	if a.W == zero {
+		return b
+	}
+	if b.W == zero {
+		return a
+	}
+	if a.N == nil && b.N == nil {
+		return MEdge{W: p.CN.Add(a.W, b.W), N: nil}
+	}
+	if a.N == nil || b.N == nil || a.N.v != b.N.v {
+		panic("dd: AddM level mismatch")
+	}
+	if a.N == b.N {
+		w := p.CN.Add(a.W, b.W)
+		if w == zero {
+			return p.MZero()
+		}
+		return MEdge{W: w, N: a.N}
+	}
+	if b.N.id < a.N.id {
+		a, b = b, a
+	}
+	h := mix(mix(mix(mix(1099511628211, a.N.id), a.W.ID()), b.N.id), b.W.ID()) & ctMask
+	if ent := &p.addM.e[h]; ent.ok && ent.aN == a.N && ent.bN == b.N && ent.aW == a.W && ent.bW == b.W {
+		p.cacheHits++
+		return ent.res
+	}
+	p.cacheMisses++
+	v := a.N.v
+	var r [4]MEdge
+	for i := 0; i < 4; i++ {
+		r[i] = p.AddM(p.scaleM(a.N.e[i], a.W), p.scaleM(b.N.e[i], b.W))
+	}
+	res := p.makeMNode(v, r)
+	p.addM.e[h] = addMEntry{aN: a.N, bN: b.N, aW: a.W, bW: b.W, res: res, ok: true}
+	return res
+}
+
+// MulMV applies the matrix DD m to the vector DD x (one simulation step).
+func (p *Package) MulMV(m MEdge, x VEdge) VEdge {
+	zero := p.CN.Zero
+	if m.W == zero || x.W == zero {
+		return p.VZero()
+	}
+	w := p.CN.Mul(m.W, x.W)
+	if m.N == nil && x.N == nil {
+		return VEdge{W: w, N: nil}
+	}
+	if m.N == nil || x.N == nil || m.N.v != x.N.v {
+		panic("dd: MulMV level mismatch")
+	}
+	// Identity fast path: applying I(v+1 levels) is a no-op.
+	if v := m.N.v; v+1 < len(p.idents) && p.idents[v+1].N == m.N {
+		return p.scaleV(VEdge{W: p.CN.One, N: x.N}, w)
+	}
+	h := mix(mix(0x51ed270b, m.N.id), x.N.id) & ctMask
+	if ent := &p.mv.e[h]; ent.ok && ent.m == m.N && ent.x == x.N {
+		p.cacheHits++
+		return p.scaleV(ent.res, w)
+	}
+	p.cacheMisses++
+	v := m.N.v
+	r0 := p.AddV(p.MulMV(m.N.e[0], x.N.e[0]), p.MulMV(m.N.e[1], x.N.e[1]))
+	r1 := p.AddV(p.MulMV(m.N.e[2], x.N.e[0]), p.MulMV(m.N.e[3], x.N.e[1]))
+	res := p.makeVNode(v, r0, r1)
+	p.mv.e[h] = mvEntry{m: m.N, x: x.N, res: res, ok: true}
+	return p.scaleV(res, w)
+}
+
+// MulMM returns the matrix product a·b (one equivalence-checking step).
+func (p *Package) MulMM(a, b MEdge) MEdge {
+	zero := p.CN.Zero
+	if a.W == zero || b.W == zero {
+		return p.MZero()
+	}
+	w := p.CN.Mul(a.W, b.W)
+	if a.N == nil && b.N == nil {
+		return MEdge{W: w, N: nil}
+	}
+	if a.N == nil || b.N == nil || a.N.v != b.N.v {
+		panic("dd: MulMM level mismatch")
+	}
+	if v := a.N.v; v+1 < len(p.idents) {
+		if p.idents[v+1].N == a.N {
+			return p.scaleM(MEdge{W: p.CN.One, N: b.N}, w)
+		}
+		if p.idents[v+1].N == b.N {
+			return p.scaleM(MEdge{W: p.CN.One, N: a.N}, w)
+		}
+	}
+	h := mix(mix(0x2545F4914F6CDD1D, a.N.id), b.N.id) & ctMask
+	if ent := &p.mm.e[h]; ent.ok && ent.a == a.N && ent.b == b.N {
+		p.cacheHits++
+		return p.scaleM(ent.res, w)
+	}
+	p.cacheMisses++
+	v := a.N.v
+	var r [4]MEdge
+	for row := 0; row < 2; row++ {
+		for col := 0; col < 2; col++ {
+			r[row*2+col] = p.AddM(
+				p.MulMM(a.N.e[row*2], b.N.e[col]),
+				p.MulMM(a.N.e[row*2+1], b.N.e[2+col]),
+			)
+		}
+	}
+	res := p.makeMNode(v, r)
+	p.mm.e[h] = mmEntry{a: a.N, b: b.N, res: res, ok: true}
+	return p.scaleM(res, w)
+}
+
+// InnerProduct returns <a|b>, i.e. the complex overlap of two states.  This
+// is exactly the quantity the paper compares per simulation run
+// (Sec. IV-A: <u_i|u'_i> = 1 for all i iff the circuits are equivalent).
+func (p *Package) InnerProduct(a, b VEdge) complex128 {
+	if a.W == p.CN.Zero || b.W == p.CN.Zero {
+		return 0
+	}
+	w := cmplx.Conj(a.W.Complex()) * b.W.Complex()
+	if a.N == nil && b.N == nil {
+		return w
+	}
+	if a.N == nil || b.N == nil || a.N.v != b.N.v {
+		panic("dd: InnerProduct level mismatch")
+	}
+	h := mix(mix(0x9E3779B1, a.N.id), b.N.id) & ctMask
+	if ent := &p.ip.e[h]; ent.ok && ent.a == a.N && ent.b == b.N {
+		p.cacheHits++
+		return w * ent.res
+	}
+	p.cacheMisses++
+	f := p.InnerProduct(a.N.e[0], b.N.e[0]) + p.InnerProduct(a.N.e[1], b.N.e[1])
+	p.ip.e[h] = ipEntry{a: a.N, b: b.N, res: f, ok: true}
+	return w * f
+}
+
+// Fidelity returns |<a|b>|^2.
+func (p *Package) Fidelity(a, b VEdge) float64 {
+	ipv := p.InnerProduct(a, b)
+	re, im := real(ipv), imag(ipv)
+	return re*re + im*im
+}
+
+// Norm returns the 2-norm of a state DD.
+func (p *Package) Norm(a VEdge) float64 {
+	n2 := real(p.InnerProduct(a, a))
+	if n2 < 0 {
+		n2 = 0
+	}
+	return math.Sqrt(n2)
+}
+
+// ConjugateTranspose returns the adjoint of a matrix DD.
+func (p *Package) ConjugateTranspose(m MEdge) MEdge {
+	if m.W == p.CN.Zero {
+		return p.MZero()
+	}
+	wc := p.CN.Conj(m.W)
+	if m.N == nil {
+		return MEdge{W: wc, N: nil}
+	}
+	h := mix(0xC6A4A7935BD1E995, m.N.id) & ctMask
+	if ent := &p.ct.e[h]; ent.ok && ent.m == m.N {
+		return p.scaleM(ent.res, wc)
+	}
+	res := p.makeMNode(m.N.v, [4]MEdge{
+		p.ConjugateTranspose(m.N.e[0]),
+		p.ConjugateTranspose(m.N.e[2]),
+		p.ConjugateTranspose(m.N.e[1]),
+		p.ConjugateTranspose(m.N.e[3]),
+	})
+	p.ct.e[h] = ctEntry{m: m.N, res: res, ok: true}
+	return p.scaleM(res, wc)
+}
+
+// KronM returns a ⊗ b where b occupies the bLevels lowest levels and a is
+// shifted up accordingly.  The caller must ensure the combined level range
+// fits the package.
+func (p *Package) KronM(a, b MEdge, bLevels int) MEdge {
+	if a.W == p.CN.Zero || b.W == p.CN.Zero {
+		return p.MZero()
+	}
+	if a.N == nil {
+		return p.scaleM(b, a.W)
+	}
+	if a.N.v+bLevels >= p.n {
+		panic(fmt.Sprintf("dd: KronM level overflow (a level %d, shift %d)", a.N.v, bLevels))
+	}
+	var bID uint64
+	if b.N != nil {
+		bID = b.N.id
+	}
+	h := mix(mix(mix(0xA0761D6478BD642F, a.N.id), bID), uint64(bLevels)) & ctMask
+	if ent := &p.kr.e[h]; ent.ok && ent.aM == a.N && ent.bM == b.N && ent.shift == bLevels && ent.aV == nil {
+		return p.scaleM(ent.resM, a.W)
+	}
+	var r [4]MEdge
+	for i := 0; i < 4; i++ {
+		r[i] = p.KronM(a.N.e[i], b, bLevels)
+	}
+	res := p.makeMNode(a.N.v+bLevels, r)
+	p.kr.e[h] = krEntry{aM: a.N, bM: b.N, shift: bLevels, resM: res, ok: true}
+	return p.scaleM(res, a.W)
+}
+
+// KronV returns a ⊗ b for state DDs, with b occupying the bLevels lowest
+// levels.
+func (p *Package) KronV(a, b VEdge, bLevels int) VEdge {
+	if a.W == p.CN.Zero || b.W == p.CN.Zero {
+		return p.VZero()
+	}
+	if a.N == nil {
+		return p.scaleV(b, a.W)
+	}
+	if a.N.v+bLevels >= p.n {
+		panic(fmt.Sprintf("dd: KronV level overflow (a level %d, shift %d)", a.N.v, bLevels))
+	}
+	var bID uint64
+	if b.N != nil {
+		bID = b.N.id
+	}
+	h := mix(mix(mix(0xE7037ED1A0B428DB, a.N.id), bID), uint64(bLevels)) & ctMask
+	if ent := &p.kr.e[h]; ent.ok && ent.aV == a.N && ent.bV == b.N && ent.shift == bLevels && ent.aM == nil {
+		return p.scaleV(ent.resV, a.W)
+	}
+	r0 := p.KronV(a.N.e[0], b, bLevels)
+	r1 := p.KronV(a.N.e[1], b, bLevels)
+	res := p.makeVNode(a.N.v+bLevels, r0, r1)
+	p.kr.e[h] = krEntry{aV: a.N, bV: b.N, shift: bLevels, resV: res, ok: true}
+	return p.scaleV(res, a.W)
+}

@@ -1,0 +1,96 @@
+package dd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the DD substrate: the matrix-vector path is the
+// paper's "cheap" operation, the matrix-matrix path its "expensive" one.
+
+func BenchmarkGateDD(b *testing.B) {
+	p := NewDefault(16)
+	controls := []Control{{Qubit: 3}, {Qubit: 7, Neg: true}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.GateDD(hMat, 10, controls)
+	}
+}
+
+func BenchmarkBasisState(b *testing.B) {
+	p := NewDefault(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.BasisState(uint64(i) & 0xFFFFFFFF)
+	}
+}
+
+func BenchmarkMulMVEntangled(b *testing.B) {
+	// Evolve an entangled 12-qubit state by H and CX layers.
+	rng := rand.New(rand.NewSource(1))
+	p := NewDefault(12)
+	state := p.ZeroState()
+	gates := make([]MEdge, 0, 64)
+	for i := 0; i < 64; i++ {
+		if i%2 == 0 {
+			gates = append(gates, p.GateDD(hMat, rng.Intn(12), nil))
+		} else {
+			t := rng.Intn(12)
+			c := (t + 1 + rng.Intn(11)) % 12
+			gates = append(gates, p.GateDD(xMat, t, []Control{{Qubit: c}}))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		state = p.MulMV(gates[i%len(gates)], state)
+		p.MaybeGC([]VEdge{state}, nil)
+	}
+}
+
+func BenchmarkMulMMRandomClifford(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewDefault(8)
+	acc := p.Identity()
+	gates := make([]MEdge, 0, 32)
+	for i := 0; i < 32; i++ {
+		t := rng.Intn(8)
+		c := (t + 1 + rng.Intn(7)) % 8
+		gates = append(gates, p.GateDD(xMat, t, []Control{{Qubit: c}}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = p.MulMM(gates[i%len(gates)], acc)
+		p.MaybeGC(nil, []MEdge{acc})
+	}
+}
+
+func BenchmarkInnerProduct(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewDefault(12)
+	mk := func(seed uint64) VEdge {
+		st := p.BasisState(seed)
+		for i := 0; i < 24; i++ {
+			st = p.MulMV(p.GateDD(randomUnitary(rng), rng.Intn(12), nil), st)
+		}
+		return st
+	}
+	a, c := mk(5), mk(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.InnerProduct(a, c)
+	}
+}
+
+func BenchmarkGC(b *testing.B) {
+	p := NewDefault(14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var keep VEdge
+		for j := uint64(0); j < 256; j++ {
+			keep = p.BasisState((j * 1023) & 0x3FFF)
+		}
+		b.StartTimer()
+		p.GC([]VEdge{keep}, nil)
+	}
+}

@@ -1,0 +1,470 @@
+// Package dd implements quantum multiple-valued decision diagrams (QMDDs)
+// for representing quantum states (vector DDs) and unitaries (matrix DDs).
+//
+// This is the substrate both sides of the paper run on: the simulator
+// performs matrix-vector multiplications on it (cheap — the "power of
+// simulation"), and the complete equivalence-checking routine performs
+// matrix-matrix multiplications on it (expensive — the state of the art the
+// paper improves upon).
+//
+// Design notes, mirroring the JKU/MQT DD package the paper builds on:
+//
+//   - Edge weights are interned in a cn.Table, so numerically equal weights
+//     are identical pointers.
+//   - Nodes live in per-kind unique tables and are normalized with the
+//     largest-magnitude rule (ties broken towards the lowest edge index), so
+//     two DDs represent the same function if and only if their root edges
+//     compare equal as (node pointer, weight pointer) pairs.
+//   - All non-zero paths visit a node at every level ("full chains"); only
+//     zero edges shortcut directly to the terminal.  This keeps every binary
+//     operation strictly level-synchronized.
+//   - Operation results are memoized in fixed-size, overwrite-on-collision
+//     compute tables, so memory use is bounded and lookups are O(1).
+package dd
+
+import (
+	"fmt"
+	"time"
+
+	"qcec/internal/cn"
+)
+
+// VNode is a vector-DD node with two successors (qubit value 0 and 1).
+type VNode struct {
+	id uint64
+	v  int // qubit level; 0 is the least-significant qubit
+	e  [2]VEdge
+}
+
+// Level returns the qubit level of the node.
+func (n *VNode) Level() int { return n.v }
+
+// Edge returns the i-th successor edge (i in 0..1).
+func (n *VNode) Edge(i int) VEdge { return n.e[i] }
+
+// MNode is a matrix-DD node with four successors indexed row*2+col.
+type MNode struct {
+	id uint64
+	v  int
+	e  [4]MEdge
+}
+
+// Level returns the qubit level of the node.
+func (n *MNode) Level() int { return n.v }
+
+// Edge returns the i-th successor edge (i = row*2 + col).
+func (n *MNode) Edge(i int) MEdge { return n.e[i] }
+
+// VEdge is a weighted edge into a vector DD.  A nil node denotes the
+// terminal; VEdge{W: <zero>, N: nil} is the canonical zero vector.
+type VEdge struct {
+	W *cn.Value
+	N *VNode
+}
+
+// MEdge is a weighted edge into a matrix DD.  A nil node denotes the
+// terminal; MEdge{W: <zero>, N: nil} is the canonical zero matrix.
+type MEdge struct {
+	W *cn.Value
+	N *MNode
+}
+
+// Control describes a control qubit of a quantum operation.  When Neg is
+// true, the operation fires on the |0> branch of the qubit (a "negative
+// control", as used by RevLib netlists).
+type Control struct {
+	Qubit int
+	Neg   bool
+}
+
+type vKey struct {
+	v      int
+	w0, w1 *cn.Value
+	n0, n1 *VNode
+}
+
+type mKey struct {
+	v              int
+	w0, w1, w2, w3 *cn.Value
+	n0, n1, n2, n3 *MNode
+}
+
+// Package owns the unique tables, compute tables and complex table for DDs on
+// a fixed number of qubits.  It is not safe for concurrent use.
+type Package struct {
+	n  int
+	CN *cn.Table
+
+	vUnique map[vKey]*VNode
+	mUnique map[mKey]*MNode
+	nextID  uint64
+
+	idents []MEdge // idents[k] = identity on the k lowest levels
+
+	addV *addVTable
+	addM *addMTable
+	mv   *mvTable
+	mm   *mmTable
+	ip   *ipTable
+	ct   *ctTable
+	kr   *krTable
+
+	// gcThreshold is the unique-table population that triggers a garbage
+	// collection in MaybeGC; it doubles after every collection that fails
+	// to reclaim at least a quarter of the nodes.
+	gcThreshold int
+	gcRuns      int
+
+	// nodeLimit, when positive, makes node creation panic with a
+	// *LimitError once the unique tables exceed it.  Long-running clients
+	// (the equivalence checker) recover the panic and turn it into a
+	// timeout-class verdict; this bounds time and memory even inside a
+	// single huge multiplication, where per-gate deadline checks cannot
+	// reach.
+	nodeLimit int
+	// deadline, when set, makes node creation panic with a *LimitError
+	// once the wall clock passes it (checked every few thousand
+	// allocations, so the overhead is negligible).
+	deadline   time.Time
+	allocCount uint64
+
+	cacheHits, cacheMisses uint64
+}
+
+// LimitError is the panic value raised when the configured node limit or
+// operation deadline is exceeded; see SetNodeLimit and SetDeadline.
+type LimitError struct {
+	Nodes    int
+	Limit    int
+	Deadline bool // true when the wall-clock deadline tripped
+}
+
+// Error formats the limit violation.
+func (e *LimitError) Error() string {
+	if e.Deadline {
+		return fmt.Sprintf("dd: operation deadline exceeded (%d live nodes)", e.Nodes)
+	}
+	return fmt.Sprintf("dd: node limit exceeded (%d nodes, limit %d)", e.Nodes, e.Limit)
+}
+
+// SetNodeLimit installs (or with 0 removes) a hard bound on the live node
+// population.  Exceeding it panics with a *LimitError at the allocation
+// site.
+func (p *Package) SetNodeLimit(n int) { p.nodeLimit = n }
+
+// SetDeadline installs (or with the zero time removes) a wall-clock bound on
+// DD operations.  Passing it panics with a *LimitError at the next
+// allocation checkpoint, which reaches even into a single long-running
+// multiplication.
+func (p *Package) SetDeadline(t time.Time) { p.deadline = t }
+
+func (p *Package) checkLimit() {
+	if p.nodeLimit > 0 {
+		if n := p.NodeCount(); n > p.nodeLimit {
+			panic(&LimitError{Nodes: n, Limit: p.nodeLimit})
+		}
+	}
+	p.allocCount++
+	if p.allocCount&0x1FFF == 0 && !p.deadline.IsZero() && time.Now().After(p.deadline) {
+		panic(&LimitError{Nodes: p.NodeCount(), Limit: p.nodeLimit, Deadline: true})
+	}
+}
+
+// DefaultGCThreshold is the initial unique-table population that triggers
+// garbage collection via MaybeGC.
+const DefaultGCThreshold = 250_000
+
+// MaxQubits is the largest supported register size (basis-state indices are
+// addressed with uint64).
+const MaxQubits = 64
+
+// New creates a DD package for n qubits with the given weight tolerance.
+func New(n int, tol float64) *Package {
+	if n <= 0 || n > MaxQubits {
+		panic(fmt.Sprintf("dd: unsupported qubit count %d", n))
+	}
+	p := &Package{
+		n:           n,
+		CN:          cn.NewTable(tol),
+		vUnique:     make(map[vKey]*VNode, 1024),
+		mUnique:     make(map[mKey]*MNode, 1024),
+		addV:        newAddVTable(),
+		addM:        newAddMTable(),
+		mv:          newMVTable(),
+		mm:          newMMTable(),
+		ip:          newIPTable(),
+		ct:          newCTTable(),
+		kr:          newKRTable(),
+		gcThreshold: DefaultGCThreshold,
+	}
+	p.idents = []MEdge{{W: p.CN.One, N: nil}}
+	return p
+}
+
+// NewDefault creates a DD package for n qubits with the default tolerance.
+func NewDefault(n int) *Package { return New(n, cn.DefaultTolerance) }
+
+// Qubits returns the register size of the package.
+func (p *Package) Qubits() int { return p.n }
+
+// NodeCount returns the current unique-table population (vector plus matrix
+// nodes).
+func (p *Package) NodeCount() int { return len(p.vUnique) + len(p.mUnique) }
+
+// Stats is a snapshot of the package's internal activity, exposed for the
+// benchmark harness and for performance debugging.
+type Stats struct {
+	VectorNodes   int
+	MatrixNodes   int
+	NodesCreated  uint64
+	WeightsStored int
+	GCRuns        int
+	CacheHits     uint64
+	CacheMisses   uint64
+}
+
+// Snapshot returns current package statistics.
+func (p *Package) Snapshot() Stats {
+	return Stats{
+		VectorNodes:   len(p.vUnique),
+		MatrixNodes:   len(p.mUnique),
+		NodesCreated:  p.nextID,
+		WeightsStored: p.CN.Size(),
+		GCRuns:        p.gcRuns,
+		CacheHits:     p.cacheHits,
+		CacheMisses:   p.cacheMisses,
+	}
+}
+
+// VZero returns the canonical zero vector edge.
+func (p *Package) VZero() VEdge { return VEdge{W: p.CN.Zero, N: nil} }
+
+// MZero returns the canonical zero matrix edge.
+func (p *Package) MZero() MEdge { return MEdge{W: p.CN.Zero, N: nil} }
+
+// VTerminal returns a terminal vector edge carrying the given scalar.
+func (p *Package) VTerminal(c complex128) VEdge {
+	return VEdge{W: p.CN.Lookup(c), N: nil}
+}
+
+// MTerminal returns a terminal matrix edge carrying the given scalar.
+func (p *Package) MTerminal(c complex128) MEdge {
+	return MEdge{W: p.CN.Lookup(c), N: nil}
+}
+
+// makeVNode builds the canonical, normalized node for the given successors
+// and returns it as an edge whose weight carries the normalization factor.
+func (p *Package) makeVNode(v int, e0, e1 VEdge) VEdge {
+	zero := p.CN.Zero
+	if e0.W == zero && e1.W == zero {
+		return p.VZero()
+	}
+	k := 0
+	if e1.W.Abs2() > e0.W.Abs2() {
+		k = 1
+	}
+	var top *cn.Value
+	if k == 0 {
+		top = e0.W
+		e0.W = p.CN.One
+		if e1.W != zero {
+			e1.W = p.CN.Div(e1.W, top)
+		}
+	} else {
+		top = e1.W
+		e1.W = p.CN.One
+		if e0.W != zero {
+			e0.W = p.CN.Div(e0.W, top)
+		}
+	}
+	key := vKey{v: v, w0: e0.W, w1: e1.W, n0: e0.N, n1: e1.N}
+	node, ok := p.vUnique[key]
+	if !ok {
+		node = &VNode{id: p.newID(), v: v, e: [2]VEdge{e0, e1}}
+		p.vUnique[key] = node
+		p.checkLimit()
+	}
+	return VEdge{W: top, N: node}
+}
+
+// makeMNode is the matrix counterpart of makeVNode.
+func (p *Package) makeMNode(v int, e [4]MEdge) MEdge {
+	zero := p.CN.Zero
+	k := -1
+	var max float64
+	for i := 0; i < 4; i++ {
+		if e[i].W == zero {
+			continue
+		}
+		if a := e[i].W.Abs2(); k < 0 || a > max {
+			k, max = i, a
+		}
+	}
+	if k < 0 {
+		return p.MZero()
+	}
+	top := e[k].W
+	for i := 0; i < 4; i++ {
+		switch {
+		case i == k:
+			e[i].W = p.CN.One
+		case e[i].W != zero:
+			e[i].W = p.CN.Div(e[i].W, top)
+		}
+	}
+	key := mKey{
+		v:  v,
+		w0: e[0].W, w1: e[1].W, w2: e[2].W, w3: e[3].W,
+		n0: e[0].N, n1: e[1].N, n2: e[2].N, n3: e[3].N,
+	}
+	node, ok := p.mUnique[key]
+	if !ok {
+		node = &MNode{id: p.newID(), v: v, e: e}
+		p.mUnique[key] = node
+		p.checkLimit()
+	}
+	return MEdge{W: top, N: node}
+}
+
+func (p *Package) newID() uint64 {
+	p.nextID++
+	return p.nextID
+}
+
+// scaleV multiplies an edge weight by w.
+func (p *Package) scaleV(e VEdge, w *cn.Value) VEdge {
+	if w == p.CN.One {
+		return e
+	}
+	if w == p.CN.Zero || e.W == p.CN.Zero {
+		return p.VZero()
+	}
+	return VEdge{W: p.CN.Mul(e.W, w), N: e.N}
+}
+
+// scaleM multiplies an edge weight by w.
+func (p *Package) scaleM(e MEdge, w *cn.Value) MEdge {
+	if w == p.CN.One {
+		return e
+	}
+	if w == p.CN.Zero || e.W == p.CN.Zero {
+		return p.MZero()
+	}
+	return MEdge{W: p.CN.Mul(e.W, w), N: e.N}
+}
+
+// identUpTo returns the identity matrix DD covering the k lowest levels
+// (k = 0 yields the scalar 1 terminal edge).
+func (p *Package) identUpTo(k int) MEdge {
+	if k > p.n {
+		panic(fmt.Sprintf("dd: identity request for %d levels on %d qubits", k, p.n))
+	}
+	for len(p.idents) <= k {
+		lvl := len(p.idents) - 1
+		prev := p.idents[lvl]
+		e := p.makeMNode(lvl, [4]MEdge{prev, p.MZero(), p.MZero(), prev})
+		p.idents = append(p.idents, e)
+	}
+	return p.idents[k]
+}
+
+// Identity returns the n-qubit identity matrix DD.
+func (p *Package) Identity() MEdge { return p.identUpTo(p.n) }
+
+// IsIdentity reports whether m is the identity.  With strict=false a global
+// phase factor (unit-magnitude root weight) is accepted.
+func (p *Package) IsIdentity(m MEdge, strict bool) bool {
+	id := p.Identity()
+	if m.N != id.N {
+		return false
+	}
+	if strict {
+		return m.W == p.CN.One
+	}
+	mag := m.W.Abs()
+	return mag > 1-16*p.CN.Tolerance() && mag < 1+16*p.CN.Tolerance()
+}
+
+// BasisState returns |i> as a vector DD.
+func (p *Package) BasisState(i uint64) VEdge {
+	if p.n < 64 && i >= uint64(1)<<uint(p.n) {
+		panic(fmt.Sprintf("dd: basis state %d out of range for %d qubits", i, p.n))
+	}
+	e := VEdge{W: p.CN.One, N: nil}
+	for z := 0; z < p.n; z++ {
+		if (i>>uint(z))&1 == 0 {
+			e = p.makeVNode(z, e, p.VZero())
+		} else {
+			e = p.makeVNode(z, p.VZero(), e)
+		}
+	}
+	return e
+}
+
+// ZeroState returns |0...0>.
+func (p *Package) ZeroState() VEdge { return p.BasisState(0) }
+
+// GateDD builds the n-qubit matrix DD of a single-qubit operation u applied
+// to target, optionally controlled (positively or negatively) by the given
+// qubits.  This is the bottom-up construction used by the JKU package.
+func (p *Package) GateDD(u [2][2]complex128, target int, controls []Control) MEdge {
+	if target < 0 || target >= p.n {
+		panic(fmt.Sprintf("dd: gate target %d out of range", target))
+	}
+	sorted := make([]Control, len(controls))
+	copy(sorted, controls)
+	for i := 1; i < len(sorted); i++ { // insertion sort; control lists are tiny
+		for j := i; j > 0 && sorted[j].Qubit < sorted[j-1].Qubit; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for i, c := range sorted {
+		if c.Qubit < 0 || c.Qubit >= p.n || c.Qubit == target {
+			panic(fmt.Sprintf("dd: invalid control qubit %d", c.Qubit))
+		}
+		if i > 0 && sorted[i-1].Qubit == c.Qubit {
+			panic(fmt.Sprintf("dd: duplicate control qubit %d", c.Qubit))
+		}
+	}
+
+	em := [4]MEdge{
+		p.MTerminal(u[0][0]), p.MTerminal(u[0][1]),
+		p.MTerminal(u[1][0]), p.MTerminal(u[1][1]),
+	}
+	ci := 0
+	for z := 0; z < target; z++ {
+		if ci < len(sorted) && sorted[ci].Qubit == z {
+			neg := sorted[ci].Neg
+			for i := 0; i < 4; i++ {
+				idPart := p.MZero()
+				if i == 0 || i == 3 { // diagonal entries act as identity off-control
+					idPart = p.identUpTo(z)
+				}
+				if neg {
+					em[i] = p.makeMNode(z, [4]MEdge{em[i], p.MZero(), p.MZero(), idPart})
+				} else {
+					em[i] = p.makeMNode(z, [4]MEdge{idPart, p.MZero(), p.MZero(), em[i]})
+				}
+			}
+			ci++
+		} else {
+			for i := 0; i < 4; i++ {
+				em[i] = p.makeMNode(z, [4]MEdge{em[i], p.MZero(), p.MZero(), em[i]})
+			}
+		}
+	}
+	e := p.makeMNode(target, em)
+	for z := target + 1; z < p.n; z++ {
+		if ci < len(sorted) && sorted[ci].Qubit == z {
+			if sorted[ci].Neg {
+				e = p.makeMNode(z, [4]MEdge{e, p.MZero(), p.MZero(), p.identUpTo(z)})
+			} else {
+				e = p.makeMNode(z, [4]MEdge{p.identUpTo(z), p.MZero(), p.MZero(), e})
+			}
+			ci++
+		} else {
+			e = p.makeMNode(z, [4]MEdge{e, p.MZero(), p.MZero(), e})
+		}
+	}
+	return e
+}

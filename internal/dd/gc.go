@@ -1,0 +1,92 @@
+package dd
+
+// Garbage collection.  The unique tables grow monotonically as operations
+// create nodes; long simulations and equivalence checks therefore
+// periodically collect nodes that are no longer reachable from the caller's
+// live roots.  Collection removes dead entries from the unique tables (the Go
+// runtime then reclaims the nodes) and clears the compute tables, because a
+// cached result pointing at a collected node would break canonicity: a
+// functionally identical node re-created later would receive a fresh pointer
+// while the stale cache entry resurrects the old one.
+
+// GC removes all nodes not reachable from the given roots (the identity
+// chain is always retained) and clears the compute tables.  It returns the
+// number of nodes removed.
+func (p *Package) GC(rootsV []VEdge, rootsM []MEdge) int {
+	markedV := make(map[*VNode]bool)
+	markedM := make(map[*MNode]bool)
+
+	var markV func(n *VNode)
+	markV = func(n *VNode) {
+		if n == nil || markedV[n] {
+			return
+		}
+		markedV[n] = true
+		markV(n.e[0].N)
+		markV(n.e[1].N)
+	}
+	var markM func(n *MNode)
+	markM = func(n *MNode) {
+		if n == nil || markedM[n] {
+			return
+		}
+		markedM[n] = true
+		for i := 0; i < 4; i++ {
+			markM(n.e[i].N)
+		}
+	}
+
+	for _, r := range rootsV {
+		markV(r.N)
+	}
+	for _, r := range rootsM {
+		markM(r.N)
+	}
+	for _, id := range p.idents {
+		markM(id.N)
+	}
+
+	removed := 0
+	for k, n := range p.vUnique {
+		if !markedV[n] {
+			delete(p.vUnique, k)
+			removed++
+		}
+	}
+	for k, n := range p.mUnique {
+		if !markedM[n] {
+			delete(p.mUnique, k)
+			removed++
+		}
+	}
+	p.clearComputeTables()
+	p.gcRuns++
+	return removed
+}
+
+// MaybeGC runs GC when the unique-table population exceeds the current
+// threshold.  If a collection reclaims less than a quarter of the nodes, the
+// threshold doubles so that the package does not thrash on genuinely large
+// working sets.  It reports whether a collection ran.
+func (p *Package) MaybeGC(rootsV []VEdge, rootsM []MEdge) bool {
+	before := p.NodeCount()
+	if before < p.gcThreshold {
+		return false
+	}
+	removed := p.GC(rootsV, rootsM)
+	if removed*4 < before {
+		p.gcThreshold *= 2
+	}
+	return true
+}
+
+// GCRuns returns how many collections have been performed.
+func (p *Package) GCRuns() int { return p.gcRuns }
+
+// SetGCThreshold overrides the collection trigger (primarily for tests).
+func (p *Package) SetGCThreshold(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.gcThreshold = n
+}

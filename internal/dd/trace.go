@@ -1,0 +1,69 @@
+package dd
+
+import "math/cmplx"
+
+// Trace returns tr(m) for a matrix DD rooted at the top level.
+func (p *Package) Trace(m MEdge) complex128 {
+	memo := make(map[*MNode]complex128)
+	var rec func(e MEdge) complex128
+	rec = func(e MEdge) complex128 {
+		if e.W == p.CN.Zero {
+			return 0
+		}
+		if e.N == nil {
+			return e.W.Complex()
+		}
+		if v, ok := memo[e.N]; ok {
+			return e.W.Complex() * v
+		}
+		v := rec(e.N.e[0]) + rec(e.N.e[3])
+		memo[e.N] = v
+		return e.W.Complex() * v
+	}
+	return rec(m)
+}
+
+// HilbertSchmidt returns <A, B> = tr(A† B), computed directly on the two
+// DDs (no matrix product is formed).  For n-qubit unitaries,
+// |tr(A† B)| = 2^n iff A and B are equal up to a global phase, which makes
+// this the numerically robust equivalence measure behind the process
+// fidelity.
+func (p *Package) HilbertSchmidt(a, b MEdge) complex128 {
+	type key struct {
+		a, b *MNode
+	}
+	memo := make(map[key]complex128)
+	var rec func(a, b MEdge) complex128
+	rec = func(a, b MEdge) complex128 {
+		if a.W == p.CN.Zero || b.W == p.CN.Zero {
+			return 0
+		}
+		w := cmplx.Conj(a.W.Complex()) * b.W.Complex()
+		if a.N == nil && b.N == nil {
+			return w
+		}
+		if a.N == nil || b.N == nil || a.N.v != b.N.v {
+			panic("dd: HilbertSchmidt level mismatch")
+		}
+		k := key{a.N, b.N}
+		if v, ok := memo[k]; ok {
+			return w * v
+		}
+		var v complex128
+		for i := 0; i < 4; i++ {
+			v += rec(a.N.e[i], b.N.e[i])
+		}
+		memo[k] = v
+		return w * v
+	}
+	return rec(a, b)
+}
+
+// ProcessFidelity returns |tr(A† B)|² / 4^n — 1 iff the unitaries agree up
+// to global phase.
+func (p *Package) ProcessFidelity(a, b MEdge) float64 {
+	hs := p.HilbertSchmidt(a, b)
+	dim := float64(uint64(1) << uint(p.n))
+	re, im := real(hs), imag(hs)
+	return (re*re + im*im) / (dim * dim)
+}

@@ -1,0 +1,110 @@
+package dd
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qcec/internal/dense"
+)
+
+func TestTraceIdentity(t *testing.T) {
+	p := NewDefault(4)
+	if tr := p.Trace(p.Identity()); cmplx.Abs(tr-16) > 1e-12 {
+		t.Fatalf("tr(I_16) = %v", tr)
+	}
+}
+
+func TestTraceGates(t *testing.T) {
+	p := NewDefault(2)
+	// tr(X ⊗ I) = 0; tr(Z ⊗ I) = 0; tr(S on q0) = (1+i)*2.
+	if tr := p.Trace(p.GateDD(xMat, 0, nil)); cmplx.Abs(tr) > 1e-12 {
+		t.Errorf("tr(X) = %v", tr)
+	}
+	s := p.GateDD(sMat, 0, nil)
+	if tr := p.Trace(s); cmplx.Abs(tr-complex(2, 2)) > 1e-12 {
+		t.Errorf("tr(S⊗I) = %v", tr)
+	}
+	if tr := p.Trace(p.MZero()); tr != 0 {
+		t.Errorf("tr(0) = %v", tr)
+	}
+}
+
+func TestTraceAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 3
+	p := NewDefault(n)
+	acc := p.Identity()
+	ref := dense.IdentityMatrix(n)
+	for i := 0; i < 12; i++ {
+		u := randomUnitary(rng)
+		tq := rng.Intn(n)
+		acc = p.MulMM(p.GateDD(u, tq, nil), acc)
+		ref = dense.Mul(dense.GateMatrix(n, u, tq, nil), ref)
+	}
+	var want complex128
+	for i := range ref {
+		want += ref[i][i]
+	}
+	if got := p.Trace(acc); cmplx.Abs(got-want) > 1e-8 {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+}
+
+func TestHilbertSchmidtSelf(t *testing.T) {
+	p := NewDefault(3)
+	u := p.GateDD(hMat, 1, []Control{{Qubit: 0}})
+	if hs := p.HilbertSchmidt(u, u); cmplx.Abs(hs-8) > 1e-9 {
+		t.Fatalf("<U,U> = %v, want 8", hs)
+	}
+	if f := p.ProcessFidelity(u, u); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("process fidelity = %g", f)
+	}
+}
+
+func TestProcessFidelityPhaseInvariant(t *testing.T) {
+	p := NewDefault(2)
+	u := p.GateDD(xMat, 0, nil)
+	phased := p.scaleM(u, p.CN.Lookup(cmplx.Exp(complex(0, 1.1))))
+	if f := p.ProcessFidelity(u, phased); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("phase-shifted fidelity = %g", f)
+	}
+	v := p.GateDD(zMat, 0, nil)
+	if f := p.ProcessFidelity(u, v); f > 0.5 {
+		t.Fatalf("X vs Z fidelity = %g", f)
+	}
+}
+
+// Property: Hilbert-Schmidt inner product matches the dense computation.
+func TestQuickHilbertSchmidtAgainstDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(2)
+		p := NewDefault(n)
+		mk := func() (MEdge, dense.Matrix) {
+			acc := p.Identity()
+			ref := dense.IdentityMatrix(n)
+			for i := 0; i < 6; i++ {
+				u := randomUnitary(rng)
+				tq := rng.Intn(n)
+				acc = p.MulMM(p.GateDD(u, tq, nil), acc)
+				ref = dense.Mul(dense.GateMatrix(n, u, tq, nil), ref)
+			}
+			return acc, ref
+		}
+		a, ra := mk()
+		b, rb := mk()
+		var want complex128
+		for i := range ra {
+			for j := range ra[i] {
+				want += cmplx.Conj(ra[i][j]) * rb[i][j]
+			}
+		}
+		return cmplx.Abs(p.HilbertSchmidt(a, b)-want) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package dd
+
+import "fmt"
+
+// Structural invariant checks.  These are debugging and property-test aids:
+// every canonical DD must satisfy them at all times, so the test suite runs
+// them after randomized operation sequences.
+
+// ValidateV checks the canonicity invariants of a vector DD:
+//
+//  1. levels strictly decrease along every path (full chains, only zero
+//     edges shortcut),
+//  2. every node is normalized: some child carries weight exactly One and
+//     no child weight magnitude exceeds it,
+//  3. no node has two zero children,
+//  4. every reachable node is present in the unique table (canonical).
+func (p *Package) ValidateV(e VEdge) error {
+	seen := make(map[*VNode]bool)
+	inTable := make(map[*VNode]bool, len(p.vUnique))
+	for _, n := range p.vUnique {
+		inTable[n] = true
+	}
+	var walk func(e VEdge, parentLevel int) error
+	walk = func(e VEdge, parentLevel int) error {
+		if e.W == p.CN.Zero {
+			if e.N != nil {
+				return fmt.Errorf("dd: zero edge with non-terminal node")
+			}
+			return nil
+		}
+		if e.N == nil {
+			if parentLevel != 0 {
+				return fmt.Errorf("dd: non-zero terminal edge skips levels (parent level %d)", parentLevel)
+			}
+			return nil
+		}
+		if e.N.v >= parentLevel {
+			return fmt.Errorf("dd: level %d not below parent %d", e.N.v, parentLevel)
+		}
+		if seen[e.N] {
+			return nil
+		}
+		seen[e.N] = true
+		if !inTable[e.N] {
+			return fmt.Errorf("dd: node at level %d missing from unique table", e.N.v)
+		}
+		hasOne := false
+		for i := 0; i < 2; i++ {
+			w := e.N.e[i].W
+			if w == p.CN.One {
+				hasOne = true
+			}
+			if w.Abs2() > 1+64*p.CN.Tolerance() {
+				return fmt.Errorf("dd: child weight magnitude %g exceeds 1 at level %d", w.Abs(), e.N.v)
+			}
+		}
+		if !hasOne {
+			return fmt.Errorf("dd: node at level %d has no unit child weight", e.N.v)
+		}
+		if e.N.e[0].W == p.CN.Zero && e.N.e[1].W == p.CN.Zero {
+			return fmt.Errorf("dd: node at level %d has two zero children", e.N.v)
+		}
+		for i := 0; i < 2; i++ {
+			if err := walk(e.N.e[i], e.N.v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(e, p.n)
+}
+
+// ValidateM checks the same invariants for a matrix DD.
+func (p *Package) ValidateM(e MEdge) error {
+	seen := make(map[*MNode]bool)
+	inTable := make(map[*MNode]bool, len(p.mUnique))
+	for _, n := range p.mUnique {
+		inTable[n] = true
+	}
+	var walk func(e MEdge, parentLevel int) error
+	walk = func(e MEdge, parentLevel int) error {
+		if e.W == p.CN.Zero {
+			if e.N != nil {
+				return fmt.Errorf("dd: zero edge with non-terminal node")
+			}
+			return nil
+		}
+		if e.N == nil {
+			if parentLevel != 0 {
+				return fmt.Errorf("dd: non-zero terminal edge skips levels (parent level %d)", parentLevel)
+			}
+			return nil
+		}
+		if e.N.v >= parentLevel {
+			return fmt.Errorf("dd: level %d not below parent %d", e.N.v, parentLevel)
+		}
+		if seen[e.N] {
+			return nil
+		}
+		seen[e.N] = true
+		if !inTable[e.N] {
+			return fmt.Errorf("dd: node at level %d missing from unique table", e.N.v)
+		}
+		hasOne := false
+		allZero := true
+		for i := 0; i < 4; i++ {
+			w := e.N.e[i].W
+			if w == p.CN.One {
+				hasOne = true
+			}
+			if w != p.CN.Zero {
+				allZero = false
+			}
+			if w.Abs2() > 1+64*p.CN.Tolerance() {
+				return fmt.Errorf("dd: child weight magnitude %g exceeds 1 at level %d", w.Abs(), e.N.v)
+			}
+		}
+		if !hasOne {
+			return fmt.Errorf("dd: node at level %d has no unit child weight", e.N.v)
+		}
+		if allZero {
+			return fmt.Errorf("dd: node at level %d has four zero children", e.N.v)
+		}
+		for i := 0; i < 4; i++ {
+			if err := walk(e.N.e[i], e.N.v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(e, p.n)
+}

@@ -1,0 +1,81 @@
+// Package ecrw implements rewriting-based equivalence checking in the style
+// of the paper's reference [16] (Yamashita & Markov, "Fast
+// equivalence-checking for quantum circuits"): build the miter circuit
+// G'·G⁻¹ and reduce it with local rewrite rules (inverse-pair cancellation,
+// rotation fusion, Hadamard conjugation).  If the miter reduces to the empty
+// circuit the pair is proven equivalent; otherwise the method is
+// inconclusive and a complete checker must take over.
+//
+// This is a sound-but-incomplete prefilter: it is extremely fast on pairs
+// that differ by peephole-style recompilation (the common case in practice)
+// and never wrong, but structurally different realizations of the same
+// function (e.g. a synthesized netlist versus its mapped form) defeat it —
+// exactly the gap the paper's simulation-first flow fills from the other
+// side.
+package ecrw
+
+import (
+	"fmt"
+	"time"
+
+	"qcec/internal/circuit"
+	"qcec/internal/opt"
+)
+
+// Verdict is the outcome of a rewriting check.
+type Verdict int
+
+// Possible outcomes.  The method cannot prove non-equivalence: a miter that
+// does not fully reduce is merely Inconclusive.
+const (
+	Equivalent Verdict = iota
+	Inconclusive
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "equivalent"
+	case Inconclusive:
+		return "inconclusive"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Result reports the outcome and the reduction achieved.
+type Result struct {
+	Verdict        Verdict
+	MiterGates     int // gates in G'·G⁻¹ before reduction
+	ResidualGates  int // gates left after reduction
+	Runtime        time.Duration
+	RewritePasses  int
+	CancelledPairs int
+}
+
+// Check builds and reduces the miter.  It returns Equivalent only when the
+// miter vanishes completely.
+func Check(g1, g2 *circuit.Circuit) Result {
+	start := time.Now()
+	if g1.N != g2.N {
+		return Result{Verdict: Inconclusive, Runtime: time.Since(start)}
+	}
+	miter := g2.Clone()
+	miter.Name = "miter"
+	miter.Append(g1.Inverse())
+	reduced, stats := opt.Optimize(miter, opt.Options{})
+	res := Result{
+		MiterGates:     miter.NumGates(),
+		ResidualGates:  reduced.NumGates(),
+		Runtime:        time.Since(start),
+		RewritePasses:  stats.Passes,
+		CancelledPairs: stats.CancelledPairs,
+	}
+	if reduced.NumGates() == 0 {
+		res.Verdict = Equivalent
+	} else {
+		res.Verdict = Inconclusive
+	}
+	return res
+}

@@ -1,0 +1,232 @@
+// Package ecsat implements SAT-based equivalence checking for classical
+// reversible circuits (Toffoli/Fredkin netlists) — the reproduction of the
+// paper's reference [17] baseline class.
+//
+// The two circuits are encoded as a miter: both consume the same input
+// variables, each gate introduces one fresh variable for its target wire
+// (CNOT/Toffoli are XOR-of-AND constraints under Tseitin transformation),
+// and the formula asserts that at least one output wire differs.  The miter
+// is UNSAT iff the circuits are equivalent; a satisfying assignment *is* a
+// counterexample input.
+//
+// This baseline only applies to the reversible benchmark class; the DD-based
+// routine (internal/ec) covers general quantum circuits.  The harness uses
+// it for cross-validation and as an extra baseline column.
+package ecsat
+
+import (
+	"fmt"
+	"time"
+
+	"qcec/internal/circuit"
+	"qcec/internal/sat"
+)
+
+// Verdict is the outcome of a SAT-based check.
+type Verdict int
+
+// Possible outcomes.
+const (
+	Equivalent Verdict = iota
+	NotEquivalent
+	Inconclusive // conflict budget exhausted
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "equivalent"
+	case NotEquivalent:
+		return "not equivalent"
+	case Inconclusive:
+		return "inconclusive"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Options configures the check.
+type Options struct {
+	// ConflictBudget bounds solver effort (0 = unlimited).
+	ConflictBudget int64
+}
+
+// Result reports the outcome and cost.
+type Result struct {
+	Verdict        Verdict
+	Counterexample *uint64 // input assignment on which outputs differ
+	Vars           int
+	Clauses        int
+	Runtime        time.Duration
+	Solver         sat.Stats
+}
+
+// encoder tracks the current SAT literal carried by each wire.
+type encoder struct {
+	s     *sat.Solver
+	wires []sat.Lit
+}
+
+// encodeGate adds the constraints of one classical gate, updating the wire
+// map.  Negative controls negate the control literal; SWAP gates merely
+// exchange wire literals (controlled SWAPs are expanded into three CXs).
+func (e *encoder) encodeGate(g circuit.Gate) error {
+	switch g.Kind {
+	case circuit.I:
+		return nil
+	case circuit.X:
+		return e.encodeToffoli(g.Controls, g.Target)
+	case circuit.SWAP:
+		if len(g.Controls) == 0 {
+			e.wires[g.Target], e.wires[g.Target2] = e.wires[g.Target2], e.wires[g.Target]
+			return nil
+		}
+		// CSWAP(a,b) = CX(b,a) · CCX(ctl,a;b) · CX(b,a).
+		a, b := g.Target, g.Target2
+		if err := e.encodeToffoli([]circuit.Control{{Qubit: b}}, a); err != nil {
+			return err
+		}
+		mid := append(append([]circuit.Control{}, g.Controls...), circuit.Control{Qubit: a})
+		if err := e.encodeToffoli(mid, b); err != nil {
+			return err
+		}
+		return e.encodeToffoli([]circuit.Control{{Qubit: b}}, a)
+	default:
+		return fmt.Errorf("ecsat: gate %s is not classical", g)
+	}
+}
+
+// encodeToffoli encodes target' = target XOR AND(controls).
+func (e *encoder) encodeToffoli(controls []circuit.Control, target int) error {
+	old := e.wires[target]
+	var fire sat.Lit
+	switch len(controls) {
+	case 0:
+		// Unconditional NOT: new wire literal is just the negation.
+		e.wires[target] = old.Neg()
+		return nil
+	case 1:
+		fire = e.ctlLit(controls[0])
+	default:
+		// fire <-> AND(controls)
+		fire = sat.Lit(e.s.NewVar())
+		all := make([]sat.Lit, 0, len(controls)+1)
+		for _, c := range controls {
+			cl := e.ctlLit(c)
+			if err := e.s.AddClause(fire.Neg(), cl); err != nil {
+				return err
+			}
+			all = append(all, cl.Neg())
+		}
+		all = append(all, fire)
+		if err := e.s.AddClause(all...); err != nil {
+			return err
+		}
+	}
+	// out <-> old XOR fire
+	out := sat.Lit(e.s.NewVar())
+	clauses := [][]sat.Lit{
+		{out.Neg(), old, fire},
+		{out.Neg(), old.Neg(), fire.Neg()},
+		{out, old.Neg(), fire},
+		{out, old, fire.Neg()},
+	}
+	for _, c := range clauses {
+		if err := e.s.AddClause(c...); err != nil {
+			return err
+		}
+	}
+	e.wires[target] = out
+	return nil
+}
+
+func (e *encoder) ctlLit(c circuit.Control) sat.Lit {
+	l := e.wires[c.Qubit]
+	if c.Neg {
+		return l.Neg()
+	}
+	return l
+}
+
+// Check decides the equivalence of two classical reversible circuits via a
+// SAT miter.
+func Check(g1, g2 *circuit.Circuit, opts Options) (Result, error) {
+	start := time.Now()
+	if g1.N != g2.N {
+		return Result{Verdict: NotEquivalent, Runtime: time.Since(start)}, nil
+	}
+	if g1.N > 63 {
+		return Result{}, fmt.Errorf("ecsat: register too wide (%d qubits)", g1.N)
+	}
+	s := sat.NewSolver()
+	s.ConflictBudget = opts.ConflictBudget
+
+	inputs := make([]sat.Lit, g1.N)
+	for i := range inputs {
+		inputs[i] = sat.Lit(s.NewVar())
+	}
+	run := func(c *circuit.Circuit) ([]sat.Lit, error) {
+		e := &encoder{s: s, wires: append([]sat.Lit(nil), inputs...)}
+		for _, g := range c.Gates {
+			if err := e.encodeGate(g); err != nil {
+				return nil, err
+			}
+		}
+		return e.wires, nil
+	}
+	out1, err := run(g1)
+	if err != nil {
+		return Result{}, err
+	}
+	out2, err := run(g2)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Difference detectors: d_w <-> out1_w XOR out2_w; assert OR(d_w).
+	diffs := make([]sat.Lit, g1.N)
+	for w := 0; w < g1.N; w++ {
+		d := sat.Lit(s.NewVar())
+		a, b := out1[w], out2[w]
+		for _, c := range [][]sat.Lit{
+			{d.Neg(), a, b},
+			{d.Neg(), a.Neg(), b.Neg()},
+			{d, a.Neg(), b},
+			{d, a, b.Neg()},
+		} {
+			if err := s.AddClause(c...); err != nil {
+				return Result{}, err
+			}
+		}
+		diffs[w] = d
+	}
+	if err := s.AddClause(diffs...); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{Vars: s.NumVars(), Clauses: s.NumClauses()}
+	status, serr := s.Solve()
+	res.Runtime = time.Since(start)
+	res.Solver = s.Stats()
+	switch status {
+	case sat.Unsatisfiable:
+		res.Verdict = Equivalent
+	case sat.Satisfiable:
+		res.Verdict = NotEquivalent
+		model := s.Model()
+		var ce uint64
+		for i, l := range inputs {
+			if model[l.Var()-1] {
+				ce |= 1 << uint(i)
+			}
+		}
+		res.Counterexample = &ce
+	default:
+		res.Verdict = Inconclusive
+		if serr != nil && serr != sat.ErrBudget {
+			return res, serr
+		}
+	}
+	return res, nil
+}

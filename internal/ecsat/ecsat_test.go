@@ -1,0 +1,252 @@
+package ecsat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qcec/internal/bench"
+	"qcec/internal/circuit"
+	"qcec/internal/synth"
+)
+
+func randomReversibleCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n, "rev")
+	for i := 0; i < gates; i++ {
+		perm := rng.Perm(n)
+		switch rng.Intn(4) {
+		case 0:
+			c.X(perm[0])
+		case 1:
+			c.MCXNeg([]circuit.Control{{Qubit: perm[0], Neg: rng.Intn(2) == 0}}, perm[1])
+		case 2:
+			c.MCXNeg([]circuit.Control{{Qubit: perm[0]}, {Qubit: perm[1], Neg: rng.Intn(2) == 0}}, perm[2])
+		case 3:
+			c.Swap(perm[0], perm[1])
+		}
+	}
+	return c
+}
+
+func TestIdenticalEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomReversibleCircuit(rng, 5, 30)
+	res, err := Check(g, g.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Vars == 0 || res.Clauses == 0 {
+		t.Error("no encoding statistics")
+	}
+}
+
+func TestSingleFlipDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomReversibleCircuit(rng, 5, 30)
+	buggy := g.Clone()
+	buggy.X(3) // extra NOT
+	res, err := Check(g, buggy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NotEquivalent {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Counterexample == nil {
+		t.Fatal("no counterexample")
+	}
+	// Validate the counterexample against the functional oracle.
+	y1, err := synth.EvalReversible(g, *res.Counterexample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := synth.EvalReversible(buggy, *res.Counterexample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y1 == y2 {
+		t.Fatalf("counterexample %d does not distinguish the circuits", *res.Counterexample)
+	}
+}
+
+func TestSwapRewiring(t *testing.T) {
+	// SWAP then identical gates must equal relabeled gates.
+	g1 := circuit.New(3, "a")
+	g1.Swap(0, 1).CX(0, 2)
+	g2 := circuit.New(3, "b")
+	g2.CX(1, 2).Swap(0, 1)
+	res, err := Check(g1, g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+}
+
+func TestControlledSwap(t *testing.T) {
+	g1 := circuit.New(3, "fredkin")
+	g1.CSwap(0, 1, 2)
+	// Fredkin = CX(2,1)·CCX(0,1,2)·CX(2,1)
+	g2 := circuit.New(3, "expanded")
+	g2.CX(2, 1).CCX(0, 1, 2).CX(2, 1)
+	res, err := Check(g1, g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+}
+
+func TestQuantumGateRejected(t *testing.T) {
+	g := circuit.New(2, "h")
+	g.H(0)
+	if _, err := Check(g, g.Clone(), Options{}); err == nil {
+		t.Fatal("H gate accepted by the classical encoder")
+	}
+}
+
+func TestRegisterMismatch(t *testing.T) {
+	res, err := Check(circuit.New(2, "a"), circuit.New(3, "b"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NotEquivalent {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+}
+
+func TestNegativeControls(t *testing.T) {
+	// X controlled on |0> of q0 equals X·CX·X on the control.
+	g1 := circuit.New(2, "neg")
+	g1.MCXNeg([]circuit.Control{{Qubit: 0, Neg: true}}, 1)
+	g2 := circuit.New(2, "pos")
+	g2.X(0).CX(0, 1).X(0)
+	res, err := Check(g1, g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+}
+
+func TestAgainstSynthesizedBenchmarks(t *testing.T) {
+	// hwb5 synthesized twice from the same permutation must be equivalent;
+	// against a different benchmark it must not be.
+	hwb, err := bench.HWB(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := synth.PermutationOf(hwb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resynth, err := synth.Permutation(perm, 5, "hwb5-re")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(hwb, resynth, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent {
+		t.Fatalf("hwb5 vs resynthesis: %v", res.Verdict)
+	}
+
+	inc := bench.Increment(5, 1)
+	res, err = Check(hwb, inc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NotEquivalent {
+		t.Fatalf("hwb5 vs inc5: %v", res.Verdict)
+	}
+}
+
+func TestConflictBudgetInconclusive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g1 := randomReversibleCircuit(rng, 10, 300)
+	g2 := randomReversibleCircuit(rng, 10, 300)
+	res, err := Check(g1, g2, Options{ConflictBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With budget 1 the solver either answers immediately (propagation
+	// alone) or gives up; both are acceptable, but a crash is not.
+	if res.Verdict == Inconclusive && res.Solver.Conflicts < 1 {
+		t.Error("inconclusive without hitting the budget")
+	}
+}
+
+// Property: the SAT checker agrees with exhaustive functional comparison on
+// random reversible pairs.
+func TestQuickAgainstTruthTable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		g1 := randomReversibleCircuit(rng, n, 15)
+		var g2 *circuit.Circuit
+		if seed%2 == 0 {
+			// Equivalent variant: append a self-cancelling pair.
+			g2 = g1.Clone()
+			g2.CX(0, 1).CX(0, 1)
+		} else {
+			g2 = randomReversibleCircuit(rng, n, 15)
+		}
+		res, err := Check(g1, g2, Options{})
+		if err != nil {
+			return false
+		}
+		p1, err := synth.PermutationOf(g1)
+		if err != nil {
+			return false
+		}
+		p2, err := synth.PermutationOf(g2)
+		if err != nil {
+			return false
+		}
+		same := true
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				same = false
+				break
+			}
+		}
+		if same != (res.Verdict == Equivalent) {
+			return false
+		}
+		if res.Verdict == NotEquivalent {
+			y1, _ := synth.EvalReversible(g1, *res.Counterexample)
+			y2, _ := synth.EvalReversible(g2, *res.Counterexample)
+			if y1 == y2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMiterHWB5(b *testing.B) {
+	hwb, err := bench.HWB(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variant := hwb.Clone()
+	variant.CX(0, 1)
+	variant.CX(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Check(hwb, variant, Options{})
+		if err != nil || res.Verdict != Equivalent {
+			b.Fatalf("verdict %v err %v", res.Verdict, err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package errinject plants the design-flow error classes of the paper's
+// evaluation (Sec. V) into circuits: "Common errors occurring during design
+// flows involve altered single-qubit gates as well as misplaced/removed
+// C-NOT gates."  The injected circuits are the non-equivalent instances of
+// Table Ia.
+//
+// All injections are deterministic per seed.
+package errinject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qcec/internal/circuit"
+)
+
+// Kind enumerates the error classes.
+type Kind int
+
+// Error classes, mirroring paper Sec. IV-A/V.
+const (
+	// GateSubstitution replaces a single-qubit gate with a different one
+	// (e.g. an H written where an X belongs).
+	GateSubstitution Kind = iota
+	// RotationOffset perturbs a rotation angle (the paper's "offsets in the
+	// rotation angle").
+	RotationOffset
+	// MisplacedCNOT moves one operand of a CNOT to a wrong qubit (the
+	// paper's Example 6 bug class).
+	MisplacedCNOT
+	// RemovedCNOT deletes a CNOT.
+	RemovedCNOT
+	// FlippedCNOT exchanges control and target of a CNOT.
+	FlippedCNOT
+)
+
+// String returns the error-class name.
+func (k Kind) String() string {
+	switch k {
+	case GateSubstitution:
+		return "gate substitution"
+	case RotationOffset:
+		return "rotation offset"
+	case MisplacedCNOT:
+		return "misplaced CNOT"
+	case RemovedCNOT:
+		return "removed CNOT"
+	case FlippedCNOT:
+		return "flipped CNOT"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// AllKinds lists every error class.
+func AllKinds() []Kind {
+	return []Kind{GateSubstitution, RotationOffset, MisplacedCNOT, RemovedCNOT, FlippedCNOT}
+}
+
+// Injection describes what was planted.
+type Injection struct {
+	Kind      Kind
+	GateIndex int
+	Detail    string
+}
+
+// String renders the injection for table rows and logs.
+func (i Injection) String() string {
+	return fmt.Sprintf("%s at gate %d (%s)", i.Kind, i.GateIndex, i.Detail)
+}
+
+// Inject returns a copy of the circuit with one error of the given class,
+// chosen deterministically from seed.  It fails if the circuit has no gate
+// the class applies to.
+func Inject(c *circuit.Circuit, kind Kind, seed int64) (*circuit.Circuit, Injection, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := c.Clone()
+	out.Name = c.Name + "_buggy"
+	switch kind {
+	case GateSubstitution:
+		return substitute(out, rng)
+	case RotationOffset:
+		return offsetRotation(out, rng)
+	case MisplacedCNOT:
+		return misplace(out, rng)
+	case RemovedCNOT:
+		return remove(out, rng)
+	case FlippedCNOT:
+		return flip(out, rng)
+	default:
+		return nil, Injection{}, fmt.Errorf("errinject: unknown kind %v", kind)
+	}
+}
+
+// InjectAny plants an error of a seed-chosen class, retrying other classes
+// if the first pick is inapplicable (e.g. RotationOffset on a Clifford-only
+// circuit).  It fails only if no class applies.
+func InjectAny(c *circuit.Circuit, seed int64) (*circuit.Circuit, Injection, error) {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := AllKinds()
+	rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+	var lastErr error
+	for _, k := range kinds {
+		out, inj, err := Inject(c, k, rng.Int63())
+		if err == nil {
+			return out, inj, nil
+		}
+		lastErr = err
+	}
+	return nil, Injection{}, fmt.Errorf("errinject: no error class applies: %w", lastErr)
+}
+
+// pick returns a random index among gates satisfying pred, or -1.
+func pick(c *circuit.Circuit, rng *rand.Rand, pred func(circuit.Gate) bool) int {
+	var idxs []int
+	for i, g := range c.Gates {
+		if pred(g) {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return -1
+	}
+	return idxs[rng.Intn(len(idxs))]
+}
+
+func isSingleQubitFixed(g circuit.Gate) bool {
+	switch g.Kind {
+	case circuit.X, circuit.Y, circuit.Z, circuit.H, circuit.S, circuit.Sdg,
+		circuit.T, circuit.Tdg, circuit.SX, circuit.SXdg:
+		return len(g.Controls) == 0
+	}
+	return false
+}
+
+func isRotation(g circuit.Gate) bool {
+	switch g.Kind {
+	case circuit.RX, circuit.RY, circuit.RZ, circuit.P:
+		return true
+	}
+	return false
+}
+
+func isCNOT(g circuit.Gate) bool {
+	return g.Kind == circuit.X && len(g.Controls) == 1 && !g.Controls[0].Neg
+}
+
+func substitute(c *circuit.Circuit, rng *rand.Rand) (*circuit.Circuit, Injection, error) {
+	idx := pick(c, rng, isSingleQubitFixed)
+	if idx < 0 {
+		return nil, Injection{}, fmt.Errorf("errinject: no single-qubit gate to substitute")
+	}
+	alternatives := []circuit.Kind{circuit.X, circuit.Y, circuit.Z, circuit.H, circuit.S, circuit.T}
+	old := c.Gates[idx].Kind
+	repl := alternatives[rng.Intn(len(alternatives))]
+	for repl == old {
+		repl = alternatives[rng.Intn(len(alternatives))]
+	}
+	c.Gates[idx].Kind = repl
+	return c, Injection{
+		Kind:      GateSubstitution,
+		GateIndex: idx,
+		Detail:    fmt.Sprintf("%v -> %v on q%d", old, repl, c.Gates[idx].Target),
+	}, nil
+}
+
+func offsetRotation(c *circuit.Circuit, rng *rand.Rand) (*circuit.Circuit, Injection, error) {
+	idx := pick(c, rng, isRotation)
+	if idx < 0 {
+		return nil, Injection{}, fmt.Errorf("errinject: no rotation gate to offset")
+	}
+	// A noticeable but small offset, as a buggy decomposition would produce.
+	eps := (rng.Float64()*0.9 + 0.1) * math.Pi / 4
+	if rng.Intn(2) == 0 {
+		eps = -eps
+	}
+	old := c.Gates[idx].Params[0]
+	c.Gates[idx].Params = []float64{old + eps}
+	return c, Injection{
+		Kind:      RotationOffset,
+		GateIndex: idx,
+		Detail:    fmt.Sprintf("%v angle %.4f -> %.4f", c.Gates[idx].Kind, old, old+eps),
+	}, nil
+}
+
+func misplace(c *circuit.Circuit, rng *rand.Rand) (*circuit.Circuit, Injection, error) {
+	idx := pick(c, rng, isCNOT)
+	if idx < 0 {
+		return nil, Injection{}, fmt.Errorf("errinject: no CNOT to misplace")
+	}
+	g := &c.Gates[idx]
+	if c.N < 3 {
+		return nil, Injection{}, fmt.Errorf("errinject: register too small to misplace a CNOT")
+	}
+	moveTarget := rng.Intn(2) == 0
+	var detail string
+	if moveTarget {
+		old := g.Target
+		q := rng.Intn(c.N)
+		for q == old || q == g.Controls[0].Qubit {
+			q = rng.Intn(c.N)
+		}
+		g.Target = q
+		detail = fmt.Sprintf("target q%d -> q%d", old, q)
+	} else {
+		old := g.Controls[0].Qubit
+		q := rng.Intn(c.N)
+		for q == old || q == g.Target {
+			q = rng.Intn(c.N)
+		}
+		g.Controls = []circuit.Control{{Qubit: q}}
+		detail = fmt.Sprintf("control q%d -> q%d", old, q)
+	}
+	return c, Injection{Kind: MisplacedCNOT, GateIndex: idx, Detail: detail}, nil
+}
+
+func remove(c *circuit.Circuit, rng *rand.Rand) (*circuit.Circuit, Injection, error) {
+	idx := pick(c, rng, isCNOT)
+	if idx < 0 {
+		return nil, Injection{}, fmt.Errorf("errinject: no CNOT to remove")
+	}
+	g := c.Gates[idx]
+	c.Gates = append(c.Gates[:idx], c.Gates[idx+1:]...)
+	return c, Injection{
+		Kind:      RemovedCNOT,
+		GateIndex: idx,
+		Detail:    fmt.Sprintf("removed cx q%d,q%d", g.Controls[0].Qubit, g.Target),
+	}, nil
+}
+
+func flip(c *circuit.Circuit, rng *rand.Rand) (*circuit.Circuit, Injection, error) {
+	idx := pick(c, rng, isCNOT)
+	if idx < 0 {
+		return nil, Injection{}, fmt.Errorf("errinject: no CNOT to flip")
+	}
+	g := &c.Gates[idx]
+	oldT, oldC := g.Target, g.Controls[0].Qubit
+	g.Target, g.Controls = oldC, []circuit.Control{{Qubit: oldT}}
+	return c, Injection{
+		Kind:      FlippedCNOT,
+		GateIndex: idx,
+		Detail:    fmt.Sprintf("cx q%d,q%d -> cx q%d,q%d", oldC, oldT, oldT, oldC),
+	}, nil
+}

@@ -1,0 +1,143 @@
+package errinject
+
+import (
+	"math/rand"
+	"testing"
+
+	"qcec/internal/circuit"
+	"qcec/internal/core"
+)
+
+func testCircuit() *circuit.Circuit {
+	c := circuit.New(4, "base")
+	c.H(0).CX(0, 1).T(2).RZ(0.7, 3).CX(1, 2).X(3).CX(2, 3).S(1).RY(1.1, 0)
+	return c
+}
+
+func TestEachKindApplies(t *testing.T) {
+	for _, k := range AllKinds() {
+		c := testCircuit()
+		out, inj, err := Inject(c, k, 1)
+		if err != nil {
+			t.Errorf("%v: %v", k, err)
+			continue
+		}
+		if inj.Kind != k {
+			t.Errorf("%v: reported kind %v", k, inj.Kind)
+		}
+		if err := out.Validate(); err != nil {
+			t.Errorf("%v: invalid output: %v", k, err)
+		}
+		if inj.Detail == "" || inj.String() == "" {
+			t.Errorf("%v: empty description", k)
+		}
+		// The original must be untouched.
+		if c.NumGates() != 9 {
+			t.Errorf("%v: original circuit mutated", k)
+		}
+	}
+}
+
+func TestRemovedCNOTShrinks(t *testing.T) {
+	c := testCircuit()
+	out, _, err := Inject(c, RemovedCNOT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumGates() != c.NumGates()-1 {
+		t.Fatalf("gate count %d -> %d", c.NumGates(), out.NumGates())
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, injA, _ := Inject(testCircuit(), MisplacedCNOT, 42)
+	b, injB, _ := Inject(testCircuit(), MisplacedCNOT, 42)
+	if injA.GateIndex != injB.GateIndex || injA.Detail != injB.Detail {
+		t.Fatal("injection not deterministic")
+	}
+	for i := range a.Gates {
+		if !a.Gates[i].Equal(b.Gates[i]) {
+			t.Fatal("injected circuits differ")
+		}
+	}
+}
+
+func TestInapplicableKinds(t *testing.T) {
+	onlyCX := circuit.New(3, "cx")
+	onlyCX.CX(0, 1)
+	if _, _, err := Inject(onlyCX, GateSubstitution, 1); err == nil {
+		t.Error("substitution on control-only circuit accepted")
+	}
+	if _, _, err := Inject(onlyCX, RotationOffset, 1); err == nil {
+		t.Error("rotation offset without rotations accepted")
+	}
+	onlyH := circuit.New(2, "h")
+	onlyH.H(0)
+	if _, _, err := Inject(onlyH, MisplacedCNOT, 1); err == nil {
+		t.Error("misplacement without CNOTs accepted")
+	}
+	tiny := circuit.New(2, "tiny")
+	tiny.CX(0, 1)
+	if _, _, err := Inject(tiny, MisplacedCNOT, 1); err == nil {
+		t.Error("misplacement on 2-qubit register accepted")
+	}
+}
+
+func TestInjectAnyFallsBack(t *testing.T) {
+	// A Clifford-only circuit: RotationOffset is inapplicable, but InjectAny
+	// must still succeed via another class.
+	c := circuit.New(3, "clifford")
+	c.H(0).CX(0, 1).CX(1, 2).S(2)
+	for seed := int64(0); seed < 10; seed++ {
+		out, inj, err := InjectAny(c, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out == nil || inj.Detail == "" {
+			t.Fatalf("seed %d: empty result", seed)
+		}
+	}
+}
+
+func TestInjectAnyExhausted(t *testing.T) {
+	c := circuit.New(2, "none")
+	// Only a controlled-RZ: no plain 1q gate, no rotation (controlled ones
+	// don't match isRotation's uncontrolled intent? they do match kind-wise).
+	// Use a gate no class applies to: a controlled H.
+	c.Add(circuit.Gate{Kind: circuit.H, Target: 1, Target2: -1, Controls: []circuit.Control{{Qubit: 0}}})
+	if _, _, err := InjectAny(c, 1); err == nil {
+		t.Error("InjectAny succeeded on a circuit no class applies to")
+	}
+}
+
+// The paper's central empirical claim: injected errors make the circuits
+// non-equivalent, and simulation detects this within very few runs.
+func TestInjectedErrorsAreDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	detected := 0
+	oneSim := 0
+	trials := 0
+	for seed := int64(0); seed < 20; seed++ {
+		c := testCircuit()
+		out, inj, err := InjectAny(c, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := core.Check(c, out, core.Options{Seed: rng.Int63(), SkipEC: true})
+		trials++
+		if rep.Verdict == core.NotEquivalent {
+			detected++
+			if rep.NumSims == 1 {
+				oneSim++
+			}
+		} else {
+			t.Logf("seed %d: %s not detected by simulation (possibly equivalent by chance)", seed, inj)
+		}
+	}
+	if detected < trials*9/10 {
+		t.Fatalf("only %d/%d injected errors detected", detected, trials)
+	}
+	if oneSim < detected*8/10 {
+		t.Errorf("only %d/%d detections needed a single simulation", oneSim, detected)
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV writers for the experiment artifacts, so results can be archived and
+// plotted outside the harness (qectab's -csv flag).
+
+// WriteRowsCSV writes Table Ia/Ib rows as CSV.
+func WriteRowsCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"benchmark", "n", "gates_g", "gates_gp",
+		"ec_verdict", "t_ec_seconds", "ec_timed_out",
+		"num_sims", "t_sim_seconds", "sim_detected",
+		"want_equivalent", "injection",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Name,
+			fmt.Sprint(r.N), fmt.Sprint(r.SizeG), fmt.Sprint(r.SizeGp),
+			r.ECVerdict.String(), fmt.Sprintf("%.6f", r.TEC.Seconds()), fmt.Sprint(r.ECTimedOut),
+			fmt.Sprint(r.NumSims), fmt.Sprintf("%.6f", r.TSim.Seconds()), fmt.Sprint(r.SimDetected),
+			fmt.Sprint(r.WantEquivalent), r.Injection,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTheoryCSV writes the Sec. IV-A experiment as CSV.
+func WriteTheoryCSV(w io.Writer, rows []TheoryRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"controls", "predicted", "measured"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			fmt.Sprint(r.Controls),
+			fmt.Sprintf("%.9f", r.Predicted),
+			fmt.Sprintf("%.9f", r.Measured),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteStrategyCSV writes the strategy ablation as CSV.
+func WriteStrategyCSV(w io.Writer, rows []StrategyRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "strategy", "verdict", "t_seconds", "peak_nodes"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Name, r.Strategy.String(), r.Verdict.String(),
+			fmt.Sprintf("%.6f", r.Runtime.Seconds()), fmt.Sprint(r.PeakNodes),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

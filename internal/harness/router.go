@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"qcec/internal/circuit"
+	"qcec/internal/ec"
+	"qcec/internal/mapping"
+)
+
+// RouterRow compares the two routing heuristics on one workload — the
+// ablation for the mapping substrate (DESIGN.md system 11): fewer inserted
+// SWAPs mean smaller G' and cheaper verification.
+type RouterRow struct {
+	Arch           string
+	Gates          int
+	GreedySwaps    int
+	LookaheadSwaps int
+	Verified       bool // both mapped circuits proved equivalent to the input
+}
+
+// RunRouterAblation maps seeded random circuits onto several architectures
+// with both heuristics, verifying every result.
+func RunRouterAblation(seed int64) ([]RouterRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(n, gates int) *circuit.Circuit {
+		c := circuit.New(n, "router-bench")
+		for i := 0; i < gates; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.H(rng.Intn(n))
+			case 1:
+				a := rng.Intn(n)
+				c.CX(a, (a+1+rng.Intn(n-1))%n)
+			case 2:
+				a := rng.Intn(n)
+				c.CZ(a, (a+1+rng.Intn(n-1))%n)
+			}
+		}
+		return c
+	}
+	archs := []*mapping.Architecture{
+		mapping.Linear(8),
+		mapping.Ring(8),
+		mapping.Grid(2, 4),
+		mapping.IBMQX5(),
+	}
+	var rows []RouterRow
+	for _, arch := range archs {
+		c := mk(arch.N, 10*arch.N)
+		greedy, err := mapping.Map(c, mapping.Options{Arch: arch})
+		if err != nil {
+			return nil, fmt.Errorf("harness: greedy on %s: %w", arch.Name, err)
+		}
+		look, err := mapping.Map(c, mapping.Options{Arch: arch, Lookahead: 12})
+		if err != nil {
+			return nil, fmt.Errorf("harness: lookahead on %s: %w", arch.Name, err)
+		}
+		verify := func(res *mapping.Result) bool {
+			r := ec.Check(c, res.Circuit, ec.Options{Strategy: ec.Proportional, OutputPerm: res.OutputPerm})
+			return r.Verdict == ec.Equivalent
+		}
+		rows = append(rows, RouterRow{
+			Arch:           arch.Name,
+			Gates:          c.NumGates(),
+			GreedySwaps:    greedy.SwapsInserted,
+			LookaheadSwaps: look.SwapsInserted,
+			Verified:       verify(greedy) && verify(look),
+		})
+	}
+	return rows, nil
+}
+
+// PrintRouterAblation renders the routing-heuristic comparison.
+func PrintRouterAblation(w io.Writer, rows []RouterRow) {
+	fmt.Fprintln(w, "Router ablation (SWAPs inserted; both mappings verified by the checker)")
+	fmt.Fprintf(w, "%-12s %8s %14s %17s %9s\n", "arch", "gates", "greedy swaps", "lookahead swaps", "verified")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8d %14d %17d %9v\n",
+			r.Arch, r.Gates, r.GreedySwaps, r.LookaheadSwaps, r.Verified)
+	}
+}

@@ -1,0 +1,233 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"qcec/internal/core"
+	"qcec/internal/ec"
+)
+
+// RunOptions configures an experiment run.
+type RunOptions struct {
+	// R is the number of random simulations (paper: 10).
+	R int
+	// ECTimeout bounds the complete routine per instance (paper: 1 h).
+	ECTimeout time.Duration
+	// ECNodeLimit bounds the complete routine's DD size (0 = none).
+	ECNodeLimit int
+	// ECStrategy selects the complete routine; the paper's baseline tool
+	// constructs and compares both DDs, i.e. ec.Construction.
+	ECStrategy ec.Strategy
+	// Seed drives stimulus selection.
+	Seed int64
+}
+
+// Defaults fills unset fields.
+func (o RunOptions) withDefaults() RunOptions {
+	if o.R <= 0 {
+		o.R = core.DefaultR
+	}
+	if o.ECTimeout <= 0 {
+		o.ECTimeout = 10 * time.Second
+	}
+	if o.ECNodeLimit <= 0 {
+		o.ECNodeLimit = 2_000_000
+	}
+	return o
+}
+
+// Row is one line of a Table I reproduction.
+type Row struct {
+	Name   string
+	N      int
+	SizeG  int
+	SizeGp int
+
+	// Complete-routine-only results (paper column t_ec).
+	ECVerdict  ec.Verdict
+	TEC        time.Duration
+	ECTimedOut bool
+
+	// Simulation-stage results (paper columns #sims, t_sim).
+	NumSims     int
+	TSim        time.Duration
+	SimDetected bool
+
+	// Ground truth and the flow's verdict, for the correctness check.
+	WantEquivalent bool
+	FlowVerdict    core.Verdict
+	Injection      string
+}
+
+// RunInstance measures one benchmark pair: first the complete routine alone
+// (the state of the art), then the simulation stage of the proposed flow.
+func RunInstance(inst Instance, opts RunOptions) Row {
+	opts = opts.withDefaults()
+	row := Row{
+		Name:           inst.Name,
+		N:              inst.N,
+		SizeG:          inst.G.NumGates(),
+		SizeGp:         inst.Gp.NumGates(),
+		WantEquivalent: inst.WantEquivalent,
+		Injection:      inst.Injection,
+	}
+
+	ecRes := ec.Check(inst.G, inst.Gp, ec.Options{
+		Strategy:   opts.ECStrategy,
+		Timeout:    opts.ECTimeout,
+		NodeLimit:  opts.ECNodeLimit,
+		OutputPerm: inst.OutputPerm,
+	})
+	row.ECVerdict = ecRes.Verdict
+	row.TEC = ecRes.Runtime
+	row.ECTimedOut = ecRes.Verdict == ec.TimedOut
+
+	rep := core.Check(inst.G, inst.Gp, core.Options{
+		R:          opts.R,
+		Seed:       opts.Seed,
+		SkipEC:     true,
+		OutputPerm: inst.OutputPerm,
+	})
+	row.NumSims = rep.NumSims
+	row.TSim = rep.SimTime
+	row.SimDetected = rep.Verdict == core.NotEquivalent
+	row.FlowVerdict = rep.Verdict
+	return row
+}
+
+// RunSuite measures every instance and sorts rows by simulation time
+// descending, like the paper's tables.  Instance circuits are released as
+// soon as they are measured so that paper-scale suites (millions of gates
+// per instance) do not accumulate.
+func RunSuite(instances []Instance, opts RunOptions) []Row {
+	rows := make([]Row, 0, len(instances))
+	for i := range instances {
+		rows = append(rows, RunInstance(instances[i], opts))
+		instances[i].G, instances[i].Gp = nil, nil
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].TSim > rows[j].TSim })
+	return rows
+}
+
+func fmtDuration(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// PrintTable1a renders the non-equivalent table in the paper's layout,
+// followed by a summary line (detection rate, one-sim rate, geometric-mean
+// speedup of the simulation stage over the complete baseline).
+func PrintTable1a(w io.Writer, rows []Row, opts RunOptions) {
+	opts = opts.withDefaults()
+	fmt.Fprintf(w, "Table Ia — non-equivalent benchmarks (EC timeout %s)\n", opts.ECTimeout)
+	fmt.Fprintf(w, "%-28s %4s %8s %9s %10s %6s %9s  %s\n",
+		"Benchmark", "n", "|G|", "|G'|", "t_ec[s]", "#sims", "t_sim[s]", "injected error")
+	detected, oneSim := 0, 0
+	logSum, logCount := 0.0, 0
+	for _, r := range rows {
+		tec := fmtDuration(r.TEC)
+		if r.ECTimedOut {
+			tec = ">" + fmtDuration(opts.ECTimeout)
+		}
+		sims := fmt.Sprintf("%d", r.NumSims)
+		if r.SimDetected {
+			detected++
+			if r.NumSims == 1 {
+				oneSim++
+			}
+			if r.TSim > 0 && r.TEC > 0 {
+				logSum += math.Log(r.TEC.Seconds() / r.TSim.Seconds())
+				logCount++
+			}
+		} else {
+			sims = "miss"
+		}
+		fmt.Fprintf(w, "%-28s %4d %8d %9d %10s %6s %9s  %s\n",
+			r.Name, r.N, r.SizeG, r.SizeGp, tec, sims, fmtDuration(r.TSim), r.Injection)
+	}
+	fmt.Fprintf(w, "detected %d/%d (within one simulation: %d)", detected, len(rows), oneSim)
+	if logCount > 0 {
+		fmt.Fprintf(w, "; geo-mean speedup of simulation over t_ec: %.1fx (t_ec capped by timeout)",
+			math.Exp(logSum/float64(logCount)))
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintTable1b renders the equivalent table in the paper's layout.
+func PrintTable1b(w io.Writer, rows []Row, opts RunOptions) {
+	opts = opts.withDefaults()
+	fmt.Fprintf(w, "Table Ib — equivalent benchmarks (r = %d, EC timeout %s)\n", opts.R, opts.ECTimeout)
+	fmt.Fprintf(w, "%-28s %4s %8s %9s %10s %9s\n",
+		"Benchmark", "n", "|G|", "|G'|", "t_ec[s]", "t_sim[s]")
+	for _, r := range rows {
+		tec := fmtDuration(r.TEC)
+		if r.ECTimedOut {
+			tec = ">" + fmtDuration(opts.ECTimeout)
+		}
+		fmt.Fprintf(w, "%-28s %4d %8d %9d %10s %9s\n",
+			r.Name, r.N, r.SizeG, r.SizeGp, tec, fmtDuration(r.TSim))
+	}
+}
+
+// FlowSummary tallies the verdicts of the full proposed flow (Fig. 3) over a
+// suite — the F3 experiment.
+type FlowSummary struct {
+	Total              int
+	NotEquivalent      int
+	Equivalent         int
+	ProbablyEquivalent int
+	SimsPerDetection   []int
+	WrongVerdicts      int
+	TotalTime          time.Duration
+}
+
+// RunFlow executes the complete proposed flow on every instance.
+func RunFlow(instances []Instance, opts RunOptions) FlowSummary {
+	opts = opts.withDefaults()
+	var s FlowSummary
+	for _, inst := range instances {
+		rep := core.Check(inst.G, inst.Gp, core.Options{
+			R:          opts.R,
+			Seed:       opts.Seed,
+			ECTimeout:  opts.ECTimeout,
+			Strategy:   opts.ECStrategy,
+			OutputPerm: inst.OutputPerm,
+		})
+		s.Total++
+		s.TotalTime += rep.TotalTime
+		switch rep.Verdict {
+		case core.NotEquivalent:
+			s.NotEquivalent++
+			s.SimsPerDetection = append(s.SimsPerDetection, rep.NumSims)
+			if inst.WantEquivalent {
+				s.WrongVerdicts++
+			}
+		case core.Equivalent, core.EquivalentUpToGlobalPhase:
+			s.Equivalent++
+			if !inst.WantEquivalent {
+				s.WrongVerdicts++
+			}
+		case core.ProbablyEquivalent:
+			s.ProbablyEquivalent++
+		}
+	}
+	return s
+}
+
+// PrintFlowSummary renders the verdict distribution.
+func PrintFlowSummary(w io.Writer, s FlowSummary) {
+	fmt.Fprintf(w, "Proposed flow (Fig. 3) over %d instances: %d not-equivalent, %d equivalent, %d probably-equivalent (EC timeout), %d wrong verdicts, total %.3fs\n",
+		s.Total, s.NotEquivalent, s.Equivalent, s.ProbablyEquivalent, s.WrongVerdicts, s.TotalTime.Seconds())
+	if len(s.SimsPerDetection) > 0 {
+		one := 0
+		for _, k := range s.SimsPerDetection {
+			if k == 1 {
+				one++
+			}
+		}
+		fmt.Fprintf(w, "Counterexamples found within one simulation: %d/%d\n", one, len(s.SimsPerDetection))
+	}
+}

@@ -1,0 +1,311 @@
+// Package harness assembles benchmark instances and runs the paper's
+// experiments end-to-end: Table Ia (non-equivalent pairs), Table Ib
+// (equivalent pairs), the Sec. IV-A theory experiment, and the ablations
+// called out in DESIGN.md.  It is shared by cmd/qectab and the repository's
+// bench_test.go.
+package harness
+
+import (
+	"fmt"
+
+	"qcec/internal/bench"
+	"qcec/internal/circuit"
+	"qcec/internal/decompose"
+	"qcec/internal/errinject"
+	"qcec/internal/mapping"
+	"qcec/internal/opt"
+)
+
+// Scale selects instance sizes: Small finishes in seconds (CI and
+// bench_test.go), Paper approaches the paper's sizes and needs minutes plus
+// a generous EC timeout.
+type Scale int
+
+// Available scales.
+const (
+	Small Scale = iota
+	Medium
+	Paper
+)
+
+// String returns the scale name.
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Paper:
+		return "paper"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+// Instance is one benchmark pair (G, G').
+type Instance struct {
+	Name       string
+	N          int
+	G          *circuit.Circuit
+	Gp         *circuit.Circuit
+	OutputPerm []int
+	// WantEquivalent records the ground truth of the pair.
+	WantEquivalent bool
+	// Injection describes the planted error on non-equivalent instances.
+	Injection string
+}
+
+// splitRotations returns an equivalent "recompiled" variant with every
+// rotation split in two — a stand-in for an alternative realization whose
+// file differs from G while its function does not.
+func splitRotations(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.N, c.Name+"_split")
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case circuit.RX, circuit.RY, circuit.RZ, circuit.P:
+			h := g
+			h.Params = []float64{g.Params[0] / 2}
+			out.Add(h)
+			out.Add(h)
+		default:
+			out.Add(g)
+		}
+	}
+	return out
+}
+
+type spec struct {
+	name  string
+	build func() (*circuit.Circuit, error)
+	// pipeline produces the alternative realization G'.
+	pipeline func(*circuit.Circuit) (*circuit.Circuit, []int, error)
+}
+
+// pipeDecomposeMap lowers to CX level and routes onto a linear architecture,
+// reporting the output permutation — the heaviest realistic pipeline,
+// applied to the reversible benchmark class.
+func pipeDecomposeMap(g *circuit.Circuit) (*circuit.Circuit, []int, error) {
+	d := decompose.Circuit(g, decompose.LevelCX)
+	res, err := mapping.Map(d, mapping.Options{Arch: mapping.Linear(g.N), DecomposeSwaps: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Circuit, res.OutputPerm, nil
+}
+
+// pipeDecomposeOpt lowers to CX level and runs the optimizer (QFT-class
+// benchmarks, whose G' in the paper stays close to G in size).
+func pipeDecomposeOpt(g *circuit.Circuit) (*circuit.Circuit, []int, error) {
+	d := decompose.Circuit(g, decompose.LevelCX)
+	o, _ := opt.Optimize(d, opt.Options{})
+	return o, nil, nil
+}
+
+// pipeRecompile splits rotations then re-optimizes — an equivalent
+// realization of the same size class (supremacy/chemistry rows, whose paper
+// G' equals G in gate count).
+func pipeRecompile(g *circuit.Circuit) (*circuit.Circuit, []int, error) {
+	s := splitRotations(g)
+	o, _ := opt.Optimize(s, opt.Options{DisableRotationMerge: true})
+	return o, nil, nil
+}
+
+// pipeMapGrid routes onto the native grid (supremacy circuits).
+func pipeMapGrid(rows, cols int) func(*circuit.Circuit) (*circuit.Circuit, []int, error) {
+	return func(g *circuit.Circuit) (*circuit.Circuit, []int, error) {
+		res, err := mapping.Map(g, mapping.Options{Arch: mapping.Grid(rows, cols)})
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Circuit, res.OutputPerm, nil
+	}
+}
+
+// specs returns the benchmark list for a scale.  Names follow the paper's
+// Table I rows.
+func specs(scale Scale) []spec {
+	type sizes struct {
+		groverK   []int
+		qftN      []int
+		supDepth  []int
+		supRows   int
+		supCols   int
+		chemDims  [][2]int
+		chemSteps int
+		hwbN      int
+		urfN      int
+		incN      int
+		rdIn      int
+		cmpIn     int
+		majIn     int
+		sqrIn     int
+		clzIn     int
+		modExpIn  int
+		modExpOut int
+		fiveXP1   bool
+		rootBench bool
+	}
+	var z sizes
+	switch scale {
+	case Small:
+		z = sizes{
+			groverK: []int{4}, qftN: []int{12}, supDepth: []int{4}, supRows: 2, supCols: 3,
+			chemDims: [][2]int{{1, 2}}, chemSteps: 1,
+			hwbN: 5, urfN: 5, incN: 8, rdIn: 4, cmpIn: 5, majIn: 5, sqrIn: 3, clzIn: 6,
+			modExpIn: 4, modExpOut: 3,
+		}
+	case Medium:
+		z = sizes{
+			groverK: []int{5, 6}, qftN: []int{16, 24}, supDepth: []int{5, 10}, supRows: 3, supCols: 3,
+			chemDims: [][2]int{{2, 2}}, chemSteps: 1,
+			hwbN: 7, urfN: 7, incN: 10, rdIn: 6, cmpIn: 7, majIn: 7, sqrIn: 4, clzIn: 8,
+			modExpIn: 6, modExpOut: 5, fiveXP1: true, rootBench: true,
+		}
+	default: // Paper
+		// Approaches the paper's benchmark classes while staying within a
+		// 16 GiB workstation: the counting/arithmetic embeddings blow up
+		// cubically under ancilla-free decomposition, so their input widths
+		// are capped one or two bits below the paper's (clz10 instead of
+		// pcler8's 16 inputs, cmp9 instead of cm85a's 11).
+		z = sizes{
+			groverK: []int{6, 7, 8}, qftN: []int{48, 64}, supDepth: []int{5, 15, 30}, supRows: 4, supCols: 4,
+			chemDims: [][2]int{{2, 2}, {3, 3}}, chemSteps: 1,
+			hwbN: 9, urfN: 9, incN: 12, rdIn: 8, cmpIn: 9, majIn: 9, sqrIn: 5, clzIn: 10,
+			modExpIn: 7, modExpOut: 6, fiveXP1: true, rootBench: true,
+		}
+	}
+
+	var out []spec
+	for _, k := range z.groverK {
+		k := k
+		marked := (uint64(1)<<uint(k) - 1) / 3 // 0b0101... pattern
+		out = append(out, spec{
+			name:     fmt.Sprintf("Grover %d", k),
+			build:    func() (*circuit.Circuit, error) { return bench.Grover(k, marked), nil },
+			pipeline: pipeDecomposeMap,
+		})
+	}
+	for _, n := range z.qftN {
+		n := n
+		out = append(out, spec{
+			name:     fmt.Sprintf("QFT %d", n),
+			build:    func() (*circuit.Circuit, error) { return bench.QFT(n), nil },
+			pipeline: pipeDecomposeOpt,
+		})
+	}
+	for _, d := range z.supDepth {
+		d := d
+		rows, cols := z.supRows, z.supCols
+		out = append(out, spec{
+			name:     fmt.Sprintf("Supremacy %d %d %02d", rows, cols, d),
+			build:    func() (*circuit.Circuit, error) { return bench.Supremacy(rows, cols, d, int64(d)), nil },
+			pipeline: pipeMapGrid(rows, cols),
+		})
+	}
+	for _, dims := range z.chemDims {
+		dims := dims
+		steps := z.chemSteps
+		out = append(out, spec{
+			name:     fmt.Sprintf("Quantum Chemistry %dx%d", dims[0], dims[1]),
+			build:    func() (*circuit.Circuit, error) { return bench.Chemistry(dims[0], dims[1], steps), nil },
+			pipeline: pipeRecompile,
+		})
+	}
+	out = append(out,
+		spec{
+			name:     fmt.Sprintf("hwb%d", z.hwbN),
+			build:    func() (*circuit.Circuit, error) { return bench.HWB(z.hwbN) },
+			pipeline: pipeDecomposeMap,
+		},
+		spec{
+			name:     fmt.Sprintf("urf%d-like", z.urfN),
+			build:    func() (*circuit.Circuit, error) { return bench.RandomReversible(z.urfN, 4) },
+			pipeline: pipeDecomposeMap,
+		},
+		spec{
+			name:     fmt.Sprintf("inc%d", z.incN),
+			build:    func() (*circuit.Circuit, error) { return bench.Increment(z.incN, 3), nil },
+			pipeline: pipeDecomposeMap,
+		},
+		spec{
+			name:     fmt.Sprintf("rd%d", z.rdIn),
+			build:    func() (*circuit.Circuit, error) { return bench.RD(z.rdIn) },
+			pipeline: pipeDecomposeMap,
+		},
+		spec{
+			name:     fmt.Sprintf("cmp%d", z.cmpIn),
+			build:    func() (*circuit.Circuit, error) { return bench.Comparator(z.cmpIn) },
+			pipeline: pipeDecomposeMap,
+		},
+		spec{
+			name:     fmt.Sprintf("maj%d", z.majIn),
+			build:    func() (*circuit.Circuit, error) { return bench.Majority(z.majIn) },
+			pipeline: pipeDecomposeMap,
+		},
+		spec{
+			name:     fmt.Sprintf("sqr%d", z.sqrIn),
+			build:    func() (*circuit.Circuit, error) { return bench.Sqr(z.sqrIn) },
+			pipeline: pipeDecomposeMap,
+		},
+		spec{
+			name:     fmt.Sprintf("clz%d", z.clzIn),
+			build:    func() (*circuit.Circuit, error) { return bench.LeadingZeros(z.clzIn) },
+			pipeline: pipeDecomposeMap,
+		},
+		spec{
+			name: fmt.Sprintf("modexp%d", z.modExpIn),
+			build: func() (*circuit.Circuit, error) {
+				return bench.ModExp(z.modExpIn, z.modExpOut, 3, 113)
+			},
+			pipeline: pipeDecomposeMap,
+		},
+	)
+	if z.fiveXP1 {
+		out = append(out, spec{name: "5xp1", build: bench.FiveXP1, pipeline: pipeDecomposeMap})
+	}
+	if z.rootBench {
+		out = append(out, spec{name: "root", build: bench.Root, pipeline: pipeDecomposeMap})
+	}
+	return out
+}
+
+// BuildEquivalentSuite builds the Table Ib instances: each G' is produced
+// from G by a real compilation pipeline and is equivalent by construction.
+func BuildEquivalentSuite(scale Scale) ([]Instance, error) {
+	var out []Instance
+	for _, s := range specs(scale) {
+		g, err := s.build()
+		if err != nil {
+			return nil, fmt.Errorf("harness: building %s: %w", s.name, err)
+		}
+		gp, perm, err := s.pipeline(g)
+		if err != nil {
+			return nil, fmt.Errorf("harness: compiling %s: %w", s.name, err)
+		}
+		out = append(out, Instance{
+			Name: s.name, N: g.N, G: g, Gp: gp, OutputPerm: perm, WantEquivalent: true,
+		})
+	}
+	return out, nil
+}
+
+// BuildNonEquivalentSuite builds the Table Ia instances: the same pipelines,
+// with one random design-flow error injected into each G'.
+func BuildNonEquivalentSuite(scale Scale, seed int64) ([]Instance, error) {
+	equiv, err := BuildEquivalentSuite(scale)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Instance, 0, len(equiv))
+	for i, inst := range equiv {
+		buggy, inj, err := errinject.InjectAny(inst.Gp, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("harness: injecting into %s: %w", inst.Name, err)
+		}
+		inst.Gp = buggy
+		inst.WantEquivalent = false
+		inst.Injection = inj.String()
+		out = append(out, inst)
+	}
+	return out, nil
+}

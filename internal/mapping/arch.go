@@ -1,0 +1,200 @@
+// Package mapping routes circuits onto coupling-constrained architectures by
+// inserting SWAP gates — the "mapping" stage of the design flow (paper
+// refs [6]-[10], illustrated by Fig. 2).  The mapped circuit G' is what the
+// paper's equivalence checker verifies against the original G.
+package mapping
+
+import (
+	"fmt"
+)
+
+// Architecture is an undirected coupling graph: a CX may only act on
+// adjacent physical qubits.
+type Architecture struct {
+	Name  string
+	N     int
+	edges map[[2]int]bool
+	adj   [][]int
+	dist  [][]int // all-pairs shortest-path distances
+	next  [][]int // next[i][j]: first hop on a shortest i->j path
+}
+
+// NewArchitecture builds an architecture from an edge list.  The coupling
+// graph must be connected.
+func NewArchitecture(name string, n int, edges [][2]int) (*Architecture, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mapping: invalid qubit count %d", n)
+	}
+	a := &Architecture{
+		Name:  name,
+		N:     n,
+		edges: make(map[[2]int]bool),
+		adj:   make([][]int, n),
+	}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v || u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("mapping: invalid edge %v", e)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if a.edges[[2]int{u, v}] {
+			continue
+		}
+		a.edges[[2]int{u, v}] = true
+		a.adj[u] = append(a.adj[u], v)
+		a.adj[v] = append(a.adj[v], u)
+	}
+	a.computePaths()
+	for i := 1; i < n; i++ {
+		if a.dist[0][i] < 0 {
+			return nil, fmt.Errorf("mapping: coupling graph %q is not connected (qubit %d unreachable)", name, i)
+		}
+	}
+	return a, nil
+}
+
+func (a *Architecture) computePaths() {
+	n := a.N
+	a.dist = make([][]int, n)
+	a.next = make([][]int, n)
+	for s := 0; s < n; s++ {
+		dist := make([]int, n)
+		parent := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+			parent[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range a.adj[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		a.dist[s] = dist
+		// next[s][t]: first hop from s towards t (walk parents back).
+		nx := make([]int, n)
+		for t := 0; t < n; t++ {
+			if t == s || dist[t] < 0 {
+				nx[t] = -1
+				continue
+			}
+			cur := t
+			for parent[cur] != s {
+				cur = parent[cur]
+			}
+			nx[t] = cur
+		}
+		a.next[s] = nx
+	}
+}
+
+// Adjacent reports whether two physical qubits are coupled.
+func (a *Architecture) Adjacent(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	return a.edges[[2]int{u, v}]
+}
+
+// Distance returns the coupling-graph distance between two physical qubits.
+func (a *Architecture) Distance(u, v int) int { return a.dist[u][v] }
+
+// Path returns a shortest path from u to v, inclusive of both endpoints.
+func (a *Architecture) Path(u, v int) []int {
+	path := []int{u}
+	for u != v {
+		u = a.next[u][v]
+		path = append(path, u)
+	}
+	return path
+}
+
+// Degree returns the number of couplings of a physical qubit.
+func (a *Architecture) Degree(q int) int { return len(a.adj[q]) }
+
+// NumEdges returns the number of couplings.
+func (a *Architecture) NumEdges() int { return len(a.edges) }
+
+func must(a *Architecture, err error) *Architecture {
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Linear returns a 1-D chain of n qubits.
+func Linear(n int) *Architecture {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return must(NewArchitecture(fmt.Sprintf("linear-%d", n), n, edges))
+}
+
+// Ring returns a cycle of n qubits.
+func Ring(n int) *Architecture {
+	edges := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return must(NewArchitecture(fmt.Sprintf("ring-%d", n), n, edges))
+}
+
+// Grid returns an r x c nearest-neighbour grid (the layout of the
+// quantum-supremacy devices).
+func Grid(r, c int) *Architecture {
+	var edges [][2]int
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				edges = append(edges, [2]int{id(i, j), id(i, j+1)})
+			}
+			if i+1 < r {
+				edges = append(edges, [2]int{id(i, j), id(i+1, j)})
+			}
+		}
+	}
+	return must(NewArchitecture(fmt.Sprintf("grid-%dx%d", r, c), r*c, edges))
+}
+
+// Star returns a hub-and-spokes coupling (qubit 0 coupled to all others).
+func Star(n int) *Architecture {
+	edges := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return must(NewArchitecture(fmt.Sprintf("star-%d", n), n, edges))
+}
+
+// FullyConnected returns an unconstrained architecture (mapping becomes the
+// identity transformation; useful as a baseline).
+func FullyConnected(n int) *Architecture {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return must(NewArchitecture(fmt.Sprintf("full-%d", n), n, edges))
+}
+
+// IBMQX5 returns the 16-qubit IBM QX5 coupling map (undirected version),
+// the architecture targeted by the paper's mapping references.
+func IBMQX5() *Architecture {
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8},
+		{8, 9}, {9, 10}, {10, 11}, {11, 12}, {12, 13}, {13, 14}, {14, 15},
+		{15, 0}, {1, 14}, {2, 13}, {3, 12}, {4, 11}, {5, 10}, {6, 9},
+	}
+	return must(NewArchitecture("ibmqx5", 16, edges))
+}

@@ -1,0 +1,251 @@
+package mapping
+
+import (
+	"fmt"
+
+	"qcec/internal/circuit"
+)
+
+// Options configures the router.
+type Options struct {
+	// Arch is the target coupling graph; its size must match the circuit.
+	Arch *Architecture
+	// RestoreLayout appends SWAPs at the end so that the mapped circuit is
+	// strictly equivalent to the input.  Otherwise the final placement is
+	// reported as OutputPerm (the paper's checker handles both styles).
+	RestoreLayout bool
+	// DecomposeSwaps lowers every inserted SWAP into three CX gates, as a
+	// real device would execute them.
+	DecomposeSwaps bool
+	// Lookahead enables SABRE-style swap selection: each inserted SWAP is
+	// chosen, among those that bring the current gate closer, to minimize
+	// the total coupling distance of the next Lookahead two-qubit gates.
+	// 0 selects the plain both-ends shortest-path walk.
+	Lookahead int
+}
+
+// Result is a mapped circuit plus its layout bookkeeping.
+type Result struct {
+	Circuit *circuit.Circuit
+	// OutputPerm[q] is the physical wire holding logical qubit q after the
+	// circuit ran; nil when the layout was restored (identity).
+	OutputPerm []int
+	// SwapsInserted counts inserted SWAP operations (before CX lowering).
+	SwapsInserted int
+}
+
+// router tracks the logical-to-physical placement during routing.
+type router struct {
+	arch  *Architecture
+	opts  Options
+	out   *circuit.Circuit
+	place []int // place[logical] = physical
+	at    []int // at[physical] = logical
+	swaps int
+
+	// future lists the logical two-qubit interactions in program order;
+	// futureIdx points at the current gate (lookahead heuristic only).
+	future    [][2]int
+	futureIdx int
+}
+
+// Map routes the circuit onto the architecture.  Input gates must touch at
+// most two qubits (decompose multi-controlled gates first).
+func Map(c *circuit.Circuit, opts Options) (*Result, error) {
+	if opts.Arch == nil {
+		return nil, fmt.Errorf("mapping: no architecture given")
+	}
+	if opts.Arch.N != c.N {
+		return nil, fmt.Errorf("mapping: circuit has %d qubits but architecture %q has %d",
+			c.N, opts.Arch.Name, opts.Arch.N)
+	}
+	r := &router{
+		arch:  opts.Arch,
+		opts:  opts,
+		out:   circuit.New(c.N, c.Name+"@"+opts.Arch.Name),
+		place: make([]int, c.N),
+		at:    make([]int, c.N),
+	}
+	for q := range r.place {
+		r.place[q] = q
+		r.at[q] = q
+	}
+	if opts.Lookahead > 0 {
+		// Pre-scan the two-qubit interactions for the lookahead cost.
+		for _, g := range c.Gates {
+			if qs := g.Qubits(); len(qs) == 2 {
+				r.future = append(r.future, [2]int{qs[0], qs[1]})
+			}
+		}
+	}
+	for i, g := range c.Gates {
+		if err := r.route(g); err != nil {
+			return nil, fmt.Errorf("mapping: gate %d (%s): %w", i, g, err)
+		}
+	}
+	res := &Result{Circuit: r.out, SwapsInserted: r.swaps}
+	if opts.RestoreLayout {
+		r.restore()
+		res.Circuit = r.out
+	} else {
+		identity := true
+		perm := make([]int, c.N)
+		copy(perm, r.place)
+		for q, p := range perm {
+			if q != p {
+				identity = false
+			}
+		}
+		if !identity {
+			res.OutputPerm = perm
+		}
+	}
+	res.SwapsInserted = r.swaps
+	return res, nil
+}
+
+// emitSwap swaps two adjacent physical wires and updates the placement.
+func (r *router) emitSwap(p1, p2 int) {
+	if !r.arch.Adjacent(p1, p2) {
+		panic(fmt.Sprintf("mapping: internal error: swap of non-adjacent wires %d,%d", p1, p2))
+	}
+	if r.opts.DecomposeSwaps {
+		r.out.CX(p1, p2).CX(p2, p1).CX(p1, p2)
+	} else {
+		r.out.Swap(p1, p2)
+	}
+	r.swaps++
+	l1, l2 := r.at[p1], r.at[p2]
+	r.at[p1], r.at[p2] = l2, l1
+	r.place[l1], r.place[l2] = p2, p1
+}
+
+// moveAdjacent inserts SWAPs until the physical carriers of two logical
+// qubits are coupled, moving along a shortest path from both ends (this
+// keeps the displacement balanced, like the heuristics in the mapping
+// literature).
+func (r *router) moveAdjacent(l1, l2 int) (int, int) {
+	for {
+		p1, p2 := r.place[l1], r.place[l2]
+		if r.arch.Adjacent(p1, p2) {
+			return p1, p2
+		}
+		path := r.arch.Path(p1, p2)
+		// Move l1 one hop towards l2.
+		r.emitSwap(path[0], path[1])
+		if p1, p2 = r.place[l1], r.place[l2]; r.arch.Adjacent(p1, p2) {
+			return p1, p2
+		}
+		// And l2 one hop towards l1 (recompute, placements moved).
+		path = r.arch.Path(r.place[l2], r.place[l1])
+		r.emitSwap(path[0], path[1])
+	}
+}
+
+// moveAdjacentLookahead brings the carriers of l1, l2 together like
+// moveAdjacent, but chooses each SWAP among the distance-reducing candidates
+// incident to either carrier so as to minimize the summed coupling distance
+// of the next opts.Lookahead two-qubit gates (SABRE-style).
+func (r *router) moveAdjacentLookahead(l1, l2 int) {
+	for {
+		p1, p2 := r.place[l1], r.place[l2]
+		if r.arch.Adjacent(p1, p2) {
+			return
+		}
+		type cand struct{ a, b int }
+		var best cand
+		bestCost := -1
+		consider := func(a, b int) {
+			// Only swaps that strictly reduce the current gate's distance.
+			dNow := r.arch.Distance(r.place[l1], r.place[l2])
+			la, lb := r.at[a], r.at[b]
+			// Simulate the swap on placements.
+			dist := func(x, y int) int { return r.arch.Distance(x, y) }
+			posOf := func(l int) int {
+				switch l {
+				case la:
+					return b
+				case lb:
+					return a
+				default:
+					return r.place[l]
+				}
+			}
+			if dist(posOf(l1), posOf(l2)) >= dNow {
+				return
+			}
+			cost := 0
+			horizon := r.futureIdx + r.opts.Lookahead
+			for i := r.futureIdx; i < len(r.future) && i < horizon; i++ {
+				cost += dist(posOf(r.future[i][0]), posOf(r.future[i][1]))
+			}
+			if bestCost < 0 || cost < bestCost {
+				best, bestCost = cand{a, b}, cost
+			}
+		}
+		for _, p := range []int{p1, p2} {
+			for _, nb := range r.arch.adj[p] {
+				consider(p, nb)
+			}
+		}
+		if bestCost < 0 {
+			// No strictly improving incident swap (cannot happen on a
+			// connected graph, but stay safe): fall back to the walk.
+			r.moveAdjacent(l1, l2)
+			return
+		}
+		r.emitSwap(best.a, best.b)
+	}
+}
+
+func (r *router) route(g circuit.Gate) error {
+	qs := g.Qubits()
+	switch len(qs) {
+	case 1:
+		mapped := g
+		mapped.Target = r.place[g.Target]
+		r.out.Add(mapped)
+		return nil
+	case 2:
+		var l1, l2 int
+		if g.Kind == circuit.SWAP {
+			l1, l2 = g.Target, g.Target2
+		} else {
+			l1, l2 = g.Target, g.Controls[0].Qubit
+		}
+		if r.opts.Lookahead > 0 {
+			r.moveAdjacentLookahead(l1, l2)
+			r.futureIdx++
+		} else {
+			r.moveAdjacent(l1, l2)
+		}
+		mapped := g
+		mapped.Target = r.place[g.Target]
+		if g.Kind == circuit.SWAP {
+			mapped.Target2 = r.place[g.Target2]
+		}
+		if len(g.Controls) == 1 {
+			mapped.Controls = []circuit.Control{{Qubit: r.place[g.Controls[0].Qubit], Neg: g.Controls[0].Neg}}
+		}
+		if mapped.Kind == circuit.SWAP && r.opts.DecomposeSwaps && len(mapped.Controls) == 0 {
+			r.out.CX(mapped.Target, mapped.Target2).
+				CX(mapped.Target2, mapped.Target).
+				CX(mapped.Target, mapped.Target2)
+			return nil
+		}
+		r.out.Add(mapped)
+		return nil
+	default:
+		return fmt.Errorf("touches %d qubits; decompose to <=2-qubit gates before mapping", len(qs))
+	}
+}
+
+// restore moves every logical qubit back to its home wire.
+func (r *router) restore() {
+	for q := 0; q < len(r.place); q++ {
+		for r.place[q] != q {
+			path := r.arch.Path(r.place[q], q)
+			r.emitSwap(path[0], path[1])
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"qcec/internal/circuit"
+	"qcec/internal/ec"
+)
+
+func randomTwoQubitCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n, "rnd")
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.T(rng.Intn(n))
+		case 2:
+			a := rng.Intn(n)
+			c.CX(a, (a+1+rng.Intn(n-1))%n)
+		case 3:
+			a := rng.Intn(n)
+			c.CZ(a, (a+1+rng.Intn(n-1))%n)
+		}
+	}
+	return c
+}
+
+func TestArchitectures(t *testing.T) {
+	cases := []struct {
+		a         *Architecture
+		wantN     int
+		wantEdges int
+	}{
+		{Linear(5), 5, 4},
+		{Ring(6), 6, 6},
+		{Grid(3, 4), 12, 17},
+		{Star(5), 5, 4},
+		{FullyConnected(4), 4, 6},
+		{IBMQX5(), 16, 22},
+	}
+	for _, tc := range cases {
+		if tc.a.N != tc.wantN {
+			t.Errorf("%s: N = %d, want %d", tc.a.Name, tc.a.N, tc.wantN)
+		}
+		if tc.a.NumEdges() != tc.wantEdges {
+			t.Errorf("%s: edges = %d, want %d", tc.a.Name, tc.a.NumEdges(), tc.wantEdges)
+		}
+	}
+}
+
+func TestPathAndDistance(t *testing.T) {
+	a := Linear(6)
+	if d := a.Distance(0, 5); d != 5 {
+		t.Errorf("Distance(0,5) = %d", d)
+	}
+	p := a.Path(1, 4)
+	want := []int{1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("Path = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Path = %v", p)
+		}
+	}
+	if !a.Adjacent(2, 3) || a.Adjacent(0, 2) {
+		t.Error("Adjacent wrong on linear architecture")
+	}
+	ring := Ring(8)
+	if d := ring.Distance(0, 7); d != 1 {
+		t.Errorf("ring Distance(0,7) = %d", d)
+	}
+}
+
+func TestDisconnectedRejected(t *testing.T) {
+	if _, err := NewArchitecture("dis", 4, [][2]int{{0, 1}, {2, 3}}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	if _, err := NewArchitecture("self", 2, [][2]int{{0, 0}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestMapWithOutputPerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, arch := range []*Architecture{Linear(5), Ring(5), Star(5)} {
+		c := randomTwoQubitCircuit(rng, 5, 30)
+		res, err := Map(c, Options{Arch: arch})
+		if err != nil {
+			t.Fatalf("%s: %v", arch.Name, err)
+		}
+		// Every two-qubit gate must respect the coupling.
+		for _, g := range res.Circuit.Gates {
+			qs := g.Qubits()
+			if len(qs) == 2 && !arch.Adjacent(qs[0], qs[1]) {
+				t.Fatalf("%s: gate %s violates coupling", arch.Name, g)
+			}
+		}
+		r := ec.Check(c, res.Circuit, ec.Options{Strategy: ec.Proportional, OutputPerm: res.OutputPerm})
+		if r.Verdict != ec.Equivalent {
+			t.Fatalf("%s: mapped circuit not equivalent (%v)", arch.Name, r.Verdict)
+		}
+	}
+}
+
+func TestMapWithRestoredLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := randomTwoQubitCircuit(rng, 6, 40)
+	res, err := Map(c, Options{Arch: Linear(6), RestoreLayout: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputPerm != nil {
+		t.Fatal("RestoreLayout still reported an output permutation")
+	}
+	r := ec.Check(c, res.Circuit, ec.Options{Strategy: ec.Proportional})
+	if r.Verdict != ec.Equivalent {
+		t.Fatalf("restored mapping not equivalent: %v", r.Verdict)
+	}
+}
+
+func TestMapDecomposedSwaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randomTwoQubitCircuit(rng, 5, 25)
+	res, err := Map(c, Options{Arch: Linear(5), RestoreLayout: true, DecomposeSwaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Circuit.Gates {
+		if g.Kind == circuit.SWAP {
+			t.Fatalf("SWAP survived DecomposeSwaps: %s", g)
+		}
+	}
+	r := ec.Check(c, res.Circuit, ec.Options{Strategy: ec.Proportional})
+	if r.Verdict != ec.Equivalent {
+		t.Fatalf("CX-lowered mapping not equivalent: %v", r.Verdict)
+	}
+}
+
+func TestMapOnIBMQX5(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := randomTwoQubitCircuit(rng, 16, 60)
+	res, err := Map(c, Options{Arch: IBMQX5()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ec.Check(c, res.Circuit, ec.Options{Strategy: ec.Proportional, OutputPerm: res.OutputPerm})
+	if r.Verdict != ec.Equivalent {
+		t.Fatalf("QX5 mapping not equivalent: %v", r.Verdict)
+	}
+	if res.Circuit.NumGates() < c.NumGates() {
+		t.Error("mapping lost gates")
+	}
+}
+
+func TestFullyConnectedInsertsNoSwaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randomTwoQubitCircuit(rng, 5, 30)
+	res, err := Map(c, Options{Arch: FullyConnected(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted != 0 {
+		t.Errorf("full connectivity inserted %d swaps", res.SwapsInserted)
+	}
+	if res.OutputPerm != nil {
+		t.Error("full connectivity produced a permutation")
+	}
+	if res.Circuit.NumGates() != c.NumGates() {
+		t.Errorf("gate count changed: %d -> %d", c.NumGates(), res.Circuit.NumGates())
+	}
+}
+
+func TestSwapGateIsRouted(t *testing.T) {
+	c := circuit.New(4, "swap")
+	c.Swap(0, 3) // distance 3 on a line
+	res, err := Map(c, Options{Arch: Linear(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ec.Check(c, res.Circuit, ec.Options{Strategy: ec.Proportional, OutputPerm: res.OutputPerm})
+	if r.Verdict != ec.Equivalent {
+		t.Fatalf("routed SWAP not equivalent: %v", r.Verdict)
+	}
+}
+
+func TestMapRejectsWideGates(t *testing.T) {
+	c := circuit.New(4, "ccx")
+	c.CCX(0, 1, 2)
+	if _, err := Map(c, Options{Arch: Linear(4)}); err == nil {
+		t.Error("3-qubit gate accepted by router")
+	}
+}
+
+func TestMapRejectsSizeMismatch(t *testing.T) {
+	c := circuit.New(4, "c")
+	if _, err := Map(c, Options{Arch: Linear(5)}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := Map(c, Options{}); err == nil {
+		t.Error("missing architecture accepted")
+	}
+}
+
+func TestSwapCountGrowsWithDistance(t *testing.T) {
+	// CX between the ends of a long line needs at least distance-1 swaps.
+	n := 8
+	c := circuit.New(n, "far")
+	c.CX(0, n-1)
+	res, err := Map(c, Options{Arch: Linear(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted < n-2 {
+		t.Errorf("only %d swaps for distance %d", res.SwapsInserted, n-1)
+	}
+}
+
+func TestLookaheadRouterEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, arch := range []*Architecture{Linear(6), Ring(6), IBMQX5()} {
+		n := arch.N
+		c := randomTwoQubitCircuit(rng, n, 60)
+		res, err := Map(c, Options{Arch: arch, Lookahead: 10})
+		if err != nil {
+			t.Fatalf("%s: %v", arch.Name, err)
+		}
+		for _, g := range res.Circuit.Gates {
+			qs := g.Qubits()
+			if len(qs) == 2 && !arch.Adjacent(qs[0], qs[1]) {
+				t.Fatalf("%s: gate %s violates coupling", arch.Name, g)
+			}
+		}
+		r := ec.Check(c, res.Circuit, ec.Options{Strategy: ec.Proportional, OutputPerm: res.OutputPerm})
+		if r.Verdict != ec.Equivalent {
+			t.Fatalf("%s: lookahead-mapped circuit not equivalent (%v)", arch.Name, r.Verdict)
+		}
+	}
+}
+
+func TestLookaheadReducesOrMatchesSwaps(t *testing.T) {
+	// The lookahead heuristic should generally not insert more swaps than
+	// the greedy walk on structured circuits; compare aggregates and log.
+	rng := rand.New(rand.NewSource(7))
+	greedyTotal, lookaheadTotal := 0, 0
+	for trial := 0; trial < 8; trial++ {
+		c := randomTwoQubitCircuit(rng, 8, 80)
+		g, err := Map(c, Options{Arch: Linear(8)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Map(c, Options{Arch: Linear(8), Lookahead: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedyTotal += g.SwapsInserted
+		lookaheadTotal += l.SwapsInserted
+	}
+	t.Logf("swaps inserted: greedy %d, lookahead %d", greedyTotal, lookaheadTotal)
+	if lookaheadTotal > greedyTotal*3/2 {
+		t.Errorf("lookahead much worse than greedy: %d vs %d", lookaheadTotal, greedyTotal)
+	}
+}
+
+func TestLookaheadRestoreLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := randomTwoQubitCircuit(rng, 6, 40)
+	res, err := Map(c, Options{Arch: Grid(2, 3), Lookahead: 8, RestoreLayout: true, DecomposeSwaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ec.Check(c, res.Circuit, ec.Options{Strategy: ec.Proportional})
+	if r.Verdict != ec.Equivalent {
+		t.Fatalf("verdict %v", r.Verdict)
+	}
+}

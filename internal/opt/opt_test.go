@@ -1,0 +1,318 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qcec/internal/circuit"
+	"qcec/internal/ec"
+)
+
+func verifyEquivalent(t *testing.T, before, after *circuit.Circuit) {
+	t.Helper()
+	r := ec.Check(before, after, ec.Options{Strategy: ec.Proportional})
+	if r.Verdict != ec.Equivalent {
+		t.Fatalf("optimization broke equivalence: %v", r.Verdict)
+	}
+}
+
+func TestCancelAdjacentPairs(t *testing.T) {
+	c := circuit.New(3, "pairs")
+	c.H(0).H(0)             // cancels
+	c.CX(0, 1).CX(0, 1)     // cancels
+	c.T(2).Tdg(2)           // cancels
+	c.S(1).X(0).Sdg(1)      // S...Sdg with X in between on another qubit: cancels
+	c.Swap(0, 2).Swap(0, 2) // cancels
+	out, stats := Optimize(c, Options{})
+	if out.NumGates() != 1 || out.Gates[0].Kind != circuit.X {
+		t.Fatalf("got %d gates: %v (stats %+v)", out.NumGates(), out, stats)
+	}
+	if stats.CancelledPairs != 5 {
+		t.Errorf("CancelledPairs = %d", stats.CancelledPairs)
+	}
+	verifyEquivalent(t, c, out)
+}
+
+func TestNestedCancellation(t *testing.T) {
+	// A B B' A' collapses completely via cascading cancellation.
+	c := circuit.New(2, "nested")
+	c.H(0).CX(0, 1).CX(0, 1).H(0)
+	out, _ := Optimize(c, Options{})
+	if out.NumGates() != 0 {
+		t.Fatalf("nested pairs not fully cancelled: %v", out)
+	}
+}
+
+func TestBlockerPreventsCancellation(t *testing.T) {
+	// H X H on the same qubit: the X blocks the H pair (but the rewrite
+	// pass turns the whole thing into Z).
+	c := circuit.New(1, "blocked")
+	c.H(0).X(0).H(0)
+	out, _ := Optimize(c, Options{DisableHRewrites: true})
+	if out.NumGates() != 3 {
+		t.Fatalf("blocked pair wrongly cancelled: %v", out)
+	}
+	// A CX sharing a qubit blocks too.
+	c2 := circuit.New(2, "blocked2")
+	c2.H(0).CX(0, 1).H(0)
+	out2, _ := Optimize(c2, Options{})
+	if out2.NumGates() != 3 {
+		t.Fatalf("CX-blocked pair wrongly cancelled: %v", out2)
+	}
+}
+
+func TestRotationMerge(t *testing.T) {
+	c := circuit.New(2, "rot")
+	c.RZ(0.3, 0).RZ(0.4, 0)               // merge to 0.7
+	c.RX(1.0, 1).RX(-1.0, 1)              // merge to 0 -> removed
+	c.Phase(math.Pi, 0).Phase(math.Pi, 0) // 2pi -> removed
+	out, stats := Optimize(c, Options{})
+	if out.NumGates() != 1 {
+		t.Fatalf("got %v (stats %+v)", out, stats)
+	}
+	if math.Abs(out.Gates[0].Params[0]-0.7) > 1e-12 {
+		t.Errorf("merged angle = %g", out.Gates[0].Params[0])
+	}
+	verifyEquivalent(t, c, out)
+}
+
+func TestControlledRotationMerge(t *testing.T) {
+	c := circuit.New(2, "crz")
+	c.CPhase(0.2, 0, 1)
+	c.CPhase(0.3, 0, 1)
+	out, _ := Optimize(c, Options{})
+	if out.NumGates() != 1 || math.Abs(out.Gates[0].Params[0]-0.5) > 1e-12 {
+		t.Fatalf("controlled rotations not merged: %v", out)
+	}
+	verifyEquivalent(t, c, out)
+}
+
+func TestRotationsOnDifferentControlsNotMerged(t *testing.T) {
+	c := circuit.New(3, "diff")
+	c.CPhase(0.2, 0, 2)
+	c.CPhase(0.3, 1, 2)
+	out, _ := Optimize(c, Options{})
+	if out.NumGates() != 2 {
+		t.Fatalf("rotations with different controls merged: %v", out)
+	}
+}
+
+func TestHRewrites(t *testing.T) {
+	c := circuit.New(1, "hxh")
+	c.H(0).X(0).H(0)
+	out, stats := Optimize(c, Options{})
+	if out.NumGates() != 1 || out.Gates[0].Kind != circuit.Z {
+		t.Fatalf("HXH not rewritten to Z: %v", out)
+	}
+	if stats.Rewrites != 1 {
+		t.Errorf("Rewrites = %d", stats.Rewrites)
+	}
+	verifyEquivalent(t, c, out)
+
+	c2 := circuit.New(1, "hzh")
+	c2.H(0).Z(0).H(0)
+	out2, _ := Optimize(c2, Options{})
+	if out2.NumGates() != 1 || out2.Gates[0].Kind != circuit.X {
+		t.Fatalf("HZH not rewritten to X: %v", out2)
+	}
+	verifyEquivalent(t, c2, out2)
+}
+
+func TestHRewriteRequiresAdjacency(t *testing.T) {
+	c := circuit.New(2, "nonadj")
+	c.H(0).X(0).CX(0, 1).H(0) // CX between X and final H
+	out, _ := Optimize(c, Options{DisableCancellation: true, DisableRotationMerge: true})
+	if out.NumGates() != 4 {
+		t.Fatalf("non-adjacent HXH wrongly rewritten: %v", out)
+	}
+}
+
+func TestCascadeAcrossPasses(t *testing.T) {
+	// HXH -> Z, then Z·Z cancels: needs the fixpoint loop.
+	c := circuit.New(1, "cascade")
+	c.Z(0).H(0).X(0).H(0)
+	out, stats := Optimize(c, Options{})
+	if out.NumGates() != 0 {
+		t.Fatalf("cascade failed: %v (stats %+v)", out, stats)
+	}
+}
+
+func TestDisabledPasses(t *testing.T) {
+	c := circuit.New(1, "off")
+	c.H(0).H(0).RZ(0.1, 0).RZ(0.2, 0)
+	out, _ := Optimize(c, Options{DisableCancellation: true, DisableRotationMerge: true, DisableHRewrites: true, DisableCommutation: true})
+	if out.NumGates() != 4 {
+		t.Fatalf("disabled optimizer changed the circuit: %v", out)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := circuit.New(1, "stats")
+	c.H(0).H(0)
+	out, stats := Optimize(c, Options{})
+	if stats.GatesBefore != 2 || stats.GatesAfter != 0 || out.NumGates() != 0 {
+		t.Fatalf("stats wrong: %+v", stats)
+	}
+	if stats.Passes < 1 {
+		t.Error("no passes recorded")
+	}
+}
+
+func randomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n, "rnd")
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.X(rng.Intn(n))
+		case 2:
+			c.Z(rng.Intn(n))
+		case 3:
+			c.T(rng.Intn(n))
+		case 4:
+			c.Tdg(rng.Intn(n))
+		case 5:
+			c.RZ(rng.Float64()*2-1, rng.Intn(n))
+		case 6:
+			a := rng.Intn(n)
+			c.CX(a, (a+1+rng.Intn(n-1))%n)
+		case 7:
+			c.S(rng.Intn(n))
+		}
+	}
+	return c
+}
+
+// Property: optimization always preserves strict equivalence.
+func TestQuickOptimizePreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		c := randomCircuit(rng, n, 40)
+		out, _ := Optimize(c, Options{})
+		if out.Validate() != nil {
+			return false
+		}
+		r := ec.Check(c, out, ec.Options{Strategy: ec.Proportional})
+		return r.Verdict == ec.Equivalent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: circuit followed by its inverse optimizes to (near) nothing for
+// involution-free gate sets, and at minimum never grows.
+func TestQuickNeverGrows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 3, 30)
+		out, _ := Optimize(c, Options{})
+		return out.NumGates() <= c.NumGates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseCircuitCollapses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomCircuit(rng, 3, 15)
+	full := c.Clone()
+	full.Append(c.Inverse())
+	out, _ := Optimize(full, Options{})
+	if out.NumGates() != 0 {
+		t.Fatalf("G·G⁻¹ did not collapse: %d gates remain", out.NumGates())
+	}
+}
+
+func TestCommutationCancellation(t *testing.T) {
+	// CX·Z(ctl)·CX: the CX pair cancels through the diagonal on its control.
+	c := circuit.New(2, "cxzcx")
+	c.CX(0, 1).Z(0).CX(0, 1)
+	out, _ := Optimize(c, Options{})
+	if out.NumGates() != 1 || out.Gates[0].Kind != circuit.Z {
+		t.Fatalf("CX·Z·CX not reduced: %v", out)
+	}
+	verifyEquivalent(t, c, out)
+
+	// CX·X(tgt)·CX also cancels (X-axis on target commutes).
+	c2 := circuit.New(2, "cxxcx")
+	c2.CX(0, 1).X(1).CX(0, 1)
+	out2, _ := Optimize(c2, Options{})
+	if out2.NumGates() != 1 || out2.Gates[0].Kind != circuit.X {
+		t.Fatalf("CX·X·CX not reduced: %v", out2)
+	}
+	verifyEquivalent(t, c2, out2)
+
+	// CX·T(tgt)·CX must NOT cancel (T on target does not commute).
+	c3 := circuit.New(2, "cxtcx")
+	c3.CX(0, 1).T(1).CX(0, 1)
+	out3, _ := Optimize(c3, Options{})
+	if out3.NumGates() != 3 {
+		t.Fatalf("CX·T(tgt)·CX wrongly reduced: %v", out3)
+	}
+	verifyEquivalent(t, c3, out3)
+}
+
+func TestCommutationThroughCXChains(t *testing.T) {
+	// Shared-control CXs commute: CX(0,1)·CX(0,2)·CX(0,1) -> CX(0,2).
+	c := circuit.New(3, "sharedctl")
+	c.CX(0, 1).CX(0, 2).CX(0, 1)
+	out, _ := Optimize(c, Options{})
+	if out.NumGates() != 1 {
+		t.Fatalf("shared-control chain not reduced: %v", out)
+	}
+	verifyEquivalent(t, c, out)
+
+	// Target-meets-control does not commute: CX(0,1)·CX(1,2)·CX(0,1) stays.
+	c2 := circuit.New(3, "tc")
+	c2.CX(0, 1).CX(1, 2).CX(0, 1)
+	out2, _ := Optimize(c2, Options{})
+	if out2.NumGates() != 3 {
+		t.Fatalf("non-commuting chain wrongly reduced: %v", out2)
+	}
+	verifyEquivalent(t, c2, out2)
+}
+
+func TestCommutationDiagonalPhases(t *testing.T) {
+	// S · CZ · T · Sdg: the S/Sdg pair cancels through the diagonals.
+	c := circuit.New(2, "diag")
+	c.S(0)
+	c.CZ(0, 1)
+	c.T(0)
+	c.Sdg(0)
+	out, _ := Optimize(c, Options{})
+	if out.NumGates() != 2 {
+		t.Fatalf("diagonal commutation failed: %v", out)
+	}
+	verifyEquivalent(t, c, out)
+}
+
+func TestCommutationDisabled(t *testing.T) {
+	c := circuit.New(2, "off")
+	c.CX(0, 1).Z(0).CX(0, 1)
+	out, _ := Optimize(c, Options{DisableCommutation: true})
+	if out.NumGates() != 3 {
+		t.Fatalf("commutation ran despite being disabled: %v", out)
+	}
+}
+
+// Property: commutation-aware optimization preserves equivalence on random
+// Clifford+T circuits.
+func TestQuickCommutationPreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		c := randomCircuit(rng, n, 50)
+		out, _ := Optimize(c, Options{})
+		r := ec.Check(c, out, ec.Options{Strategy: ec.Proportional})
+		return r.Verdict == ec.Equivalent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

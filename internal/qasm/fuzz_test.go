@@ -1,0 +1,72 @@
+package qasm
+
+import (
+	"testing"
+
+	"qcec/internal/ec"
+)
+
+// FuzzParse checks that the parser never panics on arbitrary input and that
+// accepted circuits are well-formed.  Run the seed corpus with `go test`,
+// explore with `go test -fuzz=FuzzParse ./internal/qasm`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];",
+		"qreg q[3]; ccx q[0],q[1],q[2];",
+		"qreg a[1]; qreg b[2]; swap b[0],b[1];",
+		"gate g(x) a { rz(x/2) a; } qreg q[1]; g(pi) q[0];",
+		"qreg q[1]; rz(1+2*(3-4)^2) q[0];",
+		"qreg q[2]; creg c[2]; measure q -> c;",
+		"// comment\nqreg q[1]; /* block */ x q[0];",
+		"qreg q[1]; x q[5];",
+		"qreg q[0];",
+		"gate broken a {",
+		"qreg q[1]; rz() q[0];",
+		"OPENQASM 9.9;",
+		"qreg q[1]; u3(pi,pi,pi q[0];",
+		"qreg q[2]; cx q[0],q[0];",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if prog.Circuit == nil {
+			t.Fatal("nil circuit without error")
+		}
+		if err := prog.Circuit.Validate(); err != nil {
+			t.Fatalf("accepted circuit fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzRoundTrip checks writer/parser agreement: anything the writer can emit
+// must re-parse to an equivalent circuit.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("qreg q[2];\nh q[0];\ncx q[0],q[1];\nswap q[0],q[1];")
+	f.Add("qreg q[3];\nccx q[0],q[1],q[2];\ncrz(0.5) q[0],q[2];")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out, err := WriteString(prog.Circuit)
+		if err != nil {
+			return // not all circuits are writable (e.g. >2 controls)
+		}
+		again, err := Parse(out)
+		if err != nil {
+			t.Fatalf("writer output does not re-parse: %v\n%s", err, out)
+		}
+		if prog.Circuit.N <= 8 && prog.Circuit.NumGates() <= 64 {
+			r := ec.Check(prog.Circuit, again.Circuit, ec.Options{Strategy: ec.Proportional})
+			if r.Verdict != ec.Equivalent {
+				t.Fatalf("round trip changed the function: %v", r.Verdict)
+			}
+		}
+	})
+}

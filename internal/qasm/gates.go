@@ -1,0 +1,447 @@
+package qasm
+
+import (
+	"fmt"
+
+	"qcec/internal/circuit"
+)
+
+// parseExpr parses a parameter expression with the usual precedence:
+// ^ binds tightest, then * /, then + -.
+func (p *parser) parseExpr() (expr, error) { return p.parseAddSub() }
+
+func (p *parser) parseAddSub() (expr, error) {
+	left, err := p.parseMulDiv()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			right, err := p.parseMulDiv()
+			if err != nil {
+				return nil, err
+			}
+			left = binExpr{op: '+', a: left, b: right}
+		case p.acceptSymbol("-"):
+			right, err := p.parseMulDiv()
+			if err != nil {
+				return nil, err
+			}
+			left = binExpr{op: '-', a: left, b: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMulDiv() (expr, error) {
+	left, err := p.parsePow()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("*"):
+			right, err := p.parsePow()
+			if err != nil {
+				return nil, err
+			}
+			left = binExpr{op: '*', a: left, b: right}
+		case p.acceptSymbol("/"):
+			right, err := p.parsePow()
+			if err != nil {
+				return nil, err
+			}
+			left = binExpr{op: '/', a: left, b: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parsePow() (expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol("^") {
+		right, err := p.parsePow() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{op: '^', a: left, b: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.acceptSymbol("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{x: x}, nil
+	}
+	if p.acceptSymbol("+") {
+		return p.parseUnary()
+	}
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		var f float64
+		if _, err := fmt.Sscanf(t.text, "%g", &f); err != nil {
+			return nil, p.errf("invalid number %q", t.text)
+		}
+		return numExpr(f), nil
+	case tokIdent:
+		p.advance()
+		if p.acceptSymbol("(") {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return callExpr{fn: t.text, x: arg}, nil
+		}
+		return varExpr(t.text), nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.advance()
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+// parseGateDef parses `gate name(params) args { body }`.
+func (p *parser) parseGateDef() error {
+	p.advance()
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	var def macroDef
+	if p.acceptSymbol("(") {
+		for !p.acceptSymbol(")") {
+			pn, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			def.params = append(def.params, pn)
+			if !p.acceptSymbol(",") && !(p.cur().kind == tokSymbol && p.cur().text == ")") {
+				return p.errf("expected ',' or ')' in gate parameter list")
+			}
+		}
+	}
+	for {
+		an, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		def.args = append(def.args, an)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol("{"); err != nil {
+		return err
+	}
+	for !p.acceptSymbol("}") {
+		if p.atEOF() {
+			return p.errf("unterminated gate body for %q", name)
+		}
+		if p.cur().kind == tokIdent && p.cur().text == "barrier" {
+			if err := p.skipToSemicolon(); err != nil {
+				return err
+			}
+			continue
+		}
+		mg, err := p.parseMacroGate()
+		if err != nil {
+			return err
+		}
+		def.body = append(def.body, mg)
+	}
+	p.macros[name] = def
+	return nil
+}
+
+func (p *parser) parseMacroGate() (macroGate, error) {
+	line := p.cur().line
+	name, err := p.expectIdent()
+	if err != nil {
+		return macroGate{}, err
+	}
+	mg := macroGate{name: name, line: line}
+	if p.acceptSymbol("(") {
+		for !p.acceptSymbol(")") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return macroGate{}, err
+			}
+			mg.params = append(mg.params, e)
+			if !p.acceptSymbol(",") && !(p.cur().kind == tokSymbol && p.cur().text == ")") {
+				return macroGate{}, p.errf("expected ',' or ')' in parameter list")
+			}
+		}
+	}
+	for {
+		an, err := p.expectIdent()
+		if err != nil {
+			return macroGate{}, err
+		}
+		mg.args = append(mg.args, an)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return macroGate{}, err
+	}
+	return mg, nil
+}
+
+// parseGateCall parses a top-level gate application and emits circuit gates.
+func (p *parser) parseGateCall() error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	var params []float64
+	if p.acceptSymbol("(") {
+		for !p.acceptSymbol(")") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			v, err := e.eval(nil)
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			params = append(params, v)
+			if !p.acceptSymbol(",") && !(p.cur().kind == tokSymbol && p.cur().text == ")") {
+				return p.errf("expected ',' or ')' in parameter list")
+			}
+		}
+	}
+	var args []qubitArg
+	for {
+		a, err := p.parseQubitArg()
+		if err != nil {
+			return err
+		}
+		args = append(args, a)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+
+	// Broadcast: if any argument is a whole register, all whole-register
+	// arguments must have equal size and the call repeats element-wise.
+	width := 1
+	for _, a := range args {
+		if a.whole {
+			if width != 1 && width != len(a.wires) {
+				return p.errf("broadcast width mismatch in %q", name)
+			}
+			width = len(a.wires)
+		}
+	}
+	for i := 0; i < width; i++ {
+		wires := make([]int, len(args))
+		for j, a := range args {
+			if a.whole {
+				wires[j] = a.wires[i]
+			} else {
+				wires[j] = a.wires[0]
+			}
+		}
+		if err := p.emit(name, params, wires); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit resolves a gate name (builtin or macro) to circuit gates.
+func (p *parser) emit(name string, params []float64, wires []int) error {
+	if g, ok, err := builtinGate(name, params, wires); err != nil {
+		return p.errf("%v", err)
+	} else if ok {
+		p.pending = append(p.pending, pendingGate{gate: g})
+		return nil
+	}
+	def, ok := p.macros[name]
+	if !ok {
+		return p.errf("unknown gate %q", name)
+	}
+	if len(params) != len(def.params) || len(wires) != len(def.args) {
+		return p.errf("gate %q expects %d params and %d qubits, got %d and %d",
+			name, len(def.params), len(def.args), len(params), len(wires))
+	}
+	env := make(map[string]float64, len(def.params))
+	for i, pn := range def.params {
+		env[pn] = params[i]
+	}
+	argMap := make(map[string]int, len(def.args))
+	for i, an := range def.args {
+		argMap[an] = wires[i]
+	}
+	for _, mg := range def.body {
+		subParams := make([]float64, len(mg.params))
+		for i, e := range mg.params {
+			v, err := e.eval(env)
+			if err != nil {
+				return p.errf("in gate %q: %v", name, err)
+			}
+			subParams[i] = v
+		}
+		subWires := make([]int, len(mg.args))
+		for i, an := range mg.args {
+			w, ok := argMap[an]
+			if !ok {
+				return p.errf("in gate %q: unknown qubit argument %q", name, an)
+			}
+			subWires[i] = w
+		}
+		if err := p.emit(mg.name, subParams, subWires); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// builtinGate maps a qelib1-style gate name to a circuit gate.  It reports
+// ok=false for names that are not builtin (candidate macros).
+func builtinGate(name string, params []float64, wires []int) (circuit.Gate, bool, error) {
+	mk := func(kind circuit.Kind, nParams, nCtl int) (circuit.Gate, bool, error) {
+		if len(params) != nParams {
+			return circuit.Gate{}, true, fmt.Errorf("gate %q expects %d parameters, got %d", name, nParams, len(params))
+		}
+		if len(wires) != nCtl+1 {
+			return circuit.Gate{}, true, fmt.Errorf("gate %q expects %d qubits, got %d", name, nCtl+1, len(wires))
+		}
+		g := circuit.Gate{Kind: kind, Target: wires[nCtl], Target2: -1, Params: params}
+		for i := 0; i < nCtl; i++ {
+			g.Controls = append(g.Controls, circuit.Control{Qubit: wires[i]})
+		}
+		return g, true, nil
+	}
+	mkSwap := func(nCtl int) (circuit.Gate, bool, error) {
+		if len(wires) != nCtl+2 {
+			return circuit.Gate{}, true, fmt.Errorf("gate %q expects %d qubits, got %d", name, nCtl+2, len(wires))
+		}
+		g := circuit.Gate{Kind: circuit.SWAP, Target: wires[nCtl], Target2: wires[nCtl+1]}
+		for i := 0; i < nCtl; i++ {
+			g.Controls = append(g.Controls, circuit.Control{Qubit: wires[i]})
+		}
+		return g, true, nil
+	}
+	switch name {
+	case "id":
+		return mk(circuit.I, 0, 0)
+	case "x", "X":
+		return mk(circuit.X, 0, 0)
+	case "y":
+		return mk(circuit.Y, 0, 0)
+	case "z":
+		return mk(circuit.Z, 0, 0)
+	case "h":
+		return mk(circuit.H, 0, 0)
+	case "s":
+		return mk(circuit.S, 0, 0)
+	case "sdg":
+		return mk(circuit.Sdg, 0, 0)
+	case "t":
+		return mk(circuit.T, 0, 0)
+	case "tdg":
+		return mk(circuit.Tdg, 0, 0)
+	case "sx":
+		return mk(circuit.SX, 0, 0)
+	case "sxdg":
+		return mk(circuit.SXdg, 0, 0)
+	case "rx":
+		return mk(circuit.RX, 1, 0)
+	case "ry":
+		return mk(circuit.RY, 1, 0)
+	case "rz":
+		return mk(circuit.RZ, 1, 0)
+	case "p", "u1":
+		return mk(circuit.P, 1, 0)
+	case "u2":
+		return mk(circuit.U2, 2, 0)
+	case "u3", "u", "U":
+		return mk(circuit.U3, 3, 0)
+	case "cx", "CX", "cnot":
+		return mk(circuit.X, 0, 1)
+	case "cy":
+		return mk(circuit.Y, 0, 1)
+	case "cz":
+		return mk(circuit.Z, 0, 1)
+	case "ch":
+		return mk(circuit.H, 0, 1)
+	case "csx":
+		return mk(circuit.SX, 0, 1)
+	case "crx":
+		return mk(circuit.RX, 1, 1)
+	case "cry":
+		return mk(circuit.RY, 1, 1)
+	case "crz":
+		return mk(circuit.RZ, 1, 1)
+	case "cp", "cu1":
+		return mk(circuit.P, 1, 1)
+	case "cu3":
+		return mk(circuit.U3, 3, 1)
+	case "ccx", "toffoli":
+		return mk(circuit.X, 0, 2)
+	case "ccz":
+		return mk(circuit.Z, 0, 2)
+	case "swap":
+		return mkSwap(0)
+	case "cswap", "fredkin":
+		return mkSwap(1)
+	default:
+		return circuit.Gate{}, false, nil
+	}
+}
+
+// finish assembles the parsed program once all declarations are known.
+func (p *parser) finish() (*Program, error) {
+	width := 0
+	for _, r := range p.qregs {
+		width += r.Size
+	}
+	if width == 0 {
+		return nil, fmt.Errorf("qasm: no quantum registers declared")
+	}
+	name := "qasm"
+	if len(p.qregs) == 1 {
+		name = p.qregs[0].Name
+	}
+	c := circuit.New(width, name)
+	for _, pg := range p.pending {
+		if err := c.TryAdd(pg.gate); err != nil {
+			return nil, fmt.Errorf("qasm: invalid gate %s: %w", pg.gate, err)
+		}
+	}
+	return &Program{
+		Circuit:      c,
+		QRegs:        p.qregs,
+		CRegs:        p.cregs,
+		Measurements: p.measures,
+	}, nil
+}

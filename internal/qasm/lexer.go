@@ -1,0 +1,150 @@
+// Package qasm reads and writes a practical subset of OpenQASM 2.0 — the
+// interchange format the paper's benchmark circuits ship in.
+//
+// Supported: version header, include statements (ignored), qreg/creg
+// declarations (multiple registers are flattened into one contiguous wire
+// space), the full qelib1 standard-gate vocabulary, user-defined gate macros
+// (expanded at parse time), parameter expressions over pi with + - * / and
+// unary minus, barrier (ignored) and measure (recorded but not simulated).
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // single punctuation: ( ) [ ] { } , ; + - * / ^ ->
+	tokArrow
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("qasm: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf("unterminated block comment")
+			}
+			l.pos += 2
+		default:
+			return l.scanToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) scanToken() (token, error) {
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for l.pos < len(l.src) {
+			r := l.src[l.pos]
+			if !unicode.IsLetter(rune(r)) && !unicode.IsDigit(rune(r)) && r != '_' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case unicode.IsDigit(rune(c)) || c == '.':
+		seenE := false
+		for l.pos < len(l.src) {
+			r := l.src[l.pos]
+			if unicode.IsDigit(rune(r)) || r == '.' {
+				l.pos++
+				continue
+			}
+			if (r == 'e' || r == 'E') && !seenE {
+				seenE = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				return token{}, l.errf("newline in string literal")
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string literal")
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return token{kind: tokString, text: text, line: l.line}, nil
+	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+		l.pos += 2
+		return token{kind: tokArrow, text: "->", line: l.line}, nil
+	case strings.ContainsRune("()[]{},;+-*/^==", rune(c)):
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), line: l.line}, nil
+	default:
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+// tokenize scans the whole source up front; QASM files are small enough that
+// a token slice is simpler than streaming.
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"qcec/internal/circuit"
+)
+
+// Register describes a declared quantum or classical register and its offset
+// in the flattened wire space.
+type Register struct {
+	Name   string
+	Size   int
+	Offset int
+}
+
+// Measurement records a `measure q -> c` statement.
+type Measurement struct {
+	Qubit int // flattened qubit index
+	Bit   int // flattened classical bit index
+}
+
+// Program is the result of parsing an OpenQASM source.
+type Program struct {
+	Circuit      *circuit.Circuit
+	QRegs        []Register
+	CRegs        []Register
+	Measurements []Measurement
+}
+
+// expr is a parameter-expression AST node; it is evaluated against the
+// formal-parameter environment of the enclosing gate macro (nil at top
+// level).
+type expr interface {
+	eval(env map[string]float64) (float64, error)
+}
+
+type numExpr float64
+
+func (n numExpr) eval(map[string]float64) (float64, error) { return float64(n), nil }
+
+type varExpr string
+
+func (v varExpr) eval(env map[string]float64) (float64, error) {
+	if v == "pi" {
+		return math.Pi, nil
+	}
+	if env != nil {
+		if val, ok := env[string(v)]; ok {
+			return val, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown identifier %q in expression", string(v))
+}
+
+type unaryExpr struct{ x expr }
+
+func (u unaryExpr) eval(env map[string]float64) (float64, error) {
+	v, err := u.x.eval(env)
+	return -v, err
+}
+
+type binExpr struct {
+	op   byte
+	a, b expr
+}
+
+func (b binExpr) eval(env map[string]float64) (float64, error) {
+	x, err := b.a.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	y, err := b.b.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case '+':
+		return x + y, nil
+	case '-':
+		return x - y, nil
+	case '*':
+		return x * y, nil
+	case '/':
+		if y == 0 {
+			return 0, fmt.Errorf("division by zero in parameter expression")
+		}
+		return x / y, nil
+	case '^':
+		return math.Pow(x, y), nil
+	default:
+		return 0, fmt.Errorf("unknown operator %q", b.op)
+	}
+}
+
+type callExpr struct {
+	fn string
+	x  expr
+}
+
+func (c callExpr) eval(env map[string]float64) (float64, error) {
+	v, err := c.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch c.fn {
+	case "sin":
+		return math.Sin(v), nil
+	case "cos":
+		return math.Cos(v), nil
+	case "tan":
+		return math.Tan(v), nil
+	case "exp":
+		return math.Exp(v), nil
+	case "ln":
+		return math.Log(v), nil
+	case "sqrt":
+		return math.Sqrt(v), nil
+	default:
+		return 0, fmt.Errorf("unknown function %q", c.fn)
+	}
+}
+
+// macroGate is one statement inside a user gate definition.
+type macroGate struct {
+	name   string
+	params []expr
+	args   []string // formal qubit argument names
+	line   int
+}
+
+type macroDef struct {
+	params []string
+	args   []string
+	body   []macroGate
+}
+
+type parser struct {
+	toks []token
+	pos  int
+
+	qregs  []Register
+	cregs  []Register
+	macros map[string]macroDef
+
+	circ     *circuit.Circuit
+	pending  []pendingGate
+	measures []Measurement
+}
+
+// pendingGate buffers gate applications until the register sizes are known
+// (declarations may in principle interleave, and we need the total width to
+// build the circuit).
+type pendingGate struct {
+	gate circuit.Gate
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) advance()    { p.pos++ }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("qasm: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.cur()
+	if (t.kind != tokSymbol && t.kind != tokArrow) || t.text != s {
+		return p.errf("expected %q, got %q", s, t.text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	t := p.cur()
+	if (t.kind == tokSymbol || t.kind == tokArrow) && t.text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) expectInt() (int, error) {
+	t := p.cur()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected integer, got %q", t.text)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf("invalid integer %q", t.text)
+	}
+	p.advance()
+	return n, nil
+}
+
+// Parse parses OpenQASM 2.0 source text.
+func Parse(src string) (*Program, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, macros: make(map[string]macroDef)}
+	if err := p.parseHeader(); err != nil {
+		return nil, err
+	}
+	for !p.atEOF() {
+		if err := p.parseStatement(); err != nil {
+			return nil, err
+		}
+	}
+	return p.finish()
+}
+
+// ParseFile parses an OpenQASM 2.0 file.
+func ParseFile(path string) (*Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseHeader() error {
+	if p.cur().kind == tokIdent && p.cur().text == "OPENQASM" {
+		p.advance()
+		if p.cur().kind != tokNumber {
+			return p.errf("expected version number")
+		}
+		if v := p.cur().text; v != "2.0" && v != "2" {
+			return p.errf("unsupported OPENQASM version %s", v)
+		}
+		p.advance()
+		return p.expectSymbol(";")
+	}
+	return nil // header is optional in practice
+}
+
+func (p *parser) parseStatement() error {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return p.errf("expected statement, got %q", t.text)
+	}
+	switch t.text {
+	case "include":
+		p.advance()
+		if p.cur().kind != tokString {
+			return p.errf("expected file name after include")
+		}
+		p.advance()
+		return p.expectSymbol(";")
+	case "qreg":
+		return p.parseReg(&p.qregs)
+	case "creg":
+		return p.parseReg(&p.cregs)
+	case "gate":
+		return p.parseGateDef()
+	case "opaque":
+		return p.skipToSemicolon()
+	case "barrier":
+		return p.skipToSemicolon()
+	case "measure":
+		return p.parseMeasure()
+	case "reset", "if":
+		return p.errf("unsupported statement %q", t.text)
+	default:
+		return p.parseGateCall()
+	}
+}
+
+func (p *parser) skipToSemicolon() error {
+	for !p.atEOF() && !(p.cur().kind == tokSymbol && p.cur().text == ";") {
+		p.advance()
+	}
+	return p.expectSymbol(";")
+}
+
+func (p *parser) parseReg(regs *[]Register) error {
+	p.advance()
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol("["); err != nil {
+		return err
+	}
+	size, err := p.expectInt()
+	if err != nil {
+		return err
+	}
+	if size <= 0 {
+		return p.errf("register %q has invalid size %d", name, size)
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	offset := 0
+	for _, r := range *regs {
+		if r.Name == name {
+			return p.errf("register %q redeclared", name)
+		}
+		offset += r.Size
+	}
+	*regs = append(*regs, Register{Name: name, Size: size, Offset: offset})
+	return nil
+}
+
+func (p *parser) findQubit(name string, idx int) (int, error) {
+	for _, r := range p.qregs {
+		if r.Name == name {
+			if idx < 0 || idx >= r.Size {
+				return 0, p.errf("index %d out of range for register %q[%d]", idx, name, r.Size)
+			}
+			return r.Offset + idx, nil
+		}
+	}
+	return 0, p.errf("unknown quantum register %q", name)
+}
+
+func (p *parser) findCBit(name string, idx int) (int, error) {
+	for _, r := range p.cregs {
+		if r.Name == name {
+			if idx < 0 || idx >= r.Size {
+				return 0, p.errf("index %d out of range for register %q[%d]", idx, name, r.Size)
+			}
+			return r.Offset + idx, nil
+		}
+	}
+	return 0, p.errf("unknown classical register %q", name)
+}
+
+// qubitArg is either a single wire or a whole register (broadcast).
+type qubitArg struct {
+	wires []int
+	whole bool
+}
+
+func (p *parser) parseQubitArg() (qubitArg, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return qubitArg{}, err
+	}
+	if p.acceptSymbol("[") {
+		idx, err := p.expectInt()
+		if err != nil {
+			return qubitArg{}, err
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return qubitArg{}, err
+		}
+		w, err := p.findQubit(name, idx)
+		if err != nil {
+			return qubitArg{}, err
+		}
+		return qubitArg{wires: []int{w}}, nil
+	}
+	for _, r := range p.qregs {
+		if r.Name == name {
+			ws := make([]int, r.Size)
+			for i := range ws {
+				ws[i] = r.Offset + i
+			}
+			return qubitArg{wires: ws, whole: true}, nil
+		}
+	}
+	return qubitArg{}, p.errf("unknown quantum register %q", name)
+}
+
+func (p *parser) parseMeasure() error {
+	p.advance()
+	q, err := p.parseQubitArg()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol("->"); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	var bits []int
+	if p.acceptSymbol("[") {
+		idx, err := p.expectInt()
+		if err != nil {
+			return err
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return err
+		}
+		b, err := p.findCBit(name, idx)
+		if err != nil {
+			return err
+		}
+		bits = []int{b}
+	} else {
+		found := false
+		for _, r := range p.cregs {
+			if r.Name == name {
+				for i := 0; i < r.Size; i++ {
+					bits = append(bits, r.Offset+i)
+				}
+				found = true
+			}
+		}
+		if !found {
+			return p.errf("unknown classical register %q", name)
+		}
+	}
+	if len(q.wires) != len(bits) {
+		return p.errf("measure width mismatch (%d qubits, %d bits)", len(q.wires), len(bits))
+	}
+	for i := range q.wires {
+		p.measures = append(p.measures, Measurement{Qubit: q.wires[i], Bit: bits[i]})
+	}
+	return p.expectSymbol(";")
+}

@@ -1,0 +1,136 @@
+package qasm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"qcec/internal/circuit"
+)
+
+// Write renders a circuit as OpenQASM 2.0.  Gates with up to two positive
+// controls map onto qelib1 names; negative controls are realized by
+// conjugating with X gates; gates with three or more controls are not
+// representable in plain qelib1 and cause an error (decompose first).
+func Write(w io.Writer, c *circuit.Circuit) error {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.N)
+	for i, g := range c.Gates {
+		if err := writeGate(&b, g); err != nil {
+			return fmt.Errorf("qasm: gate %d (%s): %w", i, g, err)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteString renders a circuit as an OpenQASM 2.0 string.
+func WriteString(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, c); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func writeGate(b *strings.Builder, g circuit.Gate) error {
+	// Negative controls: conjugate with X.
+	var negs []int
+	for _, ctl := range g.Controls {
+		if ctl.Neg {
+			negs = append(negs, ctl.Qubit)
+		}
+	}
+	for _, q := range negs {
+		fmt.Fprintf(b, "x q[%d];\n", q)
+	}
+	if err := writePositive(b, g); err != nil {
+		return err
+	}
+	for _, q := range negs {
+		fmt.Fprintf(b, "x q[%d];\n", q)
+	}
+	return nil
+}
+
+func writePositive(b *strings.Builder, g circuit.Gate) error {
+	ctl := make([]int, len(g.Controls))
+	for i, c := range g.Controls {
+		ctl[i] = c.Qubit
+	}
+	args := func(qs ...int) string {
+		parts := make([]string, len(qs))
+		for i, q := range qs {
+			parts[i] = fmt.Sprintf("q[%d]", q)
+		}
+		return strings.Join(parts, ",")
+	}
+	params := func() string {
+		if len(g.Params) == 0 {
+			return ""
+		}
+		parts := make([]string, len(g.Params))
+		for i, p := range g.Params {
+			parts[i] = fmt.Sprintf("%.17g", p)
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	}
+
+	if g.Kind == circuit.SWAP {
+		switch len(ctl) {
+		case 0:
+			fmt.Fprintf(b, "swap %s;\n", args(g.Target, g.Target2))
+			return nil
+		case 1:
+			fmt.Fprintf(b, "cswap %s;\n", args(ctl[0], g.Target, g.Target2))
+			return nil
+		default:
+			return fmt.Errorf("SWAP with %d controls not representable in qelib1", len(ctl))
+		}
+	}
+	if g.Kind == circuit.Custom {
+		return fmt.Errorf("custom-matrix gates not representable in OpenQASM 2.0")
+	}
+
+	base := map[circuit.Kind]string{
+		circuit.I: "id", circuit.X: "x", circuit.Y: "y", circuit.Z: "z",
+		circuit.H: "h", circuit.S: "s", circuit.Sdg: "sdg",
+		circuit.T: "t", circuit.Tdg: "tdg", circuit.SX: "sx", circuit.SXdg: "sxdg",
+		circuit.RX: "rx", circuit.RY: "ry", circuit.RZ: "rz", circuit.P: "p",
+		circuit.U2: "u2", circuit.U3: "u3",
+	}[g.Kind]
+	if base == "" {
+		return fmt.Errorf("unsupported gate kind %v", g.Kind)
+	}
+
+	switch len(ctl) {
+	case 0:
+		fmt.Fprintf(b, "%s%s %s;\n", base, params(), args(g.Target))
+		return nil
+	case 1:
+		name, ok := map[string]string{
+			"x": "cx", "y": "cy", "z": "cz", "h": "ch", "sx": "csx",
+			"rx": "crx", "ry": "cry", "rz": "crz", "p": "cp", "u3": "cu3",
+		}[base]
+		if !ok {
+			return fmt.Errorf("controlled %s not representable in qelib1", base)
+		}
+		fmt.Fprintf(b, "%s%s %s;\n", name, params(), args(ctl[0], g.Target))
+		return nil
+	case 2:
+		switch base {
+		case "x":
+			fmt.Fprintf(b, "ccx %s;\n", args(ctl[0], ctl[1], g.Target))
+			return nil
+		case "z":
+			// ccz via H conjugation on the target.
+			fmt.Fprintf(b, "h q[%d];\nccx %s;\nh q[%d];\n", g.Target, args(ctl[0], ctl[1], g.Target), g.Target)
+			return nil
+		}
+		return fmt.Errorf("doubly-controlled %s not representable in qelib1", base)
+	default:
+		return fmt.Errorf("%d-controlled %s not representable in qelib1 (decompose first)", len(ctl), base)
+	}
+}

@@ -1,0 +1,46 @@
+package revlib
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the .real parser never panics and that accepted
+// circuits validate.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		".numvars 2\n.variables a b\n.begin\nt2 a b\n.end\n",
+		".numvars 3\n.begin\nt3 x0 x1 x2\nf2 x0 x1\nv x0 x1\nv+ x1 x0\n.end\n",
+		".numvars 2\n.variables a b\n.begin\nt2 -a b\n.end\n",
+		"# only a comment\n.numvars 1\n.begin\nt1 x0\n.end\n",
+		".numvars 2\n.variables a b\n.constants -0\n.garbage 1-\n.begin\n.end\n",
+		".numvars 2\nt1 a\n.begin\n.end",
+		".version 2.0\n.numvars 0\n.begin\n.end",
+		".numvars 2\n.variables a a\n.begin\n.end",
+		".numvars 2\n.variables a b\n.begin\nt9 a b\n.end",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if file.Circuit == nil {
+			t.Fatal("nil circuit without error")
+		}
+		if err := file.Circuit.Validate(); err != nil {
+			t.Fatalf("accepted circuit fails validation: %v", err)
+		}
+		// Accepted circuits must also re-emit and re-parse.
+		out, err := WriteString(file.Circuit)
+		if err != nil {
+			t.Fatalf("accepted circuit not writable: %v", err)
+		}
+		if _, err := Parse(strings.NewReader(out)); err != nil {
+			t.Fatalf("writer output does not re-parse: %v\n%s", err, out)
+		}
+	})
+}

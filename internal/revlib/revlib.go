@@ -1,0 +1,301 @@
+// Package revlib reads and writes RevLib ".real" reversible-circuit
+// netlists — the format of the paper's reversible benchmark class
+// (urf4_187, hwb9_119, 5xp1_194, ...).
+//
+// Supported constructs: the .version/.numvars/.variables/.inputs/.outputs/
+// .constants/.garbage header lines, Toffoli gates (t1..tN), Fredkin gates
+// (f2..fN), controlled-V and V+ gates, and the common negative-control
+// extension ("-a" fires on |0>).  Variable k of the header maps to qubit k.
+package revlib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"qcec/internal/circuit"
+)
+
+// File is a parsed .real netlist.
+type File struct {
+	Circuit   *circuit.Circuit
+	Variables []string
+	Inputs    []string
+	Outputs   []string
+	Constants string // per-line constant inputs ('-', '0' or '1')
+	Garbage   string // per-line garbage outputs ('-' or '1')
+}
+
+// Parse reads a .real netlist.
+func Parse(r io.Reader) (*File, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	f := &File{}
+	var gates []struct {
+		fields []string
+		line   int
+	}
+	numvars := -1
+	inBody := false
+	ended := false
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if ended {
+			return nil, fmt.Errorf("revlib: line %d: content after .end", lineNo)
+		}
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch strings.ToLower(fields[0]) {
+			case ".version":
+				// ignored
+			case ".numvars":
+				if len(fields) != 2 {
+					return nil, fmt.Errorf("revlib: line %d: malformed .numvars", lineNo)
+				}
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("revlib: line %d: invalid .numvars %q", lineNo, fields[1])
+				}
+				numvars = n
+			case ".variables":
+				f.Variables = fields[1:]
+			case ".inputs":
+				f.Inputs = fields[1:]
+			case ".outputs":
+				f.Outputs = fields[1:]
+			case ".constants":
+				if len(fields) == 2 {
+					f.Constants = fields[1]
+				}
+			case ".garbage":
+				if len(fields) == 2 {
+					f.Garbage = fields[1]
+				}
+			case ".begin":
+				inBody = true
+			case ".end":
+				ended = true
+			case ".inputbus", ".outputbus", ".state", ".module", ".define":
+				return nil, fmt.Errorf("revlib: line %d: unsupported directive %s", lineNo, fields[0])
+			default:
+				// Unknown benign directives are skipped.
+			}
+			continue
+		}
+		if !inBody {
+			return nil, fmt.Errorf("revlib: line %d: gate before .begin", lineNo)
+		}
+		gates = append(gates, struct {
+			fields []string
+			line   int
+		}{strings.Fields(line), lineNo})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if numvars < 0 {
+		return nil, fmt.Errorf("revlib: missing .numvars")
+	}
+	if len(f.Variables) == 0 {
+		for i := 0; i < numvars; i++ {
+			f.Variables = append(f.Variables, fmt.Sprintf("x%d", i))
+		}
+	}
+	if len(f.Variables) != numvars {
+		return nil, fmt.Errorf("revlib: .numvars %d but %d variables", numvars, len(f.Variables))
+	}
+	index := make(map[string]int, numvars)
+	for i, v := range f.Variables {
+		if _, dup := index[v]; dup {
+			return nil, fmt.Errorf("revlib: duplicate variable %q", v)
+		}
+		index[v] = i
+	}
+
+	c := circuit.New(numvars, "real")
+	for _, g := range gates {
+		if err := appendGate(c, index, g.fields, g.line); err != nil {
+			return nil, err
+		}
+	}
+	f.Circuit = c
+	return f, nil
+}
+
+// ParseFile reads a .real netlist from disk.
+func ParseFile(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	f, err := Parse(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	f.Circuit.Name = strings.TrimSuffix(path, ".real")
+	return f, nil
+}
+
+func resolveOperand(index map[string]int, tok string, line int) (circuit.Control, error) {
+	neg := false
+	if strings.HasPrefix(tok, "-") {
+		neg = true
+		tok = tok[1:]
+	}
+	q, ok := index[tok]
+	if !ok {
+		return circuit.Control{}, fmt.Errorf("revlib: line %d: unknown variable %q", line, tok)
+	}
+	return circuit.Control{Qubit: q, Neg: neg}, nil
+}
+
+func appendGate(c *circuit.Circuit, index map[string]int, fields []string, line int) error {
+	if len(fields) < 2 {
+		return fmt.Errorf("revlib: line %d: malformed gate", line)
+	}
+	name := strings.ToLower(fields[0])
+	ops := make([]circuit.Control, len(fields)-1)
+	for i, tok := range fields[1:] {
+		op, err := resolveOperand(index, tok, line)
+		if err != nil {
+			return err
+		}
+		ops[i] = op
+	}
+	switch {
+	case strings.HasPrefix(name, "t"):
+		size, err := gateSize(name[1:], len(ops), line)
+		if err != nil {
+			return err
+		}
+		tgt := ops[size-1]
+		if tgt.Neg {
+			return fmt.Errorf("revlib: line %d: negated target", line)
+		}
+		if err := c.TryAdd(circuit.Gate{Kind: circuit.X, Target: tgt.Qubit, Target2: -1, Controls: ops[:size-1]}); err != nil {
+			return fmt.Errorf("revlib: line %d: %w", line, err)
+		}
+	case strings.HasPrefix(name, "f"):
+		size, err := gateSize(name[1:], len(ops), line)
+		if err != nil {
+			return err
+		}
+		if size < 2 {
+			return fmt.Errorf("revlib: line %d: Fredkin needs two targets", line)
+		}
+		a, b := ops[size-2], ops[size-1]
+		if a.Neg || b.Neg {
+			return fmt.Errorf("revlib: line %d: negated target", line)
+		}
+		if err := c.TryAdd(circuit.Gate{Kind: circuit.SWAP, Target: a.Qubit, Target2: b.Qubit, Controls: ops[:size-2]}); err != nil {
+			return fmt.Errorf("revlib: line %d: %w", line, err)
+		}
+	case name == "v":
+		tgt := ops[len(ops)-1]
+		if tgt.Neg {
+			return fmt.Errorf("revlib: line %d: negated target", line)
+		}
+		if err := c.TryAdd(circuit.Gate{Kind: circuit.SX, Target: tgt.Qubit, Target2: -1, Controls: ops[:len(ops)-1]}); err != nil {
+			return fmt.Errorf("revlib: line %d: %w", line, err)
+		}
+	case name == "v+":
+		tgt := ops[len(ops)-1]
+		if tgt.Neg {
+			return fmt.Errorf("revlib: line %d: negated target", line)
+		}
+		if err := c.TryAdd(circuit.Gate{Kind: circuit.SXdg, Target: tgt.Qubit, Target2: -1, Controls: ops[:len(ops)-1]}); err != nil {
+			return fmt.Errorf("revlib: line %d: %w", line, err)
+		}
+	default:
+		return fmt.Errorf("revlib: line %d: unsupported gate %q", line, name)
+	}
+	return nil
+}
+
+func gateSize(sizeStr string, operands, line int) (int, error) {
+	if sizeStr == "" || sizeStr == "*" {
+		return operands, nil
+	}
+	size, err := strconv.Atoi(sizeStr)
+	if err != nil {
+		return 0, fmt.Errorf("revlib: line %d: invalid gate size %q", line, sizeStr)
+	}
+	if size != operands {
+		return 0, fmt.Errorf("revlib: line %d: gate declares %d operands but lists %d", line, size, operands)
+	}
+	return size, nil
+}
+
+// Write renders a circuit as a .real netlist.  Only X (Toffoli family),
+// SWAP (Fredkin family) and SX/SXdg (V/V+) gates are representable.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n.version 2.0\n.numvars %d\n", c.Name, c.N)
+	b.WriteString(".variables")
+	for i := 0; i < c.N; i++ {
+		fmt.Fprintf(&b, " x%d", i)
+	}
+	b.WriteString("\n.begin\n")
+	for i, g := range c.Gates {
+		if err := writeGate(&b, g); err != nil {
+			return fmt.Errorf("revlib: gate %d (%s): %w", i, g, err)
+		}
+	}
+	b.WriteString(".end\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteString renders a circuit as a .real string.
+func WriteString(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, c); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func writeGate(b *strings.Builder, g circuit.Gate) error {
+	operand := func(ctl circuit.Control) string {
+		if ctl.Neg {
+			return fmt.Sprintf("-x%d", ctl.Qubit)
+		}
+		return fmt.Sprintf("x%d", ctl.Qubit)
+	}
+	switch g.Kind {
+	case circuit.X:
+		fmt.Fprintf(b, "t%d", len(g.Controls)+1)
+		for _, ctl := range g.Controls {
+			fmt.Fprintf(b, " %s", operand(ctl))
+		}
+		fmt.Fprintf(b, " x%d\n", g.Target)
+	case circuit.SWAP:
+		fmt.Fprintf(b, "f%d", len(g.Controls)+2)
+		for _, ctl := range g.Controls {
+			fmt.Fprintf(b, " %s", operand(ctl))
+		}
+		fmt.Fprintf(b, " x%d x%d\n", g.Target, g.Target2)
+	case circuit.SX, circuit.SXdg:
+		name := "v"
+		if g.Kind == circuit.SXdg {
+			name = "v+"
+		}
+		fmt.Fprintf(b, "%s", name)
+		for _, ctl := range g.Controls {
+			fmt.Fprintf(b, " %s", operand(ctl))
+		}
+		fmt.Fprintf(b, " x%d\n", g.Target)
+	default:
+		return fmt.Errorf("gate kind %v not representable in .real", g.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package revlib
+
+import (
+	"strings"
+	"testing"
+
+	"qcec/internal/circuit"
+	"qcec/internal/ec"
+)
+
+const sample = `
+# toy benchmark
+.version 2.0
+.numvars 3
+.variables a b c
+.inputs a b c
+.outputs a b c
+.constants ---
+.garbage ---
+.begin
+t1 a
+t2 a b
+t3 a b c
+f3 a b c
+v a b
+v+ a b
+.end
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Circuit
+	if c.N != 3 || c.NumGates() != 6 {
+		t.Fatalf("n=%d gates=%d", c.N, c.NumGates())
+	}
+	if c.Gates[0].Kind != circuit.X || len(c.Gates[0].Controls) != 0 {
+		t.Errorf("t1 parsed as %v", c.Gates[0])
+	}
+	if len(c.Gates[2].Controls) != 2 || c.Gates[2].Target != 2 {
+		t.Errorf("t3 parsed as %v", c.Gates[2])
+	}
+	if c.Gates[3].Kind != circuit.SWAP || len(c.Gates[3].Controls) != 1 {
+		t.Errorf("f3 parsed as %v", c.Gates[3])
+	}
+	if c.Gates[4].Kind != circuit.SX || c.Gates[5].Kind != circuit.SXdg {
+		t.Errorf("v/v+ parsed as %v %v", c.Gates[4], c.Gates[5])
+	}
+	if len(f.Variables) != 3 || f.Variables[1] != "b" {
+		t.Errorf("variables = %v", f.Variables)
+	}
+}
+
+func TestNegativeControls(t *testing.T) {
+	f, err := Parse(strings.NewReader(`
+.numvars 2
+.variables a b
+.begin
+t2 -a b
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.Circuit.Gates[0]
+	if !g.Controls[0].Neg {
+		t.Errorf("negative control lost: %v", g)
+	}
+}
+
+func TestDefaultVariableNames(t *testing.T) {
+	f, err := Parse(strings.NewReader(`
+.numvars 2
+.begin
+t2 x0 x1
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Circuit.NumGates() != 1 {
+		t.Fatal("gate not parsed with default variable names")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		".begin\nt1 a\n.end",                               // missing numvars
+		".numvars 2\n.variables a a\n.begin\n.end",         // duplicate var
+		".numvars 2\n.variables a b\nt1 a\n.begin\n.end",   // gate before begin
+		".numvars 2\n.variables a b\n.begin\nt2 a\n.end",   // arity mismatch
+		".numvars 2\n.variables a b\n.begin\nt1 q\n.end",   // unknown var
+		".numvars 2\n.variables a b\n.begin\nt1 -a\n.end",  // negated target
+		".numvars 2\n.variables a b\n.begin\ng2 a b\n.end", // unknown gate
+		".numvars 2\n.variables a b c\n.begin\n.end",       // var count mismatch
+		".numvars 0\n.begin\n.end",                         // invalid numvars
+		".numvars 2\n.variables a b\n.begin\n.end\nt1 a",   // content after end
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := circuit.New(4, "rt")
+	c.X(0).CX(0, 1).CCX(0, 1, 2).MCX([]int{0, 1, 2}, 3)
+	c.MCXNeg([]circuit.Control{{Qubit: 0, Neg: true}, {Qubit: 2}}, 1)
+	c.Swap(0, 3).CSwap(1, 0, 2)
+	c.Add(circuit.Gate{Kind: circuit.SX, Target: 2, Target2: -1, Controls: []circuit.Control{{Qubit: 0}}})
+	src, err := WriteString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, src)
+	}
+	r := ec.Check(c, f.Circuit, ec.Options{Strategy: ec.Proportional})
+	if r.Verdict != ec.Equivalent {
+		t.Fatalf("round-trip not equivalent: %v\n%s", r.Verdict, src)
+	}
+}
+
+func TestWriteUnsupportedKind(t *testing.T) {
+	c := circuit.New(1, "h")
+	c.H(0)
+	if _, err := WriteString(c); err == nil {
+		t.Error("H gate should not be representable in .real")
+	}
+}
+
+func TestHeaderMetadata(t *testing.T) {
+	f, err := Parse(strings.NewReader(`
+.numvars 2
+.variables a b
+.inputs i0 i1
+.outputs o0 o1
+.constants -0
+.garbage 1-
+.begin
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Constants != "-0" || f.Garbage != "1-" {
+		t.Errorf("constants/garbage = %q/%q", f.Constants, f.Garbage)
+	}
+	if len(f.Inputs) != 2 || len(f.Outputs) != 2 {
+		t.Errorf("inputs/outputs = %v/%v", f.Inputs, f.Outputs)
+	}
+}

@@ -1,0 +1,543 @@
+// Package sat implements a small CDCL (conflict-driven clause learning)
+// Boolean satisfiability solver: two-watched-literal propagation, first-UIP
+// conflict analysis, activity-based branching with phase saving, and Luby
+// restarts.
+//
+// It powers the SAT-based equivalence checking baseline of the reproduction
+// (paper ref [17]): reversible-circuit miters are encoded into CNF and
+// proven UNSAT (equivalent) or produce a satisfying assignment, i.e. a
+// counterexample input.
+package sat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Lit is a literal: positive values denote variables, negative values their
+// negations.  Variables are numbered from 1.
+type Lit int
+
+// Var returns the literal's variable.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the negated literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Sign reports whether the literal is positive.
+func (l Lit) Sign() bool { return l > 0 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+// Status is a solver outcome.
+type Status int
+
+// Solver outcomes.
+const (
+	Unknown Status = iota
+	Satisfiable
+	Unsatisfiable
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Satisfiable:
+		return "satisfiable"
+	case Unsatisfiable:
+		return "unsatisfiable"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats reports solver effort.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learned      int64
+}
+
+// Solver is a CDCL SAT solver.  Create with NewSolver, add clauses, call
+// Solve.  Not safe for concurrent use.
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	learnts []*clause
+
+	// watches[litIndex] lists clauses watching that literal.
+	watches [][]*clause
+
+	assign   []lbool // per variable
+	level    []int
+	reason   []*clause
+	trail    []Lit
+	trailLim []int
+	phase    []bool // saved phases
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+
+	propHead int
+	ok       bool
+
+	stats Stats
+
+	// ConflictBudget aborts Solve with Unknown after this many conflicts
+	// (0 = unlimited) — the timeout mechanism of the EC baseline.
+	ConflictBudget int64
+}
+
+// NewSolver creates a solver with no variables.
+func NewSolver() *Solver {
+	s := &Solver{ok: true, varInc: 1}
+	s.order = &varHeap{solver: s}
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its index (1-based).
+func (s *Solver) NewVar() int {
+	s.nVars++
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(s.nVars)
+	return s.nVars
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NumClauses returns the number of problem clauses added.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Stats returns solver effort counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+func (s *Solver) litIndex(l Lit) int {
+	v := l.Var() - 1
+	if l.Sign() {
+		return 2 * v
+	}
+	return 2*v + 1
+}
+
+func (s *Solver) value(l Lit) lbool {
+	a := s.assign[l.Var()-1]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Sign() == (a == lTrue) {
+		return lTrue
+	}
+	return lFalse
+}
+
+// AddClause adds a clause; it returns an error if a literal references an
+// unallocated variable.  Adding an empty (or falsified unit) clause makes
+// the instance trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) error {
+	for _, l := range lits {
+		if l == 0 || l.Var() > s.nVars {
+			return fmt.Errorf("sat: invalid literal %d", l)
+		}
+	}
+	if !s.ok {
+		return nil
+	}
+	// Simplify: drop duplicate/false literals, detect tautologies.
+	seen := make(map[Lit]bool, len(lits))
+	var kept []Lit
+	for _, l := range lits {
+		switch {
+		case seen[l]:
+			continue
+		case seen[l.Neg()]:
+			return nil // tautology
+		case s.value(l) == lTrue && s.level[l.Var()-1] == 0:
+			return nil // already satisfied at root
+		case s.value(l) == lFalse && s.level[l.Var()-1] == 0:
+			continue // falsified at root: drop
+		}
+		seen[l] = true
+		kept = append(kept, l)
+	}
+	switch len(kept) {
+	case 0:
+		s.ok = false
+		return nil
+	case 1:
+		if s.value(kept[0]) == lFalse {
+			s.ok = false
+			return nil
+		}
+		if s.value(kept[0]) == lUndef {
+			s.enqueue(kept[0], nil)
+			if s.propagate() != nil {
+				s.ok = false
+			}
+		}
+		return nil
+	}
+	c := &clause{lits: kept}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return nil
+}
+
+func (s *Solver) attach(c *clause) {
+	w0 := s.litIndex(c.lits[0].Neg())
+	w1 := s.litIndex(c.lits[1].Neg())
+	s.watches[w0] = append(s.watches[w0], c)
+	s.watches[w1] = append(s.watches[w1], c)
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) {
+	v := l.Var() - 1
+	if l.Sign() {
+		s.assign[v] = lTrue
+	} else {
+		s.assign[v] = lFalse
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// propagate performs unit propagation; it returns the conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.propHead < len(s.trail) {
+		l := s.trail[s.propHead]
+		s.propHead++
+		s.stats.Propagations++
+		wi := s.litIndex(l)
+		ws := s.watches[wi]
+		s.watches[wi] = ws[:0:0] // reset; re-append the keepers
+		kept := s.watches[wi]
+		for ci := 0; ci < len(ws); ci++ {
+			c := ws[ci]
+			// Ensure the falsified literal is lits[1].
+			if c.lits[0].Neg() == l {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					idx := s.litIndex(c.lits[1].Neg())
+					s.watches[idx] = append(s.watches[idx], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == lFalse {
+				// Conflict: restore remaining watches and bail.
+				kept = append(kept, ws[ci+1:]...)
+				s.watches[wi] = kept
+				s.propHead = len(s.trail)
+				return c
+			}
+			s.enqueue(c.lits[0], c)
+		}
+		s.watches[wi] = kept
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v-1] += s.varInc
+	if s.activity[v-1] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learned := []Lit{0} // placeholder for the asserting literal
+	seen := make([]bool, s.nVars)
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+
+	c := confl
+	for {
+		for _, q := range c.lits {
+			if q == p {
+				continue
+			}
+			v := q.Var()
+			if !seen[v-1] && s.level[v-1] > 0 {
+				seen[v-1] = true
+				s.bumpVar(v)
+				if s.level[v-1] >= s.decisionLevel() {
+					counter++
+				} else {
+					learned = append(learned, q)
+				}
+			}
+		}
+		// Find the next literal on the trail to resolve on.
+		for !seen[s.trail[idx].Var()-1] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		seen[p.Var()-1] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[p.Var()-1]
+	}
+	learned[0] = p.Neg()
+
+	// Backtrack level: second-highest level in the learned clause.
+	back := 0
+	if len(learned) > 1 {
+		maxI := 1
+		for i := 2; i < len(learned); i++ {
+			if s.level[learned[i].Var()-1] > s.level[learned[maxI].Var()-1] {
+				maxI = i
+			}
+		}
+		learned[1], learned[maxI] = learned[maxI], learned[1]
+		back = s.level[learned[1].Var()-1]
+	}
+	return learned, back
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		v := s.trail[i].Var()
+		s.phase[v-1] = s.assign[v-1] == lTrue
+		s.assign[v-1] = lUndef
+		s.reason[v-1] = nil
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+	s.propHead = len(s.trail)
+}
+
+func (s *Solver) pickBranch() Lit {
+	for {
+		v := s.order.pop()
+		if v == 0 {
+			return 0
+		}
+		if s.assign[v-1] == lUndef {
+			if s.phase[v-1] {
+				return Lit(v)
+			}
+			return Lit(-v)
+		}
+	}
+}
+
+// luby returns the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<uint(k))-1 {
+			return int64(1) << uint(k-1)
+		}
+		if i >= int64(1)<<uint(k-1) && i < (int64(1)<<uint(k))-1 {
+			return luby(i - (int64(1) << uint(k-1)) + 1)
+		}
+	}
+}
+
+// ErrBudget is returned by Solve when the conflict budget is exhausted.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+// Solve decides satisfiability.  On Satisfiable, Model returns the
+// assignment.  With a ConflictBudget set it may return Unknown/ErrBudget.
+func (s *Solver) Solve() (Status, error) {
+	if !s.ok {
+		return Unsatisfiable, nil
+	}
+	if c := s.propagate(); c != nil {
+		s.ok = false
+		return Unsatisfiable, nil
+	}
+	restart := int64(1)
+	conflictsAtRestart := int64(0)
+	limit := luby(restart) * 64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflictsAtRestart++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsatisfiable, nil
+			}
+			learned, back := s.analyze(confl)
+			s.backtrackTo(back)
+			if len(learned) == 1 {
+				s.enqueue(learned[0], nil)
+			} else {
+				c := &clause{lits: learned, learned: true}
+				s.learnts = append(s.learnts, c)
+				s.stats.Learned++
+				s.attach(c)
+				s.enqueue(learned[0], c)
+			}
+			s.varInc /= 0.95
+			if s.ConflictBudget > 0 && s.stats.Conflicts >= s.ConflictBudget {
+				return Unknown, ErrBudget
+			}
+			continue
+		}
+		if conflictsAtRestart >= limit {
+			s.stats.Restarts++
+			restart++
+			conflictsAtRestart = 0
+			limit = luby(restart) * 64
+			s.backtrackTo(0)
+			continue
+		}
+		l := s.pickBranch()
+		if l == 0 {
+			return Satisfiable, nil
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(l, nil)
+	}
+}
+
+// Model returns the satisfying assignment (index 0 = variable 1).  Only
+// valid after Solve returned Satisfiable.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.nVars)
+	for i, a := range s.assign {
+		m[i] = a == lTrue
+	}
+	return m
+}
+
+// varHeap is a max-heap over variable activity with lazy deletion.
+type varHeap struct {
+	solver *Solver
+	heap   []int
+	pos    []int // pos[v-1] = index in heap, -1 if absent
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return h.solver.activity[a-1] > h.solver.activity[b-1]
+}
+
+func (h *varHeap) push(v int) {
+	for len(h.pos) < v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v-1] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v-1] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *varHeap) pop() int {
+	if len(h.heap) == 0 {
+		return 0
+	}
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[top-1] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *varHeap) update(v int) {
+	if len(h.pos) >= v && h.pos[v-1] >= 0 {
+		h.up(h.pos[v-1])
+	}
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]-1] = i
+	h.pos[h.heap[j]-1] = j
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.heap[i], h.heap[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(h.heap[l], h.heap[best]) {
+			best = l
+		}
+		if r < n && h.less(h.heap[r], h.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}

@@ -1,0 +1,324 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, s *Solver, lits ...Lit) {
+	t.Helper()
+	if err := s.AddClause(lits...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := NewSolver()
+	a := Lit(s.NewVar())
+	mustAdd(t, s, a)
+	st, err := s.Solve()
+	if err != nil || st != Satisfiable {
+		t.Fatalf("status %v err %v", st, err)
+	}
+	if !s.Model()[0] {
+		t.Fatal("model does not satisfy unit clause")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := NewSolver()
+	a := Lit(s.NewVar())
+	mustAdd(t, s, a)
+	mustAdd(t, s, a.Neg())
+	st, _ := s.Solve()
+	if st != Unsatisfiable {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := NewSolver()
+	s.NewVar()
+	mustAdd(t, s) // empty clause
+	st, _ := s.Solve()
+	if st != Unsatisfiable {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestNoClausesSat(t *testing.T) {
+	s := NewSolver()
+	s.NewVar()
+	s.NewVar()
+	st, _ := s.Solve()
+	if st != Satisfiable {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := NewSolver()
+	a := Lit(s.NewVar())
+	mustAdd(t, s, a, a.Neg())
+	if s.NumClauses() != 0 {
+		t.Fatal("tautology stored")
+	}
+	st, _ := s.Solve()
+	if st != Satisfiable {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestInvalidLiteral(t *testing.T) {
+	s := NewSolver()
+	if err := s.AddClause(Lit(3)); err == nil {
+		t.Fatal("out-of-range literal accepted")
+	}
+	if err := s.AddClause(Lit(0)); err == nil {
+		t.Fatal("zero literal accepted")
+	}
+}
+
+func TestXorChainUnsat(t *testing.T) {
+	// x1 xor x2, x2 xor x3, x1 xor x3 with odd parity constraint is UNSAT:
+	// encode x1^x2=1, x2^x3=1, x1^x3=1 (sum of three =1s over GF(2) is 1,
+	// but LHS sums to 0) — classic small UNSAT.
+	s := NewSolver()
+	x := []Lit{0, Lit(s.NewVar()), Lit(s.NewVar()), Lit(s.NewVar())}
+	xorTrue := func(a, b Lit) {
+		mustAdd(t, s, a, b)
+		mustAdd(t, s, a.Neg(), b.Neg())
+	}
+	xorTrue(x[1], x[2])
+	xorTrue(x[2], x[3])
+	xorTrue(x[1], x[3])
+	st, _ := s.Solve()
+	if st != Unsatisfiable {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(4,3): 4 pigeons, 3 holes — UNSAT, requires real conflict analysis.
+	s := NewSolver()
+	const pigeons, holes = 4, 3
+	v := make([][]Lit, pigeons)
+	for p := 0; p < pigeons; p++ {
+		v[p] = make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			v[p][h] = Lit(s.NewVar())
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		mustAdd(t, s, v[p]...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				mustAdd(t, s, v[p1][h].Neg(), v[p2][h].Neg())
+			}
+		}
+	}
+	st, _ := s.Solve()
+	if st != Unsatisfiable {
+		t.Fatalf("PHP(4,3) judged %v", st)
+	}
+	if s.Stats().Conflicts == 0 {
+		t.Error("PHP solved without conflicts — suspicious")
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// A 5-cycle is 3-colorable.
+	s := NewSolver()
+	const n, colors = 5, 3
+	v := make([][]Lit, n)
+	for i := 0; i < n; i++ {
+		v[i] = make([]Lit, colors)
+		for c := 0; c < colors; c++ {
+			v[i][c] = Lit(s.NewVar())
+		}
+		mustAdd(t, s, v[i]...)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		for c := 0; c < colors; c++ {
+			mustAdd(t, s, v[i][c].Neg(), v[j][c].Neg())
+		}
+	}
+	st, _ := s.Solve()
+	if st != Satisfiable {
+		t.Fatalf("5-cycle 3-coloring judged %v", st)
+	}
+	// Verify the model.
+	m := s.Model()
+	color := func(i int) int {
+		for c := 0; c < colors; c++ {
+			if m[v[i][c].Var()-1] {
+				return c
+			}
+		}
+		return -1
+	}
+	for i := 0; i < n; i++ {
+		if color(i) < 0 || color(i) == color((i+1)%n) {
+			t.Fatalf("invalid coloring at vertex %d", i)
+		}
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	// PHP(7,6) is hard enough to exceed a 10-conflict budget.
+	s := NewSolver()
+	const pigeons, holes = 7, 6
+	v := make([][]Lit, pigeons)
+	for p := 0; p < pigeons; p++ {
+		v[p] = make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			v[p][h] = Lit(s.NewVar())
+		}
+		mustAdd(t, s, v[p]...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				mustAdd(t, s, v[p1][h].Neg(), v[p2][h].Neg())
+			}
+		}
+	}
+	s.ConflictBudget = 10
+	st, err := s.Solve()
+	if st != Unknown || err != ErrBudget {
+		t.Fatalf("status %v err %v, want Unknown/ErrBudget", st, err)
+	}
+}
+
+// bruteForce decides a CNF by enumeration (oracle for the property test).
+func bruteForce(nVars int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<uint(nVars); m++ {
+		ok := true
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				bit := m>>(uint(l.Var())-1)&1 == 1
+				if bit == l.Sign() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: the solver agrees with brute force on random small 3-SAT
+// instances, and SAT models actually satisfy every clause.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	g := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 4 + rng.Intn(6)
+		nClauses := 5 + rng.Intn(25)
+		var clauses [][]Lit
+		s := NewSolver()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for i := 0; i < nClauses; i++ {
+			width := 1 + rng.Intn(3)
+			var c []Lit
+			for j := 0; j < width; j++ {
+				v := 1 + rng.Intn(nVars)
+				l := Lit(v)
+				if rng.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				c = append(c, l)
+			}
+			clauses = append(clauses, c)
+			if err := s.AddClause(c...); err != nil {
+				return false
+			}
+		}
+		st, err := s.Solve()
+		if err != nil {
+			return false
+		}
+		want := bruteForce(nVars, clauses)
+		if want != (st == Satisfiable) {
+			return false
+		}
+		if st == Satisfiable {
+			m := s.Model()
+			for _, c := range clauses {
+				sat := false
+				for _, l := range c {
+					if m[l.Var()-1] == l.Sign() {
+						sat = true
+					}
+				}
+				if !sat {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncrementalAddAfterSolve(t *testing.T) {
+	// Clauses at root level added after a Solve would complicate state;
+	// this solver is single-shot, but re-solving the same instance must be
+	// stable.
+	s := NewSolver()
+	a, b := Lit(s.NewVar()), Lit(s.NewVar())
+	mustAdd(t, s, a, b)
+	st1, _ := s.Solve()
+	st2, _ := s.Solve()
+	if st1 != Satisfiable || st2 != Satisfiable {
+		t.Fatalf("re-solve changed status: %v then %v", st1, st2)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, st := range []Status{Unknown, Satisfiable, Unsatisfiable} {
+		if st.String() == "" {
+			t.Error("empty status name")
+		}
+	}
+}
+
+func BenchmarkPigeonhole76(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		const pigeons, holes = 7, 6
+		v := make([][]Lit, pigeons)
+		for p := 0; p < pigeons; p++ {
+			v[p] = make([]Lit, holes)
+			for h := 0; h < holes; h++ {
+				v[p][h] = Lit(s.NewVar())
+			}
+			s.AddClause(v[p]...)
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 < pigeons; p1++ {
+				for p2 := p1 + 1; p2 < pigeons; p2++ {
+					s.AddClause(v[p1][h].Neg(), v[p2][h].Neg())
+				}
+			}
+		}
+		if st, _ := s.Solve(); st != Unsatisfiable {
+			b.Fatal("PHP(7,6) not UNSAT")
+		}
+	}
+}

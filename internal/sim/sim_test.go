@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qcec/internal/circuit"
+	"qcec/internal/dd"
+	"qcec/internal/dense"
+)
+
+// runDense is the oracle: simulate a circuit with the dense simulator.
+func runDense(c *circuit.Circuit, input uint64) dense.State {
+	s := dense.BasisState(c.N, input)
+	for _, g := range c.Gates {
+		applyDense(s, g)
+	}
+	return s
+}
+
+func applyDense(s dense.State, g circuit.Gate) {
+	if g.Kind == circuit.SWAP {
+		for _, cx := range swapAsCXs(g) {
+			applyDense(s, cx)
+		}
+		return
+	}
+	cs := make([]dense.Control, len(g.Controls))
+	for i, c := range g.Controls {
+		cs[i] = dense.Control{Qubit: c.Qubit, Neg: c.Neg}
+	}
+	s.ApplyGate(g.Matrix(), g.Target, cs)
+}
+
+func randomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n, "random")
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.T(rng.Intn(n))
+		case 2:
+			c.X(rng.Intn(n))
+		case 3:
+			c.RZ(rng.Float64()*2*math.Pi, rng.Intn(n))
+		case 4:
+			c.RY(rng.Float64()*2*math.Pi, rng.Intn(n))
+		case 5:
+			if n > 1 {
+				a := rng.Intn(n)
+				b := (a + 1 + rng.Intn(n-1)) % n
+				c.CX(a, b)
+			}
+		case 6:
+			if n > 1 {
+				a := rng.Intn(n)
+				b := (a + 1 + rng.Intn(n-1)) % n
+				c.Swap(a, b)
+			}
+		case 7:
+			if n > 2 {
+				a := rng.Intn(n)
+				b := (a + 1) % n
+				t := (a + 2) % n
+				c.CCX(a, b, t)
+			} else {
+				c.S(rng.Intn(n))
+			}
+		}
+	}
+	return c
+}
+
+func TestRunMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 1; n <= 5; n++ {
+		c := randomCircuit(rng, n, 40)
+		input := rng.Uint64() & ((1 << uint(n)) - 1)
+		s := New(n)
+		got := s.P.Vector(s.Run(c, input))
+		want := runDense(c, input)
+		for i := range want {
+			if cmplx.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("n=%d amplitude[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSwapGate(t *testing.T) {
+	// SWAP |01> = |10>
+	c := circuit.New(2, "swap")
+	c.X(0).Swap(0, 1)
+	s := New(2)
+	st := s.Run(c, 0)
+	if got := s.P.Amplitude(st, 2); cmplx.Abs(got-1) > 1e-12 {
+		t.Fatalf("SWAP|01> amplitude of |10> = %v", got)
+	}
+}
+
+func TestControlledSwap(t *testing.T) {
+	// Fredkin: control 0 off -> no swap; on -> swap.
+	c := circuit.New(3, "fredkin")
+	c.X(1).CSwap(0, 1, 2)
+	s := New(3)
+	st := s.Run(c, 0)
+	if got := s.P.Amplitude(st, 0b010); cmplx.Abs(got-1) > 1e-12 {
+		t.Fatalf("uncontrolled branch wrong: %v", s.P.FormatState(st, 4))
+	}
+	c2 := circuit.New(3, "fredkin-on")
+	c2.X(0).X(1).CSwap(0, 1, 2)
+	st2 := s.Run(c2, 0)
+	if got := s.P.Amplitude(st2, 0b101); cmplx.Abs(got-1) > 1e-12 {
+		t.Fatalf("controlled branch wrong: %v", s.P.FormatState(st2, 4))
+	}
+}
+
+func TestBuildUnitaryMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 1; n <= 4; n++ {
+		c := randomCircuit(rng, n, 20)
+		p := dd.NewDefault(n)
+		u := BuildUnitary(p, c)
+		ref := dense.IdentityMatrix(n)
+		for _, g := range c.Gates {
+			if g.Kind == circuit.SWAP {
+				for _, cx := range swapAsCXs(g) {
+					cs := make([]dense.Control, len(cx.Controls))
+					for i, ctl := range cx.Controls {
+						cs[i] = dense.Control{Qubit: ctl.Qubit, Neg: ctl.Neg}
+					}
+					ref = dense.Mul(dense.GateMatrix(n, cx.Matrix(), cx.Target, cs), ref)
+				}
+				continue
+			}
+			cs := make([]dense.Control, len(g.Controls))
+			for i, ctl := range g.Controls {
+				cs[i] = dense.Control{Qubit: ctl.Qubit, Neg: ctl.Neg}
+			}
+			ref = dense.Mul(dense.GateMatrix(n, g.Matrix(), g.Target, cs), ref)
+		}
+		got := p.Matrix(u)
+		if !dense.MatApproxEqual(got, ref, 1e-8) {
+			t.Fatalf("n=%d unitary mismatch", n)
+		}
+	}
+}
+
+func TestSimulationEqualsUnitaryColumn(t *testing.T) {
+	// The paper's core observation: simulating |i> yields column i of U.
+	rng := rand.New(rand.NewSource(7))
+	n := 4
+	c := randomCircuit(rng, n, 30)
+	p := dd.NewDefault(n)
+	u := BuildUnitary(p, c)
+	s := NewOn(p)
+	for _, i := range []uint64{0, 3, 9, 15} {
+		col := s.Run(c, i)
+		for r := uint64(0); r < 16; r++ {
+			if cmplx.Abs(p.Amplitude(col, r)-p.MatrixEntry(u, r, i)) > 1e-8 {
+				t.Fatalf("column %d row %d: simulation disagrees with unitary", i, r)
+			}
+		}
+	}
+}
+
+func TestPermutationDD(t *testing.T) {
+	p := dd.NewDefault(3)
+	// perm maps qubit q to wire perm[q].
+	perm := []int{2, 0, 1}
+	m := PermutationDD(p, perm)
+	for x := uint64(0); x < 8; x++ {
+		var y uint64
+		for q := 0; q < 3; q++ {
+			if x>>uint(q)&1 == 1 {
+				y |= 1 << uint(perm[q])
+			}
+		}
+		if got := p.MatrixEntry(m, y, x); cmplx.Abs(got-1) > 1e-12 {
+			t.Fatalf("P[%d][%d] = %v, want 1 (perm %v)", y, x, got, perm)
+		}
+	}
+}
+
+func TestPermutationDDIdentity(t *testing.T) {
+	p := dd.NewDefault(4)
+	m := PermutationDD(p, []int{0, 1, 2, 3})
+	if !p.IsIdentity(m, true) {
+		t.Fatal("identity permutation is not the identity DD")
+	}
+}
+
+func TestPermutationDDInvalid(t *testing.T) {
+	p := dd.NewDefault(3)
+	for _, perm := range [][]int{{0, 1}, {0, 0, 1}, {0, 1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PermutationDD(%v) did not panic", perm)
+				}
+			}()
+			PermutationDD(p, perm)
+		}()
+	}
+}
+
+func TestQubitCountMismatchPanics(t *testing.T) {
+	s := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Run with mismatched register did not panic")
+		}
+	}()
+	s.Run(circuit.New(2, "small"), 0)
+}
+
+func TestSampleCounts(t *testing.T) {
+	c := circuit.New(1, "h")
+	c.H(0)
+	s := New(1)
+	rng := rand.New(rand.NewSource(9))
+	counts := s.SampleCounts(c, 0, 1000, rng)
+	if counts[0] < 400 || counts[1] < 400 {
+		t.Fatalf("H sampling skewed: %v", counts)
+	}
+}
+
+func TestGCDuringLongRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 5
+	c := randomCircuit(rng, n, 200)
+	s := New(n)
+	s.P.SetGCThreshold(50)
+	got := s.P.Vector(s.Run(c, 1))
+	want := runDense(c, 1)
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-7 {
+			t.Fatalf("amplitude[%d] mismatch after GC-heavy run", i)
+		}
+	}
+	if s.P.GCRuns() == 0 {
+		t.Fatal("expected at least one GC run")
+	}
+}
+
+// Property: simulation preserves the norm for arbitrary random circuits.
+func TestQuickNormPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		c := randomCircuit(rng, n, 25)
+		s := New(n)
+		st := s.Run(c, rng.Uint64()&((1<<uint(n))-1))
+		return math.Abs(s.P.Norm(st)-1) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: running a circuit then its inverse returns the input state.
+func TestQuickInverseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		c := randomCircuit(rng, n, 20)
+		input := rng.Uint64() & ((1 << uint(n)) - 1)
+		s := New(n)
+		st := s.Run(c, input)
+		st = s.RunFrom(c.Inverse(), st)
+		return cmplx.Abs(s.P.Amplitude(st, input)-1) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectationZ(t *testing.T) {
+	s := New(2)
+	// |0>: <Z> = +1; |1>: <Z> = -1; |+>: <Z> = 0.
+	zero := s.P.BasisState(0)
+	if v := s.ExpectationZ(zero, 0); math.Abs(v-1) > 1e-9 {
+		t.Errorf("<0|Z|0> = %g", v)
+	}
+	one := s.P.BasisState(1)
+	if v := s.ExpectationZ(one, 0); math.Abs(v+1) > 1e-9 {
+		t.Errorf("<1|Z|1> = %g", v)
+	}
+	c := circuit.New(2, "plus")
+	c.H(0)
+	plus := s.Run(c, 0)
+	if v := s.ExpectationZ(plus, 0); math.Abs(v) > 1e-9 {
+		t.Errorf("<+|Z|+> = %g", v)
+	}
+	// Qubit 1 of |+>|0> still has <Z> = +1.
+	if v := s.ExpectationZ(plus, 1); math.Abs(v-1) > 1e-9 {
+		t.Errorf("<Z_1> = %g", v)
+	}
+}

@@ -1,0 +1,202 @@
+package zx
+
+import (
+	"math"
+	"testing"
+)
+
+// Unit tests of the individual graph rewrite rules (the circuit-level tests
+// in zx_test.go cover their composition).
+
+func chain(phases []float64, hadEdges bool) (*Graph, int, int) {
+	g := NewGraph()
+	in := g.addVertex(kindBoundaryIn, 0, 0)
+	prev := in
+	for _, p := range phases {
+		v := g.addVertex(kindSpider, p, -1)
+		g.addEdge(prev, v, hadEdges && prev != in)
+		prev = v
+	}
+	out := g.addVertex(kindBoundaryOut, 0, 0)
+	g.addEdge(prev, out, false)
+	return g, in, out
+}
+
+func TestFusionChain(t *testing.T) {
+	// Three spiders connected by plain edges fuse into one.
+	g, _, _ := chain([]float64{0.2, 0.3, 0.5}, false)
+	g.fusePlainEdges()
+	if n := g.NumSpiders(); n != 1 {
+		t.Fatalf("spiders after fusion = %d", n)
+	}
+	for v := range g.kind {
+		if g.alive[v] && g.kind[v] == kindSpider && !phaseIs(g.phase[v], 1.0) {
+			t.Fatalf("fused phase = %g, want 1.0", g.phase[v])
+		}
+	}
+}
+
+func TestHopfCancellation(t *testing.T) {
+	// Two spiders connected by a double Hadamard edge: the edges cancel.
+	g := NewGraph()
+	a := g.addVertex(kindSpider, 0.1, -1)
+	b := g.addVertex(kindSpider, 0.2, -1)
+	g.addEdge(a, b, true)
+	g.addEdge(a, b, true)
+	if g.edgeBetween(a, b) != nil {
+		t.Fatal("double H edge did not cancel")
+	}
+	if g.hopfs == 0 {
+		t.Error("Hopf count not recorded")
+	}
+}
+
+func TestHadamardSelfLoopPhaseFlip(t *testing.T) {
+	g := NewGraph()
+	a := g.addVertex(kindSpider, 0.25, -1)
+	g.addEdge(a, a, true)
+	if !phaseIs(g.phase[a], 0.25+math.Pi) {
+		t.Fatalf("phase after H self-loop = %g", g.phase[a])
+	}
+	// Plain self-loop: phase unchanged (scalar only).
+	g.addEdge(a, a, false)
+	if !phaseIs(g.phase[a], 0.25+math.Pi) {
+		t.Fatalf("phase after plain self-loop = %g", g.phase[a])
+	}
+}
+
+func TestIdentityRemovalCombinesEdgeTypes(t *testing.T) {
+	// in —H— Z(0) —H— out collapses to a plain wire (H∘H = I).
+	g := NewGraph()
+	in := g.addVertex(kindBoundaryIn, 0, 0)
+	v := g.addVertex(kindSpider, 0, -1)
+	out := g.addVertex(kindBoundaryOut, 0, 0)
+	g.addEdge(in, v, true)
+	g.addEdge(v, out, true)
+	if !g.removeIdentities() {
+		t.Fatal("identity spider not removed")
+	}
+	e := g.edgeBetween(in, out)
+	if e == nil || e.plain != 1 || e.had != 0 {
+		t.Fatalf("resulting wire = %+v", e)
+	}
+	// in —H— Z(0) —plain— out collapses to an H wire.
+	g2 := NewGraph()
+	in2 := g2.addVertex(kindBoundaryIn, 0, 0)
+	v2 := g2.addVertex(kindSpider, 0, -1)
+	out2 := g2.addVertex(kindBoundaryOut, 0, 0)
+	g2.addEdge(in2, v2, true)
+	g2.addEdge(v2, out2, false)
+	g2.removeIdentities()
+	e2 := g2.edgeBetween(in2, out2)
+	if e2 == nil || e2.had != 1 || e2.plain != 0 {
+		t.Fatalf("resulting wire = %+v", e2)
+	}
+}
+
+func TestIdentityRemovalSkipsPhased(t *testing.T) {
+	g, _, _ := chain([]float64{0.5}, false)
+	g.fusePlainEdges()
+	if g.removeIdentities() {
+		t.Fatal("phased spider wrongly removed")
+	}
+}
+
+func TestLocalComplementNeighbourhood(t *testing.T) {
+	// Star: center v (π/2) H-connected to three spiders; lcomp removes v,
+	// pairwise toggles neighbour edges, and subtracts π/2 from each.
+	g := NewGraph()
+	center := g.addVertex(kindSpider, math.Pi/2, -1)
+	var ns []int
+	for i := 0; i < 3; i++ {
+		w := g.addVertex(kindSpider, 0.1, -1)
+		g.addEdge(center, w, true)
+		ns = append(ns, w)
+	}
+	g.localComplement(center)
+	if g.alive[center] {
+		t.Fatal("center not removed")
+	}
+	for i := 0; i < 3; i++ {
+		if !phaseIs(g.phase[ns[i]], 0.1-math.Pi/2) {
+			t.Errorf("neighbour %d phase = %g", i, g.phase[ns[i]])
+		}
+		for j := i + 1; j < 3; j++ {
+			e := g.edgeBetween(ns[i], ns[j])
+			if e == nil || e.had != 1 {
+				t.Errorf("neighbours %d,%d not H-connected after lcomp", i, j)
+			}
+		}
+	}
+}
+
+func TestPivotRemovesPauliPair(t *testing.T) {
+	// u(0) — v(π) adjacent, u also H-connected to a and v to b.
+	g := NewGraph()
+	u := g.addVertex(kindSpider, 0, -1)
+	v := g.addVertex(kindSpider, math.Pi, -1)
+	a := g.addVertex(kindSpider, 0.3, -1)
+	b := g.addVertex(kindSpider, 0.4, -1)
+	g.addEdge(u, v, true)
+	g.addEdge(u, a, true)
+	g.addEdge(v, b, true)
+	g.pivot(u, v)
+	if g.alive[u] || g.alive[v] {
+		t.Fatal("pivot did not remove the pair")
+	}
+	// a picks up v's phase (π); b picks up u's (0).
+	if !phaseIs(g.phase[a], 0.3+math.Pi) {
+		t.Errorf("a phase = %g", g.phase[a])
+	}
+	if !phaseIs(g.phase[b], 0.4) {
+		t.Errorf("b phase = %g", g.phase[b])
+	}
+	// a and b are now connected (onlyU x onlyV complementation).
+	if e := g.edgeBetween(a, b); e == nil || e.had != 1 {
+		t.Error("a and b not connected after pivot")
+	}
+}
+
+func TestInteriorDetection(t *testing.T) {
+	g := NewGraph()
+	in := g.addVertex(kindBoundaryIn, 0, 0)
+	v := g.addVertex(kindSpider, 0, -1)
+	w := g.addVertex(kindSpider, 0, -1)
+	g.addEdge(in, v, false)
+	g.addEdge(v, w, true)
+	if g.interior(v) {
+		t.Error("boundary-adjacent spider judged interior")
+	}
+	if !g.interior(w) {
+		t.Error("interior spider not recognized")
+	}
+	if g.interior(in) {
+		t.Error("boundary judged interior")
+	}
+}
+
+func TestSimplifyBudgetTerminates(t *testing.T) {
+	// Pathological: many π spiders in a row must not loop forever.
+	phases := make([]float64, 30)
+	for i := range phases {
+		phases[i] = math.Pi
+	}
+	g, _, _ := chain(phases, false)
+	g.Simplify() // must return
+}
+
+func TestNormPhase(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{0, 0},
+		{twoPi, 0},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{5 * math.Pi, math.Pi},
+	} {
+		if got := normPhase(tc.in); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("normPhase(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+	if !phaseIs(2*math.Pi-1e-13, 0) {
+		t.Error("phaseIs wraparound failed")
+	}
+}
