@@ -1,0 +1,42 @@
+# Single source of truth for build/check commands: CI (.github/workflows/ci.yml)
+# and local runs invoke the same targets.
+
+GO ?= go
+
+# Packages with real concurrency (goroutines + shared cancellation state):
+# these are the ones the race detector must cover.
+RACE_PKGS = ./internal/core/... ./internal/portfolio/... ./internal/dd/... ./internal/ec/...
+
+FUZZTIME ?= 20s
+
+.PHONY: all build test race vet fmt fuzz-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any tracked Go file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Short fuzzing bursts over the parsers; -fuzz takes one target per
+# invocation, so each fuzzer gets its own run.
+fuzz-smoke:
+	$(GO) test ./internal/qasm -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/qasm -run='^$$' -fuzz='^FuzzRoundTrip$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/revlib -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
+
+ci: build test vet fmt race

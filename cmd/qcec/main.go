@@ -6,10 +6,15 @@
 //
 //	qcec [flags] <circuit1> <circuit2>
 //
+// With -portfolio the selected provers (-provers=sim,dd,alt,sat,zx) race
+// concurrently and the first definitive verdict wins; the losers are
+// cancelled and a per-prover report is printed.
+//
 // Circuit files may be OpenQASM 2.0 (.qasm) or RevLib (.real).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +25,7 @@ import (
 	"qcec/internal/circuit"
 	"qcec/internal/core"
 	"qcec/internal/ec"
+	"qcec/internal/portfolio"
 	"qcec/internal/qasm"
 	"qcec/internal/revlib"
 )
@@ -72,6 +78,9 @@ func main() {
 		fidThresh = flag.Float64("fidelity-threshold", 0, "approximate mode: accept per-stimulus fidelities above this (0 = exact)")
 		jsonOut   = flag.Bool("json", false, "print the full report as JSON")
 		verbose   = flag.Bool("v", false, "print per-stage details")
+		portf     = flag.Bool("portfolio", false, "race the selected provers concurrently; first definitive verdict wins")
+		provers   = flag.String("provers", "sim,dd,alt,sat,zx", "comma-separated prover subset for -portfolio")
+		nodeLimit = flag.Int("node-limit", 0, "DD node budget per complete prover (0 = none)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -99,6 +108,21 @@ func main() {
 		fmt.Printf("G': %s — %d qubits, %d gates\n", flag.Arg(1), g2.N, g2.NumGates())
 	}
 
+	if *portf {
+		runPortfolio(g1, g2, portfolioConfig{
+			names:     strings.Split(*provers, ","),
+			r:         *r,
+			seed:      *seed,
+			timeout:   *timeout,
+			strategy:  strat,
+			nodeLimit: *nodeLimit,
+			phase:     *phase,
+			parallel:  *parallel,
+			jsonOut:   *jsonOut,
+		})
+		return
+	}
+
 	rep := core.Check(g1, g2, core.Options{
 		R:                 *r,
 		Seed:              *seed,
@@ -122,6 +146,105 @@ func main() {
 		os.Exit(1)
 	case core.ProbablyEquivalent:
 		os.Exit(3)
+	}
+}
+
+type portfolioConfig struct {
+	names     []string
+	r         int
+	seed      int64
+	timeout   time.Duration
+	strategy  ec.Strategy
+	nodeLimit int
+	phase     bool
+	parallel  int
+	jsonOut   bool
+}
+
+// runPortfolio races the selected provers and prints the winning verdict
+// plus a per-prover outcome table; exit codes match the sequential flow.
+func runPortfolio(g1, g2 *circuit.Circuit, cfg portfolioConfig) {
+	ps, err := portfolio.FromNames(cfg.names, portfolio.Config{
+		R:               cfg.r,
+		Seed:            cfg.seed,
+		SimParallel:     cfg.parallel,
+		Strategy:        cfg.strategy,
+		ECNodeLimit:     cfg.nodeLimit,
+		UpToGlobalPhase: cfg.phase,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qcec:", err)
+		os.Exit(2)
+	}
+	res := portfolio.Run(context.Background(), g1, g2, ps, portfolio.Options{Timeout: cfg.timeout})
+
+	if cfg.jsonOut {
+		printPortfolioJSON(g1.N, res)
+	} else {
+		printPortfolioHuman(g1.N, res)
+	}
+	switch res.Verdict {
+	case portfolio.NotEquivalent:
+		os.Exit(1)
+	case portfolio.Inconclusive:
+		os.Exit(3)
+	}
+}
+
+func printPortfolioHuman(n int, res portfolio.Result) {
+	fmt.Printf("verdict: %s", res.Verdict)
+	if res.Winner != "" {
+		fmt.Printf(" (won by %s)", res.Winner)
+	}
+	fmt.Println()
+	if res.Counterexample != nil {
+		fmt.Printf("counterexample: input |%0*b>\n", n, *res.Counterexample)
+	}
+	fmt.Printf("%-6s %-30s %-12s %10s %10s  %s\n", "prover", "verdict", "stopped", "time", "peak", "detail")
+	for _, r := range res.Reports {
+		peak := ""
+		if r.PeakNodes > 0 {
+			peak = fmt.Sprintf("%d", r.PeakNodes)
+		}
+		fmt.Printf("%-6s %-30s %-12s %9.4fs %10s  %s\n",
+			r.Name, r.Verdict, r.Stop, r.Runtime.Seconds(), peak, r.Detail)
+	}
+	fmt.Printf("total: %.4fs\n", res.Runtime.Seconds())
+}
+
+func printPortfolioJSON(n int, res portfolio.Result) {
+	type report struct {
+		Prover    string  `json:"prover"`
+		Verdict   string  `json:"verdict"`
+		Stopped   string  `json:"stopped"`
+		Seconds   float64 `json:"seconds"`
+		PeakNodes int     `json:"peak_nodes,omitempty"`
+		Detail    string  `json:"detail,omitempty"`
+	}
+	out := struct {
+		Verdict        string   `json:"verdict"`
+		Winner         string   `json:"winner,omitempty"`
+		Qubits         int      `json:"qubits"`
+		Counterexample *uint64  `json:"counterexample,omitempty"`
+		TotalSeconds   float64  `json:"total_seconds"`
+		Reports        []report `json:"provers"`
+	}{
+		Verdict:        res.Verdict.String(),
+		Winner:         res.Winner,
+		Qubits:         n,
+		Counterexample: res.Counterexample,
+		TotalSeconds:   res.Runtime.Seconds(),
+	}
+	for _, r := range res.Reports {
+		out.Reports = append(out.Reports, report{
+			Prover: r.Name, Verdict: r.Verdict.String(), Stopped: r.Stop.String(),
+			Seconds: r.Runtime.Seconds(), PeakNodes: r.PeakNodes, Detail: r.Detail,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "qcec:", err)
 	}
 }
 

@@ -1,22 +1,38 @@
-// Proverrace: run every equivalence-checking method in the repository on
-// the same circuit pair and compare what each one can conclude — the
-// landscape the paper's Sec. III-A surveys (rewriting [16], SAT [17],
-// decision diagrams [18]-[22]) plus the proposed simulation-first flow.
+// Proverrace: race every equivalence-checking method in the repository on
+// the same circuit pair using the concurrent portfolio engine
+// (internal/portfolio) — the landscape the paper's Sec. III-A surveys
+// (rewriting [16], SAT [17], decision diagrams [18]-[22]) plus the proposed
+// simulation-first prefilter, all running at once with the losers cancelled
+// as soon as one prover delivers a definitive verdict.
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"qcec/internal/bench"
-	"qcec/internal/core"
 	"qcec/internal/decompose"
-	"qcec/internal/ec"
-	"qcec/internal/ecrw"
-	"qcec/internal/ecsat"
 	"qcec/internal/errinject"
-	"qcec/internal/zx"
+	"qcec/internal/portfolio"
 )
+
+func printRace(res portfolio.Result) {
+	fmt.Printf("verdict: %s", res.Verdict)
+	if res.Winner != "" {
+		fmt.Printf(" — won by %s in %.4fs", res.Winner, res.Runtime.Seconds())
+	}
+	fmt.Println()
+	if res.Counterexample != nil {
+		fmt.Printf("counterexample: input |%b>\n", *res.Counterexample)
+	}
+	fmt.Printf("  %-6s %-30s %-12s %10s  %s\n", "prover", "verdict", "stopped", "time", "detail")
+	for _, r := range res.Reports {
+		fmt.Printf("  %-6s %-30s %-12s %9.4fs  %s\n",
+			r.Name, r.Verdict, r.Stop, r.Runtime.Seconds(), r.Detail)
+	}
+	fmt.Println()
+}
 
 func main() {
 	// The pair: a hidden-weighted-bit netlist and its CX-level compilation.
@@ -28,54 +44,28 @@ func main() {
 	fmt.Printf("pair: %s (|G| = %d MCT gates) vs compiled (|G'| = %d CX-level gates)\n\n",
 		g.Name, g.NumGates(), gp.NumGates())
 
-	fmt.Printf("%-34s %-34s %10s\n", "method", "verdict", "time")
-	row := func(name string, verdict string, d time.Duration) {
-		fmt.Printf("%-34s %-34s %9.4fs\n", name, verdict, d.Seconds())
+	cfg := portfolio.Config{
+		Seed:            1,
+		UpToGlobalPhase: true, // the CX-level decomposition introduces a phase
+		ECTimeout:       30 * time.Second,
 	}
-
-	rw := ecrw.Check(g, gp)
-	row("rewriting (ref [16])", rw.Verdict.String(), rw.Runtime)
-
-	zr, err := zx.Check(g, gp)
+	// sat is included even though the compiled side is not classical: its
+	// "error" row demonstrates how inapplicable provers bow out of the race.
+	provers, err := portfolio.FromNames([]string{"sim", "dd", "alt", "sat", "zx"}, cfg)
 	if err != nil {
 		panic(err)
 	}
-	row("ZX-calculus", zr.Verdict.String(), zr.Runtime)
 
-	// SAT only handles the classical MCT form, so compare G with itself
-	// after a control shuffle instead of the quantum-level compilation.
-	shuffled := g.Clone()
-	for i := range shuffled.Gates {
-		cs := shuffled.Gates[i].Controls
-		for j, k := 0, len(cs)-1; j < k; j, k = j+1, k-1 {
-			cs[j], cs[k] = cs[k], cs[j]
-		}
-	}
-	sres, err := ecsat.Check(g, shuffled, ecsat.Options{})
-	if err != nil {
-		panic(err)
-	}
-	row("SAT miter (ref [17], MCT level)", sres.Verdict.String(), sres.Runtime)
+	fmt.Println("equivalent pair — only complete provers can win:")
+	printRace(portfolio.Run(context.Background(), g, gp, provers, portfolio.Options{}))
 
-	dd := ec.Check(g, gp, ec.Options{Strategy: ec.Proportional, Timeout: 30 * time.Second})
-	row("DD complete check (refs [18-22])", dd.Verdict.String(), dd.Runtime)
-
-	flow := core.Check(g, gp, core.Options{Seed: 1, ECTimeout: 30 * time.Second})
-	row("proposed flow (Fig. 3)", flow.Verdict.String(), flow.TotalTime)
-
-	// Now the same race on a buggy compilation: only methods that can
-	// prove NON-equivalence answer; the flow answers fastest.
+	// The same race on a buggy compilation: the simulation prefilter finds a
+	// counterexample almost immediately and the complete provers are
+	// cancelled mid-flight instead of running to their 30 s timeouts.
 	buggy, inj, err := errinject.InjectAny(gp, 7)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nwith an injected error (%s):\n", inj)
-	rw = ecrw.Check(g, buggy)
-	row("rewriting", rw.Verdict.String(), rw.Runtime)
-	zr, _ = zx.Check(g, buggy)
-	row("ZX-calculus", zr.Verdict.String(), zr.Runtime)
-	dd = ec.Check(g, buggy, ec.Options{Strategy: ec.Proportional, Timeout: 30 * time.Second})
-	row("DD complete check", dd.Verdict.String(), dd.Runtime)
-	flow = core.Check(g, buggy, core.Options{Seed: 1, SkipEC: true})
-	row(fmt.Sprintf("proposed flow (%d sim)", flow.NumSims), flow.Verdict.String(), flow.TotalTime)
+	fmt.Printf("with an injected error (%s):\n", inj)
+	printRace(portfolio.Run(context.Background(), g, buggy, provers, portfolio.Options{}))
 }

@@ -7,6 +7,11 @@
 // represented by the same object, so that node hashing and structural
 // equality reduce to pointer comparison.  This package is the Go counterpart
 // of the "complex table" used by the JKU/MQT DD packages.
+//
+// Concurrency: a Table is NOT safe for concurrent use, and interned Values
+// from different Tables must never be mixed (pointer identity only holds
+// within one table).  Concurrent checkers therefore run one dd.Package —
+// and hence one Table — per goroutine; see the internal/dd package docs.
 package cn
 
 import (

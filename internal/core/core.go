@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -67,6 +68,12 @@ const DefaultR = 10
 
 // Options configures the flow.
 type Options struct {
+	// Context, when non-nil, cancels the flow cooperatively: the stimulus
+	// loops (sequential and parallel) poll it between simulations, each
+	// worker's DD package polls it inside long operations, and it is passed
+	// down to the complete routine (ec.Options.Context).  A cancelled run
+	// returns with Report.Cancelled set and an inconclusive verdict.
+	Context context.Context
 	// R is the number of random basis-state simulations (default DefaultR).
 	// If R >= 2^n the flow simulates all basis states, which proves
 	// equivalence exhaustively in strict-phase mode.
@@ -148,7 +155,11 @@ type Report struct {
 	// pair is.
 	MinFidelity float64
 	AvgFidelity float64
-	TotalTime   time.Duration
+	// Cancelled reports that Options.Context was cancelled before the flow
+	// reached a definitive verdict; the verdict is then inconclusive
+	// (ProbablyEquivalent at best) regardless of how many stimuli agreed.
+	Cancelled bool
+	TotalTime time.Duration
 }
 
 // ECTime returns the complete-routine runtime (paper column t_ec), zero if
@@ -188,7 +199,7 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Report {
 		}
 	}
 	if opts.ZXPrefilter && opts.OutputPerm == nil {
-		zr, err := zx.Check(g1, g2)
+		zr, err := zx.CheckCtx(opts.Context, g1, g2)
 		if err == nil {
 			report.ZX = &zr
 			if zr.Verdict == zx.EquivalentUpToPhase {
@@ -221,6 +232,16 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Report {
 		report.TotalTime = time.Since(start)
 		return report
 	}
+	if ctx := opts.Context; ctx != nil && ctx.Err() != nil {
+		// Cancelled before the stimuli were exhausted: the agreement seen so
+		// far is not the full high-probability estimate, and running the
+		// complete routine would be pointless (it would observe the same
+		// cancelled context immediately).
+		report.Cancelled = true
+		report.Verdict = ProbablyEquivalent
+		report.TotalTime = time.Since(start)
+		return report
+	}
 
 	if opts.FidelityThreshold > 0 {
 		// Approximate mode: the complete routine has no approximate verdict;
@@ -246,6 +267,7 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Report {
 
 	res := ec.Check(g1, g2, ec.Options{
 		Strategy:        opts.Strategy,
+		Context:         opts.Context,
 		Timeout:         opts.ECTimeout,
 		NodeLimit:       opts.ECNodeLimit,
 		UpToGlobalPhase: opts.UpToGlobalPhase,
@@ -268,6 +290,7 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Report {
 		}
 	case ec.TimedOut:
 		report.Verdict = ProbablyEquivalent
+		report.Cancelled = res.Cause == ec.CauseCancelled
 	}
 	report.TotalTime = time.Since(start)
 	return report

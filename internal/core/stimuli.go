@@ -32,6 +32,12 @@ func newSimRunner(n int, opts Options) *simRunner {
 		upToPhase: opts.UpToGlobalPhase,
 		threshold: opts.FidelityThreshold,
 	}
+	if ctx := opts.Context; ctx != nil {
+		// Cancellation must reach inside a single large simulation, not just
+		// between stimuli; the resulting *dd.LimitError panic is recovered by
+		// the stimulus loops below.
+		r.p.SetCancel(func() bool { return ctx.Err() != nil })
+	}
 	r.s = sim.NewOn(r.p)
 	if r.havePerm {
 		r.unperm = sim.PermutationDD(r.p, invertPerm(opts.OutputPerm))
@@ -100,12 +106,33 @@ func (f fidStats) avg() float64 {
 	return f.sum / float64(f.count)
 }
 
+// cancelled reports whether the flow's context (if any) has been cancelled.
+func cancelled(opts Options) bool {
+	return opts.Context != nil && opts.Context.Err() != nil
+}
+
+// recoverCancel absorbs the *dd.LimitError panic raised by the SetCancel
+// hook mid-simulation; any other panic propagates.  Limit errors can only be
+// cancellations here: the stimulus loops install no node limit or deadline.
+func recoverCancel() {
+	if r := recover(); r != nil {
+		if _, ok := r.(*dd.LimitError); !ok {
+			panic(r)
+		}
+	}
+}
+
 // runStimuliSequential is the paper's loop: one stimulus at a time, stopping
 // at the first counterexample.
-func runStimuliSequential(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (int, *Counterexample, fidStats) {
+func runStimuliSequential(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (n int, ce *Counterexample, stats fidStats) {
 	r := newSimRunner(g1.N, opts)
-	stats := newFidStats()
+	stats = newFidStats()
+	defer recoverCancel()
 	for i, input := range stimuli {
+		n = i // sims completed so far, reported if compare is cancelled mid-run
+		if cancelled(opts) {
+			return i, nil, stats
+		}
 		ce, fid := r.compare(g1, g2, input)
 		stats.add(fid)
 		if ce != nil {
@@ -138,8 +165,12 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer recoverCancel()
 			r := newSimRunner(g1.N, opts)
 			for i := w; i < len(stimuli); i += workers {
+				if cancelled(opts) {
+					return
+				}
 				if int64(i) > firstFail.Load() {
 					return // a strictly earlier stimulus already failed
 				}
@@ -173,10 +204,12 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 		}
 		return int(idx) + 1, ces[idx], stats
 	}
+	n := 0
 	for i := range fids {
 		if evaluated[i] {
+			n++
 			stats.add(fids[i])
 		}
 	}
-	return len(stimuli), nil, stats
+	return n, nil, stats
 }

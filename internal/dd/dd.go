@@ -20,6 +20,14 @@
 //     operation strictly level-synchronized.
 //   - Operation results are memoized in fixed-size, overwrite-on-collision
 //     compute tables, so memory use is bounded and lookups are O(1).
+//
+// Concurrency: a Package (and the cn.Table it owns) is NOT safe for
+// concurrent use.  Concurrent clients — the parallel simulation stage in
+// internal/core and the prover portfolio in internal/portfolio — must give
+// every goroutine its own Package and never share edges between packages.
+// Cooperative cancellation across that boundary is provided by SetCancel
+// (and SetDeadline), which a goroutine installs on its own package before
+// starting work.
 package dd
 
 import (
@@ -125,7 +133,12 @@ type Package struct {
 	// deadline, when set, makes node creation panic with a *LimitError
 	// once the wall clock passes it (checked every few thousand
 	// allocations, so the overhead is negligible).
-	deadline   time.Time
+	deadline time.Time
+	// cancel, when set, is polled at the same allocation checkpoint as the
+	// deadline; returning true panics with a *LimitError whose Cancelled
+	// field is set.  This is how context cancellation reaches inside a
+	// single long-running DD operation.
+	cancel     func() bool
 	allocCount uint64
 
 	cacheHits, cacheMisses uint64
@@ -134,14 +147,18 @@ type Package struct {
 // LimitError is the panic value raised when the configured node limit or
 // operation deadline is exceeded; see SetNodeLimit and SetDeadline.
 type LimitError struct {
-	Nodes    int
-	Limit    int
-	Deadline bool // true when the wall-clock deadline tripped
+	Nodes     int
+	Limit     int
+	Deadline  bool // true when the wall-clock deadline tripped
+	Cancelled bool // true when the SetCancel hook requested a stop
 }
 
 // Error formats the limit violation.
 func (e *LimitError) Error() string {
-	if e.Deadline {
+	switch {
+	case e.Cancelled:
+		return fmt.Sprintf("dd: operation cancelled (%d live nodes)", e.Nodes)
+	case e.Deadline:
 		return fmt.Sprintf("dd: operation deadline exceeded (%d live nodes)", e.Nodes)
 	}
 	return fmt.Sprintf("dd: node limit exceeded (%d nodes, limit %d)", e.Nodes, e.Limit)
@@ -158,6 +175,14 @@ func (p *Package) SetNodeLimit(n int) { p.nodeLimit = n }
 // multiplication.
 func (p *Package) SetDeadline(t time.Time) { p.deadline = t }
 
+// SetCancel installs (or with nil removes) a cooperative cancellation hook,
+// polled every few thousand node allocations.  When the hook returns true the
+// current DD operation panics with a *LimitError whose Cancelled field is
+// set, which long-running clients (internal/ec, internal/core) recover and
+// turn into a cancelled verdict.  The typical hook closes over a
+// context.Context: func() bool { return ctx.Err() != nil }.
+func (p *Package) SetCancel(f func() bool) { p.cancel = f }
+
 func (p *Package) checkLimit() {
 	if p.nodeLimit > 0 {
 		if n := p.NodeCount(); n > p.nodeLimit {
@@ -165,8 +190,13 @@ func (p *Package) checkLimit() {
 		}
 	}
 	p.allocCount++
-	if p.allocCount&0x1FFF == 0 && !p.deadline.IsZero() && time.Now().After(p.deadline) {
-		panic(&LimitError{Nodes: p.NodeCount(), Limit: p.nodeLimit, Deadline: true})
+	if p.allocCount&0x1FFF == 0 {
+		if !p.deadline.IsZero() && time.Now().After(p.deadline) {
+			panic(&LimitError{Nodes: p.NodeCount(), Limit: p.nodeLimit, Deadline: true})
+		}
+		if p.cancel != nil && p.cancel() {
+			panic(&LimitError{Nodes: p.NodeCount(), Limit: p.nodeLimit, Cancelled: true})
+		}
 	}
 }
 

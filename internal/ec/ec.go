@@ -23,6 +23,7 @@
 package ec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -95,6 +96,12 @@ func (v Verdict) String() string {
 type Options struct {
 	// Strategy selects the gate alternation scheme (default Proportional).
 	Strategy Strategy
+	// Context, when non-nil, cancels the check cooperatively: the gate
+	// application loops poll ctx.Err() between gates, and the DD package
+	// polls it inside long-running operations (see dd.Package.SetCancel).
+	// A cancelled check returns TimedOut with Cause == CauseCancelled.
+	// This is how the prover portfolio stops losing provers promptly.
+	Context context.Context
 	// Timeout bounds the wall-clock time of the check; zero means no limit.
 	Timeout time.Duration
 	// NodeLimit aborts the check when the DD package exceeds this many live
@@ -111,6 +118,34 @@ type Options struct {
 	Tolerance float64
 }
 
+// StopCause identifies the resource bound that ended an inconclusive check.
+type StopCause int
+
+// Causes for a TimedOut verdict.  CauseNone means the check ran to
+// completion (any other verdict).
+const (
+	CauseNone StopCause = iota
+	CauseTimeout
+	CauseNodeLimit
+	CauseCancelled
+)
+
+// String returns the cause name.
+func (c StopCause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseTimeout:
+		return "timeout"
+	case CauseNodeLimit:
+		return "node-limit"
+	case CauseCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
 // Result reports the outcome and cost of a check.
 type Result struct {
 	Verdict        Verdict
@@ -119,8 +154,9 @@ type Result struct {
 	PeakNodes      int
 	FinalNodes     int
 	Strategy       Strategy
-	Counterexample *uint64 // basis state whose columns differ, if found
-	Reason         string  // human-readable cause for TimedOut
+	Counterexample *uint64   // basis state whose columns differ, if found
+	Cause          StopCause // what stopped a TimedOut check
+	Reason         string    // human-readable cause for TimedOut
 }
 
 // Equivalent reports whether the verdict establishes equivalence under the
@@ -137,11 +173,18 @@ type checker struct {
 }
 
 func (c *checker) expired() bool {
+	if ctx := c.opts.Context; ctx != nil && ctx.Err() != nil {
+		c.result.Cause = CauseCancelled
+		c.result.Reason = fmt.Sprintf("cancelled: %v", ctx.Err())
+		return true
+	}
 	if c.opts.NodeLimit > 0 && c.p.NodeCount() > c.opts.NodeLimit {
+		c.result.Cause = CauseNodeLimit
 		c.result.Reason = fmt.Sprintf("node limit %d exceeded", c.opts.NodeLimit)
 		return true
 	}
 	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		c.result.Cause = CauseTimeout
 		c.result.Reason = fmt.Sprintf("timeout %s exceeded", c.opts.Timeout)
 		return true
 	}
@@ -179,6 +222,11 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Result {
 	if opts.NodeLimit > 0 {
 		p.SetNodeLimit(opts.NodeLimit)
 	}
+	if ctx := opts.Context; ctx != nil {
+		// Reach cancellation inside long DD operations, where the per-gate
+		// expired() polls cannot.
+		p.SetCancel(func() bool { return ctx.Err() != nil })
+	}
 	start := time.Now()
 	func() {
 		defer func() {
@@ -189,6 +237,14 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Result {
 				}
 				c.result.Verdict = TimedOut
 				c.result.Reason = le.Error()
+				switch {
+				case le.Cancelled:
+					c.result.Cause = CauseCancelled
+				case le.Deadline:
+					c.result.Cause = CauseTimeout
+				default:
+					c.result.Cause = CauseNodeLimit
+				}
 			}
 		}()
 		switch opts.Strategy {

@@ -15,6 +15,7 @@
 package ecsat
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -50,6 +51,10 @@ func (v Verdict) String() string {
 type Options struct {
 	// ConflictBudget bounds solver effort (0 = unlimited).
 	ConflictBudget int64
+	// Context, when non-nil, cancels the solve cooperatively (polled every
+	// conflict and every few hundred decisions).  A cancelled check returns
+	// Inconclusive with Result.Cancelled set.
+	Context context.Context
 }
 
 // Result reports the outcome and cost.
@@ -59,6 +64,7 @@ type Result struct {
 	Vars           int
 	Clauses        int
 	Runtime        time.Duration
+	Cancelled      bool // Inconclusive because Options.Context was cancelled
 	Solver         sat.Stats
 }
 
@@ -161,6 +167,9 @@ func Check(g1, g2 *circuit.Circuit, opts Options) (Result, error) {
 	}
 	s := sat.NewSolver()
 	s.ConflictBudget = opts.ConflictBudget
+	if ctx := opts.Context; ctx != nil {
+		s.Cancel = func() bool { return ctx.Err() != nil }
+	}
 
 	inputs := make([]sat.Lit, g1.N)
 	for i := range inputs {
@@ -224,7 +233,8 @@ func Check(g1, g2 *circuit.Circuit, opts Options) (Result, error) {
 		res.Counterexample = &ce
 	default:
 		res.Verdict = Inconclusive
-		if serr != nil && serr != sat.ErrBudget {
+		res.Cancelled = serr == sat.ErrCancelled
+		if serr != nil && serr != sat.ErrBudget && serr != sat.ErrCancelled {
 			return res, serr
 		}
 	}

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"qcec/internal/portfolio"
+)
+
+// PortfolioRow compares one instance under the concurrent prover portfolio
+// against the single-strategy complete check measured by RunInstance.
+type PortfolioRow struct {
+	Name string
+	N    int
+
+	// Portfolio outcome.
+	Verdict    portfolio.Verdict
+	Winner     string
+	TPortfolio time.Duration
+	// Stops summarizes each prover's fate, in prover order ("sim:won dd:cancelled ...").
+	Stops string
+
+	// Single-strategy baseline (the same complete routine the portfolio
+	// races, run alone with the suite's EC options).
+	TSingle        time.Duration
+	SingleTimedOut bool
+
+	WantEquivalent bool
+	Wrong          bool // definitive portfolio verdict contradicting ground truth
+}
+
+// RunPortfolioInstance races the standard provers on one instance and runs
+// the single-strategy baseline for comparison.
+func RunPortfolioInstance(inst Instance, opts RunOptions) PortfolioRow {
+	opts = opts.withDefaults()
+	row := PortfolioRow{
+		Name:           inst.Name,
+		N:              inst.N,
+		WantEquivalent: inst.WantEquivalent,
+	}
+
+	// Baseline: the complete routine alone, exactly as RunInstance measures
+	// it (column t_ec).
+	base := RunInstance(inst, opts)
+	row.TSingle = base.TEC
+	row.SingleTimedOut = base.ECTimedOut
+
+	cfg := portfolio.Config{
+		R:           opts.R,
+		Seed:        opts.Seed,
+		Strategy:    opts.ECStrategy,
+		ECNodeLimit: opts.ECNodeLimit,
+		OutputPerm:  inst.OutputPerm,
+	}
+	names := []string{"sim", "dd", "alt"}
+	if inst.OutputPerm == nil {
+		names = append(names, "zx")
+	}
+	provers, err := portfolio.FromNames(names, cfg)
+	if err != nil {
+		panic(err) // static prover list; cannot fail
+	}
+	res := portfolio.Run(context.Background(), inst.G, inst.Gp, provers,
+		portfolio.Options{Timeout: opts.ECTimeout})
+	row.Verdict = res.Verdict
+	row.Winner = res.Winner
+	row.TPortfolio = res.Runtime
+	for i, r := range res.Reports {
+		if i > 0 {
+			row.Stops += " "
+		}
+		row.Stops += fmt.Sprintf("%s:%s", r.Name, r.Stop)
+	}
+	switch res.Verdict {
+	case portfolio.Equivalent, portfolio.EquivalentUpToGlobalPhase:
+		row.Wrong = !inst.WantEquivalent
+	case portfolio.NotEquivalent:
+		row.Wrong = inst.WantEquivalent
+	}
+	return row
+}
+
+// RunPortfolioSuite measures every instance, releasing circuits as it goes
+// like RunSuite.
+func RunPortfolioSuite(instances []Instance, opts RunOptions) []PortfolioRow {
+	rows := make([]PortfolioRow, 0, len(instances))
+	for i := range instances {
+		rows = append(rows, RunPortfolioInstance(instances[i], opts))
+		instances[i].G, instances[i].Gp = nil, nil
+	}
+	return rows
+}
+
+// PrintPortfolioTable renders the portfolio-vs-single-strategy comparison,
+// ending with the wrong-verdict count and the geometric-mean speedup over
+// the single-strategy baseline.
+func PrintPortfolioTable(w io.Writer, rows []PortfolioRow, opts RunOptions) {
+	opts = opts.withDefaults()
+	fmt.Fprintf(w, "Portfolio vs single strategy (%s, timeout %s)\n", opts.ECStrategy, opts.ECTimeout)
+	fmt.Fprintf(w, "%-28s %4s %-14s %-8s %12s %12s  %s\n",
+		"Benchmark", "n", "verdict", "winner", "t_port[s]", "t_single[s]", "prover fates")
+	wrong := 0
+	logSum, logCount := 0.0, 0
+	for _, r := range rows {
+		if r.Wrong {
+			wrong++
+		}
+		ts := fmtDuration(r.TSingle)
+		if r.SingleTimedOut {
+			ts = ">" + fmtDuration(opts.ECTimeout)
+		}
+		if r.TPortfolio > 0 && r.TSingle > 0 {
+			logSum += math.Log(r.TSingle.Seconds() / r.TPortfolio.Seconds())
+			logCount++
+		}
+		verdict := r.Verdict.String()
+		if len(verdict) > 14 {
+			verdict = verdict[:14]
+		}
+		fmt.Fprintf(w, "%-28s %4d %-14s %-8s %12s %12s  %s\n",
+			r.Name, r.N, verdict, r.Winner, fmtDuration(r.TPortfolio), ts, r.Stops)
+	}
+	fmt.Fprintf(w, "wrong verdicts: %d/%d", wrong, len(rows))
+	if logCount > 0 {
+		fmt.Fprintf(w, "; geo-mean speedup over single strategy: %.1fx (single capped by timeout)",
+			math.Exp(logSum/float64(logCount)))
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunPortfolioSuite races the portfolio on a slice of the small suites
+// and checks verdict correctness plus the report rendering.
+func TestRunPortfolioSuite(t *testing.T) {
+	eq, err := BuildEquivalentSuite(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neq, err := BuildNonEquivalentSuite(Small, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := append(eq[:3], neq[:3]...)
+	opts := RunOptions{R: 4, ECTimeout: 30 * time.Second, Seed: 5}
+	rows := RunPortfolioSuite(instances, opts)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Wrong {
+			t.Errorf("%s: portfolio verdict %v (winner %s) contradicts ground truth (want equivalent=%v)",
+				r.Name, r.Verdict, r.Winner, r.WantEquivalent)
+		}
+		if !r.Verdict.Definitive() {
+			t.Errorf("%s: portfolio inconclusive (fates: %s)", r.Name, r.Stops)
+		}
+		if r.Winner == "" || r.Stops == "" {
+			t.Errorf("%s: missing winner/fates in row %+v", r.Name, r)
+		}
+	}
+
+	var sb strings.Builder
+	PrintPortfolioTable(&sb, rows, opts)
+	out := sb.String()
+	for _, want := range []string{"Portfolio vs single strategy", "winner", "wrong verdicts: 0/6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package portfolio runs several equivalence-checking provers concurrently
+// on the same circuit pair and returns the first definitive verdict.
+//
+// The paper's flow (Fig. 3) already sequences a cheap simulation prefilter
+// before a complete DD-based check; the journal version of the work
+// ("Advanced Equivalence Checking for Quantum Circuits") observes that the
+// available decision procedures — simulation, DD construction, the
+// alternating scheme, SAT miters, ZX rewriting — have wildly different
+// per-instance strengths, and runs them as a concurrent portfolio.  This
+// package is that engine: every prover runs in its own goroutine against a
+// shared context.Context; the first Equivalent / EquivalentUpToGlobalPhase /
+// NotEquivalent answer wins and cancels the rest, which stop cooperatively
+// (see the cancellation contract in DESIGN.md) instead of running to their
+// private timeouts.
+//
+// Concurrency invariant: dd.Package and cn.Table are not safe for concurrent
+// use, so every prover constructs its own package(s); the engine never shares
+// DD state between goroutines.  The only cross-goroutine values are the
+// immutable input circuits and the plain-data Outcome structs.
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"qcec/internal/circuit"
+)
+
+// Verdict is a portfolio-level equivalence verdict.  The zero value is
+// Inconclusive, so an empty Outcome is safely non-definitive.
+type Verdict int
+
+// Possible verdicts.  Only the three non-Inconclusive values are
+// "definitive" and end the race.
+const (
+	Inconclusive Verdict = iota
+	Equivalent
+	EquivalentUpToGlobalPhase
+	NotEquivalent
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Inconclusive:
+		return "inconclusive"
+	case Equivalent:
+		return "equivalent"
+	case EquivalentUpToGlobalPhase:
+		return "equivalent up to global phase"
+	case NotEquivalent:
+		return "not equivalent"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Definitive reports whether the verdict settles the instance (and hence
+// wins the race).
+func (v Verdict) Definitive() bool { return v != Inconclusive }
+
+// Stop explains why a prover stopped.
+type Stop int
+
+// Stop reasons.  Provers report Finished/Inconclusive/Cancelled/Timeout/
+// NodeLimit/Error about themselves; the engine upgrades the first definitive
+// Finished to Won and distinguishes engine-timeout from lost-the-race
+// cancellation.
+const (
+	// StopWon: this prover delivered the race's definitive verdict.
+	StopWon Stop = iota
+	// StopFinished: definitive verdict, but another prover won first.
+	StopFinished
+	// StopInconclusive: ran to completion without a definitive verdict
+	// (e.g. an incomplete prover that failed to reduce the miter).
+	StopInconclusive
+	// StopCancelled: stopped because the shared context was cancelled after
+	// another prover won.
+	StopCancelled
+	// StopTimeout: hit a wall-clock bound — its own or the portfolio's —
+	// with no winner involved.
+	StopTimeout
+	// StopNodeLimit: hit its DD node budget.
+	StopNodeLimit
+	// StopError: could not run on this instance (e.g. the SAT miter on a
+	// non-classical circuit).
+	StopError
+)
+
+// String returns the stop-reason name.
+func (s Stop) String() string {
+	switch s {
+	case StopWon:
+		return "won"
+	case StopFinished:
+		return "finished"
+	case StopInconclusive:
+		return "inconclusive"
+	case StopCancelled:
+		return "cancelled"
+	case StopTimeout:
+		return "timeout"
+	case StopNodeLimit:
+		return "node-limit"
+	case StopError:
+		return "error"
+	default:
+		return fmt.Sprintf("stop(%d)", int(s))
+	}
+}
+
+// Outcome is what a single prover reports back to the engine.
+type Outcome struct {
+	// Verdict is the prover's conclusion; Inconclusive loses the race.
+	Verdict Verdict
+	// Counterexample is a basis state on which the circuits differ, when the
+	// verdict is NotEquivalent and the prover found one.
+	Counterexample *uint64
+	// Stop is the prover's own account of why it stopped; for definitive
+	// verdicts the engine replaces it with Won or Finished.
+	Stop Stop
+	// PeakNodes is the largest live DD population the prover observed
+	// (0 for provers that do not build DDs).
+	PeakNodes int
+	// Detail is a short human-readable note for the report table.
+	Detail string
+}
+
+// Prover is one competitor: a name and a run function.  Run must honor ctx —
+// return promptly once ctx is cancelled — and must build all of its mutable
+// state (DD packages, complex tables, solvers) itself, per goroutine.
+type Prover struct {
+	Name string
+	Run  func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome
+}
+
+// Report is the engine's per-prover observability record.
+type Report struct {
+	Name      string
+	Verdict   Verdict
+	Stop      Stop
+	Runtime   time.Duration
+	PeakNodes int
+	Detail    string
+}
+
+// Options configures a portfolio run.
+type Options struct {
+	// Timeout bounds the whole race; zero means the race only ends when a
+	// prover returns a definitive verdict or all provers give up.
+	Timeout time.Duration
+}
+
+// Result is the outcome of a portfolio run.
+type Result struct {
+	// Verdict is the winning verdict, or Inconclusive when no prover
+	// produced a definitive one.
+	Verdict Verdict
+	// Winner is the name of the prover that produced the verdict ("" when
+	// inconclusive).
+	Winner string
+	// Counterexample is the winner's distinguishing basis state, if any.
+	Counterexample *uint64
+	// Runtime is the wall-clock time of the whole race, including waiting
+	// for cancelled losers to acknowledge.
+	Runtime time.Duration
+	// Reports lists every prover's outcome in the order provers were given.
+	Reports []Report
+}
+
+// Run races the provers on the pair (g1, g2) and returns the first
+// definitive verdict.  Losing provers are cancelled through the shared
+// context and Run waits for all of them to acknowledge before returning, so
+// no prover goroutine outlives the call.
+func Run(ctx context.Context, g1, g2 *circuit.Circuit, provers []Prover, opts Options) Result {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if opts.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	res := Result{Reports: make([]Report, len(provers))}
+	var (
+		mu        sync.Mutex
+		winnerIdx = -1
+	)
+	var wg sync.WaitGroup
+	for i, p := range provers {
+		wg.Add(1)
+		go func(i int, p Prover) {
+			defer wg.Done()
+			t0 := time.Now()
+			out := p.Run(ctx, g1, g2)
+			elapsed := time.Since(t0)
+
+			mu.Lock()
+			defer mu.Unlock()
+			stop := out.Stop
+			if out.Verdict.Definitive() {
+				if winnerIdx < 0 {
+					winnerIdx = i
+					res.Verdict = out.Verdict
+					res.Winner = p.Name
+					res.Counterexample = out.Counterexample
+					stop = StopWon
+					cancel() // stop the losers promptly
+				} else {
+					stop = StopFinished
+				}
+			}
+			res.Reports[i] = Report{
+				Name:      p.Name,
+				Verdict:   out.Verdict,
+				Stop:      stop,
+				Runtime:   elapsed,
+				PeakNodes: out.PeakNodes,
+				Detail:    out.Detail,
+			}
+		}(i, p)
+	}
+	wg.Wait()
+
+	// With no winner, a prover that observed the context going away was
+	// stopped by the portfolio (or caller) deadline, not by losing a race.
+	if winnerIdx < 0 && ctx.Err() != nil {
+		for i := range res.Reports {
+			if res.Reports[i].Stop == StopCancelled {
+				res.Reports[i].Stop = StopTimeout
+			}
+		}
+	}
+	res.Runtime = time.Since(start)
+	return res
+}

@@ -1,0 +1,239 @@
+package portfolio
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"qcec/internal/circuit"
+	"qcec/internal/decompose"
+	"qcec/internal/ec"
+	"qcec/internal/errinject"
+	"qcec/internal/qasm"
+	"qcec/internal/revlib"
+)
+
+func pairGHZ(t *testing.T) (*circuit.Circuit, *circuit.Circuit) {
+	t.Helper()
+	g := circuit.New(3, "ghz3")
+	g.Add(circuit.Gate{Kind: circuit.H, Target: 0, Target2: -1})
+	g.Add(circuit.Gate{Kind: circuit.X, Target: 1, Target2: -1, Controls: []circuit.Control{{Qubit: 0}}})
+	g.Add(circuit.Gate{Kind: circuit.X, Target: 2, Target2: -1, Controls: []circuit.Control{{Qubit: 1}}})
+	return g, g.Clone()
+}
+
+// hungProver blocks until the engine cancels it, then reports how it
+// stopped; done is closed once the prover has observed the cancellation.
+func hungProver(done chan<- struct{}) Prover {
+	return Prover{
+		Name: "hung",
+		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
+			<-ctx.Done()
+			close(done)
+			return Outcome{Stop: StopCancelled, Detail: ctx.Err().Error()}
+		},
+	}
+}
+
+// TestHungProverDoesNotDelayWinner races a real prover against a prover
+// that blocks until cancelled: the winner's verdict must arrive promptly and
+// the hung prover must observe ctx.Done within the test budget.
+func TestHungProverDoesNotDelayWinner(t *testing.T) {
+	g1, g2 := pairGHZ(t)
+	done := make(chan struct{})
+	provers := []Prover{hungProver(done), AlternatingProver(Config{})}
+
+	start := time.Now()
+	res := Run(context.Background(), g1, g2, provers, Options{})
+	elapsed := time.Since(start)
+
+	if res.Verdict != Equivalent {
+		t.Fatalf("verdict = %v, want %v", res.Verdict, Equivalent)
+	}
+	if res.Winner != "alt" {
+		t.Fatalf("winner = %q, want alt", res.Winner)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("race took %v; hung prover delayed the winner", elapsed)
+	}
+	select {
+	case <-done:
+	default:
+		t.Fatal("hung prover never observed ctx.Done()")
+	}
+	if got := res.Reports[0]; got.Stop != StopCancelled {
+		t.Fatalf("hung prover stop = %v, want %v", got.Stop, StopCancelled)
+	}
+	if got := res.Reports[1]; got.Stop != StopWon {
+		t.Fatalf("winning prover stop = %v, want %v", got.Stop, StopWon)
+	}
+}
+
+// TestPortfolioTimeout distinguishes the engine's own deadline from
+// lost-the-race cancellation: with no winner, a cancelled prover must be
+// reported as timeout.
+func TestPortfolioTimeout(t *testing.T) {
+	g1, g2 := pairGHZ(t)
+	done := make(chan struct{})
+	res := Run(context.Background(), g1, g2, []Prover{hungProver(done)},
+		Options{Timeout: 50 * time.Millisecond})
+	if res.Verdict.Definitive() {
+		t.Fatalf("verdict = %v, want inconclusive", res.Verdict)
+	}
+	if res.Winner != "" {
+		t.Fatalf("winner = %q, want none", res.Winner)
+	}
+	if got := res.Reports[0].Stop; got != StopTimeout {
+		t.Fatalf("stop = %v, want %v (engine deadline, not a lost race)", got, StopTimeout)
+	}
+}
+
+// deepRandomPair returns a heavily entangling non-Clifford circuit and a
+// copy with an injected bit-flip — an instance where simulation (vector DDs)
+// answers quickly while constructing the full unitary DD is hopeless.
+func deepRandomPair() (*circuit.Circuit, *circuit.Circuit) {
+	const n, gates = 11, 160
+	rng := rand.New(rand.NewSource(42))
+	g := circuit.New(n, "deep_random")
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			g.Add(circuit.Gate{Kind: circuit.H, Target: rng.Intn(n), Target2: -1})
+		case 1:
+			g.Add(circuit.Gate{Kind: circuit.T, Target: rng.Intn(n), Target2: -1})
+		default:
+			c := rng.Intn(n)
+			x := rng.Intn(n - 1)
+			if x >= c {
+				x++
+			}
+			g.Add(circuit.Gate{Kind: circuit.X, Target: x, Target2: -1,
+				Controls: []circuit.Control{{Qubit: c}}})
+		}
+	}
+	gp := g.Clone()
+	gp.Add(circuit.Gate{Kind: circuit.X, Target: 0, Target2: -1})
+	return g, gp
+}
+
+// TestSimWinsAndSlowProversAreCancelled is the acceptance scenario: on a
+// non-equivalent instance whose complete check is intractable, the portfolio
+// must return the simulation prefilter's counterexample while the DD provers
+// are recorded as cancelled — not as having reached their private timeouts.
+func TestSimWinsAndSlowProversAreCancelled(t *testing.T) {
+	g, gp := deepRandomPair()
+	cfg := Config{R: 2, Seed: 7, ECTimeout: 10 * time.Minute}
+	provers := []Prover{SimProver(cfg), DDProver(cfg), AlternatingProver(cfg)}
+
+	res := Run(context.Background(), g, gp, provers, Options{})
+	if res.Verdict != NotEquivalent {
+		t.Fatalf("verdict = %v, want %v", res.Verdict, NotEquivalent)
+	}
+	if res.Winner != "sim" {
+		t.Fatalf("winner = %q, want sim (reports: %+v)", res.Winner, res.Reports)
+	}
+	if res.Counterexample == nil {
+		t.Fatal("no counterexample from the sim prefilter")
+	}
+	for _, r := range res.Reports[1:] {
+		if r.Stop != StopCancelled {
+			t.Fatalf("prover %s stop = %v, want %v (report: %+v)", r.Name, r.Stop, StopCancelled, r)
+		}
+	}
+}
+
+// loadCircuit reads a .qasm or .real seed benchmark.
+func loadCircuit(t *testing.T, path string) *circuit.Circuit {
+	t.Helper()
+	if strings.HasSuffix(path, ".real") {
+		f, err := revlib.ParseFile(path)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		return f.Circuit
+	}
+	prog, err := qasm.ParseFile(path)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	return prog.Circuit
+}
+
+// TestPortfolioMatchesSingleStrategy checks, on the seed benchmark circuits
+// and error-injected variants, that the portfolio verdict agrees with the
+// single-strategy complete check.
+func TestPortfolioMatchesSingleStrategy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark sweep")
+	}
+	files := []string{"ghz5.qasm", "grover4_cx.qasm", "qft8.qasm", "hwb5.real", "inc6.real"}
+	for _, f := range files {
+		g := loadCircuit(t, filepath.Join("..", "..", "circuits", f))
+		gp := decompose.Circuit(g, decompose.LevelCX)
+		buggy, _, err := errinject.InjectAny(gp, 3)
+		if err != nil {
+			t.Fatalf("%s: inject: %v", f, err)
+		}
+		for _, tc := range []struct {
+			label string
+			g2    *circuit.Circuit
+		}{{"decomposed", gp}, {"injected", buggy}} {
+			single := ec.Check(g, tc.g2, ec.Options{
+				Strategy:        ec.Proportional,
+				UpToGlobalPhase: true,
+				Timeout:         2 * time.Minute,
+			})
+			if single.Verdict == ec.TimedOut {
+				t.Fatalf("%s/%s: single-strategy check timed out", f, tc.label)
+			}
+			cfg := Config{Seed: 11, UpToGlobalPhase: true, ECTimeout: 2 * time.Minute}
+			provers, err := FromNames([]string{"sim", "dd", "alt", "sat", "zx"}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := Run(context.Background(), g, tc.g2, provers, Options{})
+			wantEq := single.Verdict == ec.Equivalent || single.Verdict == ec.EquivalentUpToGlobalPhase
+			gotEq := res.Verdict == Equivalent || res.Verdict == EquivalentUpToGlobalPhase
+			if !res.Verdict.Definitive() || gotEq != wantEq {
+				t.Errorf("%s/%s: portfolio %v (winner %s) vs single-strategy %v",
+					f, tc.label, res.Verdict, res.Winner, single.Verdict)
+			}
+		}
+	}
+}
+
+// TestFromNamesRejectsUnknown covers the CLI-facing prover selection.
+func TestFromNamesRejectsUnknown(t *testing.T) {
+	if _, err := FromNames([]string{"sim", "bogus"}, Config{}); err == nil {
+		t.Fatal("unknown prover name accepted")
+	}
+	if _, err := FromNames(nil, Config{}); err == nil {
+		t.Fatal("empty prover list accepted")
+	}
+	provers, err := FromNames([]string{" sim", "zx "}, Config{})
+	if err != nil || len(provers) != 2 {
+		t.Fatalf("trimmed names: provers=%d err=%v", len(provers), err)
+	}
+}
+
+// TestAllInconclusive: with no definitive prover the race ends inconclusive
+// and per-prover reports survive.
+func TestAllInconclusive(t *testing.T) {
+	g1, g2 := pairGHZ(t)
+	idle := Prover{
+		Name: "idle",
+		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
+			return Outcome{Stop: StopInconclusive, Detail: "gave up"}
+		},
+	}
+	res := Run(context.Background(), g1, g2, []Prover{idle, idle}, Options{})
+	if res.Verdict.Definitive() || res.Winner != "" {
+		t.Fatalf("result = %+v, want inconclusive", res)
+	}
+	if len(res.Reports) != 2 || res.Reports[0].Detail != "gave up" {
+		t.Fatalf("reports = %+v", res.Reports)
+	}
+}

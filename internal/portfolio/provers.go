@@ -1,0 +1,244 @@
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"qcec/internal/circuit"
+	"qcec/internal/core"
+	"qcec/internal/ec"
+	"qcec/internal/ecsat"
+	"qcec/internal/zx"
+)
+
+// Config parameterizes the standard provers built by FromNames.
+type Config struct {
+	// R is the simulation prefilter's stimulus count (default core.DefaultR).
+	R int
+	// Seed drives the prefilter's stimulus selection.
+	Seed int64
+	// SimParallel is the prefilter's worker count (0 or 1 = sequential).
+	SimParallel int
+	// Strategy selects the alternating scheme of the "alt" prover
+	// (default ec.Proportional).
+	Strategy ec.Strategy
+	// ECTimeout is the private wall-clock bound of each complete DD prover
+	// (0 = none; the portfolio context still cancels them).
+	ECTimeout time.Duration
+	// ECNodeLimit bounds each DD prover's live nodes (0 = none).
+	ECNodeLimit int
+	// SATConflictBudget bounds the SAT prover's effort (0 = unlimited).
+	SATConflictBudget int64
+	// UpToGlobalPhase accepts a scalar factor between the circuits.
+	UpToGlobalPhase bool
+	// OutputPerm declares an output relabeling (see ec.Options.OutputPerm).
+	// Provers with no permutation notion (sat, zx) decline when it is set.
+	OutputPerm []int
+	// Tolerance is the DD weight tolerance (0 = default).
+	Tolerance float64
+}
+
+// ProverNames lists the selectable standard provers in canonical order.
+var ProverNames = []string{"sim", "dd", "alt", "sat", "zx"}
+
+// FromNames builds the named subset of the standard provers:
+//
+//	sim — the paper's simulation prefilter (random basis-state runs)
+//	dd  — complete DD check, construction strategy (build and compare)
+//	alt — complete DD check, alternating scheme (cfg.Strategy)
+//	sat — SAT miter (classical reversible netlists only)
+//	zx  — ZX-calculus rewriting (sound, incomplete, up to phase)
+func FromNames(names []string, cfg Config) ([]Prover, error) {
+	provers := make([]Prover, 0, len(names))
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		switch name {
+		case "sim":
+			provers = append(provers, SimProver(cfg))
+		case "dd":
+			provers = append(provers, DDProver(cfg))
+		case "alt":
+			provers = append(provers, AlternatingProver(cfg))
+		case "sat":
+			provers = append(provers, SATProver(cfg))
+		case "zx":
+			provers = append(provers, ZXProver(cfg))
+		case "":
+			continue
+		default:
+			return nil, fmt.Errorf("portfolio: unknown prover %q (have %s)",
+				name, strings.Join(ProverNames, ","))
+		}
+	}
+	if len(provers) == 0 {
+		return nil, fmt.Errorf("portfolio: no provers selected")
+	}
+	return provers, nil
+}
+
+// SimProver wraps the paper's simulation prefilter (internal/core with the
+// complete routine skipped).  It proves non-equivalence with a
+// counterexample, proves equivalence only when the stimuli are exhaustive,
+// and is otherwise inconclusive.
+func SimProver(cfg Config) Prover {
+	return Prover{
+		Name: "sim",
+		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
+			rep := core.Check(g1, g2, core.Options{
+				Context:         ctx,
+				R:               cfg.R,
+				Seed:            cfg.Seed,
+				Parallel:        cfg.SimParallel,
+				SkipEC:          true,
+				UpToGlobalPhase: cfg.UpToGlobalPhase,
+				OutputPerm:      cfg.OutputPerm,
+				Tolerance:       cfg.Tolerance,
+			})
+			out := Outcome{Detail: fmt.Sprintf("%d sims", rep.NumSims)}
+			switch rep.Verdict {
+			case core.NotEquivalent:
+				out.Verdict = NotEquivalent
+				if rep.Counterexample != nil {
+					ce := rep.Counterexample.Input
+					out.Counterexample = &ce
+					out.Detail = fmt.Sprintf("%d sims, counterexample |%b>", rep.NumSims, ce)
+				}
+			case core.Equivalent:
+				out.Verdict = Equivalent
+				out.Detail = fmt.Sprintf("%d sims (exhaustive)", rep.NumSims)
+			case core.EquivalentUpToGlobalPhase:
+				out.Verdict = EquivalentUpToGlobalPhase
+			default: // ProbablyEquivalent: not definitive
+				if rep.Cancelled {
+					out.Stop = StopCancelled
+				} else {
+					out.Stop = StopInconclusive
+					out.Detail = fmt.Sprintf("%d sims agreed (not a proof)", rep.NumSims)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// ecOutcome translates a complete-routine result into a portfolio outcome.
+func ecOutcome(res ec.Result) Outcome {
+	out := Outcome{
+		PeakNodes: res.PeakNodes,
+		Detail:    fmt.Sprintf("%d gates applied", res.GatesApplied),
+	}
+	switch res.Verdict {
+	case ec.Equivalent:
+		out.Verdict = Equivalent
+	case ec.EquivalentUpToGlobalPhase:
+		out.Verdict = EquivalentUpToGlobalPhase
+	case ec.NotEquivalent:
+		out.Verdict = NotEquivalent
+		out.Counterexample = res.Counterexample
+	case ec.TimedOut:
+		switch res.Cause {
+		case ec.CauseCancelled:
+			out.Stop = StopCancelled
+		case ec.CauseNodeLimit:
+			out.Stop = StopNodeLimit
+		default:
+			out.Stop = StopTimeout
+		}
+		out.Detail = res.Reason
+	}
+	return out
+}
+
+// DDProver wraps the complete DD routine with the construction strategy —
+// the "build and compare the complete functionality" baseline.
+func DDProver(cfg Config) Prover {
+	return ecProver("dd", ec.Construction, cfg)
+}
+
+// AlternatingProver wraps the complete DD routine with the configured
+// alternating scheme (default ec.Proportional).
+func AlternatingProver(cfg Config) Prover {
+	return ecProver("alt", cfg.Strategy, cfg)
+}
+
+func ecProver(name string, strategy ec.Strategy, cfg Config) Prover {
+	return Prover{
+		Name: name,
+		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
+			return ecOutcome(ec.Check(g1, g2, ec.Options{
+				Strategy:        strategy,
+				Context:         ctx,
+				Timeout:         cfg.ECTimeout,
+				NodeLimit:       cfg.ECNodeLimit,
+				UpToGlobalPhase: cfg.UpToGlobalPhase,
+				OutputPerm:      cfg.OutputPerm,
+				Tolerance:       cfg.Tolerance,
+			}))
+		},
+	}
+}
+
+// SATProver wraps the SAT miter.  It only applies to classical reversible
+// netlists (and pairs without an output permutation); elsewhere it reports
+// StopError and leaves the race to the other provers.
+func SATProver(cfg Config) Prover {
+	return Prover{
+		Name: "sat",
+		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
+			if cfg.OutputPerm != nil {
+				return Outcome{Stop: StopError, Detail: "output permutation unsupported"}
+			}
+			res, err := ecsat.Check(g1, g2, ecsat.Options{
+				ConflictBudget: cfg.SATConflictBudget,
+				Context:        ctx,
+			})
+			if err != nil {
+				return Outcome{Stop: StopError, Detail: err.Error()}
+			}
+			out := Outcome{Detail: fmt.Sprintf("%d vars, %d clauses", res.Vars, res.Clauses)}
+			switch res.Verdict {
+			case ecsat.Equivalent:
+				out.Verdict = Equivalent
+			case ecsat.NotEquivalent:
+				out.Verdict = NotEquivalent
+				out.Counterexample = res.Counterexample
+			default:
+				if res.Cancelled {
+					out.Stop = StopCancelled
+				} else {
+					out.Stop = StopInconclusive
+					out.Detail = "conflict budget exhausted"
+				}
+			}
+			return out
+		},
+	}
+}
+
+// ZXProver wraps the ZX-calculus rewriter: sound, incomplete, and only able
+// to prove equivalence up to global phase.
+func ZXProver(cfg Config) Prover {
+	return Prover{
+		Name: "zx",
+		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
+			if cfg.OutputPerm != nil {
+				return Outcome{Stop: StopError, Detail: "output permutation unsupported"}
+			}
+			res, err := zx.CheckCtx(ctx, g1, g2)
+			if err != nil {
+				return Outcome{Stop: StopError, Detail: err.Error()}
+			}
+			out := Outcome{Detail: fmt.Sprintf("spiders %d -> %d", res.SpidersBefore, res.SpidersAfter)}
+			if res.Verdict == zx.EquivalentUpToPhase {
+				out.Verdict = EquivalentUpToGlobalPhase
+			} else if res.Cancelled {
+				out.Stop = StopCancelled
+			} else {
+				out.Stop = StopInconclusive
+			}
+			return out
+		},
+	}
+}

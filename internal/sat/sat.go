@@ -106,6 +106,14 @@ type Solver struct {
 	// ConflictBudget aborts Solve with Unknown after this many conflicts
 	// (0 = unlimited) — the timeout mechanism of the EC baseline.
 	ConflictBudget int64
+
+	// Cancel, when non-nil, is polled periodically during Solve (every
+	// conflict and every few hundred decisions); returning true aborts the
+	// search with Unknown/ErrCancelled.  The typical hook closes over a
+	// context.Context: func() bool { return ctx.Err() != nil }.  This keeps
+	// the solver context-free while letting the prover portfolio stop a
+	// losing SAT check promptly.
+	Cancel func() bool
 }
 
 // NewSolver creates a solver with no variables.
@@ -393,6 +401,9 @@ func luby(i int64) int64 {
 // ErrBudget is returned by Solve when the conflict budget is exhausted.
 var ErrBudget = errors.New("sat: conflict budget exhausted")
 
+// ErrCancelled is returned by Solve when the Cancel hook requested a stop.
+var ErrCancelled = errors.New("sat: solve cancelled")
+
 // Solve decides satisfiability.  On Satisfiable, Model returns the
 // assignment.  With a ConflictBudget set it may return Unknown/ErrBudget.
 func (s *Solver) Solve() (Status, error) {
@@ -430,6 +441,9 @@ func (s *Solver) Solve() (Status, error) {
 			if s.ConflictBudget > 0 && s.stats.Conflicts >= s.ConflictBudget {
 				return Unknown, ErrBudget
 			}
+			if s.Cancel != nil && s.Cancel() {
+				return Unknown, ErrCancelled
+			}
 			continue
 		}
 		if conflictsAtRestart >= limit {
@@ -443,6 +457,11 @@ func (s *Solver) Solve() (Status, error) {
 		l := s.pickBranch()
 		if l == 0 {
 			return Satisfiable, nil
+		}
+		// Conflict-free instances still need a cancellation point; every 256
+		// decisions keeps the polling cost invisible.
+		if s.stats.Decisions&0xFF == 0 && s.Cancel != nil && s.Cancel() {
+			return Unknown, ErrCancelled
 		}
 		s.stats.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))

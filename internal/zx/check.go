@@ -1,6 +1,7 @@
 package zx
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,6 +39,7 @@ type Result struct {
 	Fusions          int
 	LocalComplements int
 	Pivots           int
+	Cancelled        bool // Inconclusive because the context was cancelled
 	Runtime          time.Duration
 }
 
@@ -46,6 +48,13 @@ type Result struct {
 // the identity wiring.  Inputs with multi-controlled gates or controlled
 // SWAPs are lowered to the CX level first.
 func Check(g1, g2 *circuit.Circuit) (Result, error) {
+	return CheckCtx(nil, g1, g2)
+}
+
+// CheckCtx is Check under cooperative cancellation: the simplification loop
+// polls ctx between rounds and stops early when it is cancelled, yielding
+// Inconclusive with Result.Cancelled set.  A nil ctx disables cancellation.
+func CheckCtx(ctx context.Context, g1, g2 *circuit.Circuit) (Result, error) {
 	start := time.Now()
 	if g1.N != g2.N {
 		return Result{Verdict: Inconclusive, Runtime: time.Since(start)}, nil
@@ -57,6 +66,9 @@ func Check(g1, g2 *circuit.Circuit) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if ctx != nil {
+		g.SetCancel(func() bool { return ctx.Err() != nil })
+	}
 	res := Result{SpidersBefore: g.NumSpiders()}
 	g.Simplify()
 	res.SpidersAfter = g.NumSpiders()
@@ -64,9 +76,12 @@ func Check(g1, g2 *circuit.Circuit) (Result, error) {
 	res.LocalComplements = g.lcomps
 	res.Pivots = g.pivots
 	if isIdentityWiring(g, ins, outs) {
+		// A fully reduced identity is a proof even if the context was
+		// cancelled while the last round completed.
 		res.Verdict = EquivalentUpToPhase
 	} else {
 		res.Verdict = Inconclusive
+		res.Cancelled = ctx != nil && ctx.Err() != nil
 	}
 	res.Runtime = time.Since(start)
 	return res, nil

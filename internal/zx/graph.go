@@ -57,6 +57,11 @@ type Graph struct {
 	adj map[pair]*edges
 	nbr []map[int]bool // neighbour sets (any edge type)
 
+	// cancel, when non-nil, is polled between simplification rounds; when it
+	// returns true, Simplify stops early (soundly: an unfinished reduction is
+	// merely Inconclusive).
+	cancel func() bool
+
 	// stats
 	fusions, hopfs, lcomps, pivots int
 }
@@ -65,6 +70,14 @@ type Graph struct {
 func NewGraph() *Graph {
 	return &Graph{adj: make(map[pair]*edges)}
 }
+
+// SetCancel installs (or with nil removes) a cooperative cancellation hook
+// polled by Simplify between rounds.  The typical hook closes over a
+// context.Context: func() bool { return ctx.Err() != nil }.
+func (g *Graph) SetCancel(f func() bool) { g.cancel = f }
+
+// cancelledNow reports whether the cancel hook requests a stop.
+func (g *Graph) cancelledNow() bool { return g.cancel != nil && g.cancel() }
 
 const twoPi = 2 * math.Pi
 
@@ -214,6 +227,9 @@ func (g *Graph) fuse(u, v int) {
 // spider-spider edges, producing the graph-like form.
 func (g *Graph) fusePlainEdges() {
 	for {
+		if g.cancelledNow() {
+			return
+		}
 		var fu, fv int = -1, -1
 		for p, e := range g.adj {
 			if e.plain > 0 && g.kind[p.a] == kindSpider && g.kind[p.b] == kindSpider {
@@ -432,7 +448,7 @@ func (g *Graph) Simplify() {
 	g.fusePlainEdges()
 	budget := 16*len(g.kind) + 1024 // safety net against rule ping-pong
 	for {
-		if budget <= 0 {
+		if budget <= 0 || g.cancelledNow() {
 			return
 		}
 		budget--
