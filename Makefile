@@ -9,7 +9,7 @@ RACE_PKGS = ./internal/core/... ./internal/portfolio/... ./internal/dd/... ./int
 
 FUZZTIME ?= 20s
 
-.PHONY: all build test race vet fmt fuzz-smoke ci
+.PHONY: all build test race vet fmt fuzz-smoke bench ci
 
 all: build
 
@@ -31,6 +31,14 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Gate-DD cache benchmark over the seed circuits: writes BENCH_sim.json
+# comparing cached vs uncached gate-application rates with verdict parity.
+# -min-speedup makes the run fail below the advertised speedup; CI runs it
+# non-blocking and archives the artifact instead.
+BENCH_MIN_SPEEDUP ?= 1.5
+bench:
+	$(GO) run ./cmd/qbench -out BENCH_sim.json -min-speedup $(BENCH_MIN_SPEEDUP)
 
 # Short fuzzing bursts over the parsers; -fuzz takes one target per
 # invocation, so each fuzzer gets its own run.

@@ -1,0 +1,262 @@
+// Command qbench measures the gate-DD cache on the seed benchmark circuits:
+// every circuit pair is simulated with the cache enabled and disabled, and
+// the resulting gate-application rates, hit rates, and verdict parity are
+// written to a JSON artifact (BENCH_sim.json) so the speedup is recorded,
+// not asserted.
+//
+// Usage:
+//
+//	qbench [-out BENCH_sim.json] [-circuits circuits] [-r 10] [-reps 3]
+//
+// Two variants are measured per circuit: an equivalent pair (the circuit
+// against its clone — the paper's hot loop, r stimuli of agreeing
+// simulations) and an error-injected pair (internal/errinject), which the
+// simulation stage refutes almost immediately.  The headline geometric-mean
+// speedup is computed over the equivalent pairs, where the repeated gate
+// structure the cache memoizes actually recurs; the error-injected pairs
+// exist to demonstrate verdict parity, and their speedups are reported but
+// not aggregated.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"qcec/internal/circuit"
+	"qcec/internal/core"
+	"qcec/internal/errinject"
+	"qcec/internal/qasm"
+	"qcec/internal/revlib"
+)
+
+func loadCircuit(path string) (*circuit.Circuit, error) {
+	switch {
+	case strings.HasSuffix(path, ".real"):
+		f, err := revlib.ParseFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return f.Circuit, nil
+	case strings.HasSuffix(path, ".qasm"):
+		prog, err := qasm.ParseFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Circuit, nil
+	default:
+		return nil, fmt.Errorf("unsupported circuit format %q", path)
+	}
+}
+
+// measurement is one timed configuration (cached or uncached).
+type measurement struct {
+	Seconds        float64 `json:"seconds"`
+	NumSims        int     `json:"num_sims"`
+	GateApps       int     `json:"gate_apps"`
+	GateAppsPerSec float64 `json:"gate_apps_per_sec"`
+	GateHitRate    float64 `json:"gate_hit_rate"`
+	Verdict        string  `json:"verdict"`
+	Counterexample *uint64 `json:"counterexample,omitempty"`
+}
+
+// result is one benchmark variant: a named pair measured both ways.
+type result struct {
+	Name          string      `json:"name"`
+	Qubits        int         `json:"qubits"`
+	Gates         int         `json:"gates"`
+	Equivalent    bool        `json:"equivalent_pair"`
+	Injection     string      `json:"injection,omitempty"`
+	Cached        measurement `json:"cached"`
+	Uncached      measurement `json:"uncached"`
+	Speedup       float64     `json:"speedup"`
+	VerdictsMatch bool        `json:"verdicts_match"`
+}
+
+type summary struct {
+	GeomeanSpeedupEquiv float64 `json:"geomean_speedup_equiv"`
+	MinSpeedupEquiv     float64 `json:"min_speedup_equiv"`
+	AllVerdictsMatch    bool    `json:"all_verdicts_match"`
+}
+
+type artifact struct {
+	Generated string   `json:"generated"`
+	R         int      `json:"r"`
+	Seed      int64    `json:"seed"`
+	Reps      int      `json:"reps"`
+	Results   []result `json:"results"`
+	Summary   summary  `json:"summary"`
+}
+
+// measure runs the simulation stage reps times in the given cache
+// configuration and keeps the fastest repetition (wall-clock noise only ever
+// slows a run down).  Gate applications count both circuits' gates once per
+// completed simulation.
+func measure(g1, g2 *circuit.Circuit, r int, seed int64, reps int, disableCache bool) measurement {
+	var best measurement
+	for rep := 0; rep < reps; rep++ {
+		repRes := core.Check(g1, g2, core.Options{
+			R:                r,
+			Seed:             seed,
+			SkipEC:           true,
+			DisableGateCache: disableCache,
+		})
+		apps := repRes.NumSims * (g1.NumGates() + g2.NumGates())
+		m := measurement{
+			Seconds:     repRes.SimTime.Seconds(),
+			NumSims:     repRes.NumSims,
+			GateApps:    apps,
+			GateHitRate: repRes.DD.GateHitRate(),
+			Verdict:     repRes.Verdict.String(),
+		}
+		if repRes.Counterexample != nil {
+			ce := repRes.Counterexample.Input
+			m.Counterexample = &ce
+		}
+		if m.Seconds > 0 {
+			m.GateAppsPerSec = float64(apps) / m.Seconds
+		}
+		if rep == 0 || m.Seconds < best.Seconds {
+			verdict, ce := best.Verdict, best.Counterexample
+			best = m
+			// Verdicts are deterministic across repetitions; keep the first
+			// and fail loudly if a repetition ever disagrees.
+			if rep > 0 && (verdict != m.Verdict || !ceEqual(ce, m.Counterexample)) {
+				fmt.Fprintf(os.Stderr, "qbench: verdict changed across repetitions (%s vs %s)\n", verdict, m.Verdict)
+				os.Exit(1)
+			}
+		}
+	}
+	return best
+}
+
+func ceEqual(a, b *uint64) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_sim.json", "output artifact path")
+		circDir  = flag.String("circuits", "circuits", "directory with seed benchmark circuits (.qasm/.real)")
+		r        = flag.Int("r", core.DefaultR, "random simulations per pair")
+		seed     = flag.Int64("seed", 1, "stimulus and error-injection seed")
+		reps     = flag.Int("reps", 3, "timed repetitions per configuration (fastest kept)")
+		minSpeed = flag.Float64("min-speedup", 0, "fail unless the equiv-pair geomean speedup reaches this (0 = record only)")
+	)
+	flag.Parse()
+
+	entries, err := os.ReadDir(*circDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qbench:", err)
+		os.Exit(1)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".qasm") || strings.HasSuffix(e.Name(), ".real") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		fmt.Fprintf(os.Stderr, "qbench: no circuits in %s\n", *circDir)
+		os.Exit(1)
+	}
+
+	art := artifact{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		R:         *r,
+		Seed:      *seed,
+		Reps:      *reps,
+	}
+	logSum, logCount := 0.0, 0
+	minEquiv := math.Inf(1)
+	allMatch := true
+	for _, name := range files {
+		g, err := loadCircuit(filepath.Join(*circDir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qbench:", err)
+			os.Exit(1)
+		}
+		type variant struct {
+			name      string
+			gp        *circuit.Circuit
+			equiv     bool
+			injection string
+		}
+		variants := []variant{{name: name, gp: g.Clone(), equiv: true}}
+		if bad, inj, err := errinject.InjectAny(g, *seed); err == nil {
+			variants = append(variants, variant{
+				name: name + "+err", gp: bad, injection: inj.String(),
+			})
+		}
+		for _, v := range variants {
+			res := result{
+				Name:       v.name,
+				Qubits:     g.N,
+				Gates:      g.NumGates(),
+				Equivalent: v.equiv,
+				Injection:  v.injection,
+				Cached:     measure(g, v.gp, *r, *seed, *reps, false),
+				Uncached:   measure(g, v.gp, *r, *seed, *reps, true),
+			}
+			res.VerdictsMatch = res.Cached.Verdict == res.Uncached.Verdict &&
+				ceEqual(res.Cached.Counterexample, res.Uncached.Counterexample)
+			if res.Uncached.GateAppsPerSec > 0 {
+				res.Speedup = res.Cached.GateAppsPerSec / res.Uncached.GateAppsPerSec
+			}
+			if !res.VerdictsMatch {
+				allMatch = false
+			}
+			if v.equiv && res.Speedup > 0 {
+				logSum += math.Log(res.Speedup)
+				logCount++
+				minEquiv = math.Min(minEquiv, res.Speedup)
+			}
+			art.Results = append(art.Results, res)
+			fmt.Printf("%-22s %8.0f apps/s cached  %8.0f apps/s uncached  %5.2fx  hit %5.1f%%  parity %v\n",
+				v.name, res.Cached.GateAppsPerSec, res.Uncached.GateAppsPerSec,
+				res.Speedup, 100*res.Cached.GateHitRate, res.VerdictsMatch)
+		}
+	}
+	if logCount > 0 {
+		art.Summary.GeomeanSpeedupEquiv = math.Exp(logSum / float64(logCount))
+		art.Summary.MinSpeedupEquiv = minEquiv
+	}
+	art.Summary.AllVerdictsMatch = allMatch
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qbench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		fmt.Fprintln(os.Stderr, "qbench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "qbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("geomean speedup (equivalent pairs): %.2fx, verdict parity: %v -> %s\n",
+		art.Summary.GeomeanSpeedupEquiv, allMatch, *out)
+	if !allMatch {
+		fmt.Fprintln(os.Stderr, "qbench: cached and uncached verdicts diverged")
+		os.Exit(1)
+	}
+	if *minSpeed > 0 && art.Summary.GeomeanSpeedupEquiv < *minSpeed {
+		fmt.Fprintf(os.Stderr, "qbench: geomean speedup %.2fx below required %.2fx\n",
+			art.Summary.GeomeanSpeedupEquiv, *minSpeed)
+		os.Exit(1)
+	}
+}

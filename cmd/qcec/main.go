@@ -24,6 +24,7 @@ import (
 
 	"qcec/internal/circuit"
 	"qcec/internal/core"
+	"qcec/internal/dd"
 	"qcec/internal/ec"
 	"qcec/internal/portfolio"
 	"qcec/internal/qasm"
@@ -81,6 +82,8 @@ func main() {
 		portf     = flag.Bool("portfolio", false, "race the selected provers concurrently; first definitive verdict wins")
 		provers   = flag.String("provers", "sim,dd,alt,sat,zx", "comma-separated prover subset for -portfolio")
 		nodeLimit = flag.Int("node-limit", 0, "DD node budget per complete prover (0 = none)")
+		stats     = flag.Bool("stats", false, "print DD-package statistics (gate-cache/compute-table hit rates, unique-table activity, GC reclaims); with -json they are embedded in the report")
+		noCache   = flag.Bool("no-gate-cache", false, "disable the gate-DD cache (benchmark baseline; verdicts are identical)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -119,6 +122,8 @@ func main() {
 			phase:     *phase,
 			parallel:  *parallel,
 			jsonOut:   *jsonOut,
+			stats:     *stats,
+			noCache:   *noCache,
 		})
 		return
 	}
@@ -134,12 +139,17 @@ func main() {
 		RewritePrefilter:  *rewrite,
 		ZXPrefilter:       *zxFlag,
 		FidelityThreshold: *fidThresh,
+		DisableGateCache:  *noCache,
 	})
+	if rep.Err != nil {
+		fmt.Fprintln(os.Stderr, "qcec:", rep.Err)
+		os.Exit(2)
+	}
 
 	if *jsonOut {
-		printJSON(g1.N, rep)
+		printJSON(g1.N, rep, *stats)
 	} else {
-		printHuman(g1.N, rep, *verbose)
+		printHuman(g1.N, rep, *verbose, *stats)
 	}
 	switch rep.Verdict {
 	case core.NotEquivalent:
@@ -159,18 +169,21 @@ type portfolioConfig struct {
 	phase     bool
 	parallel  int
 	jsonOut   bool
+	stats     bool
+	noCache   bool
 }
 
 // runPortfolio races the selected provers and prints the winning verdict
 // plus a per-prover outcome table; exit codes match the sequential flow.
 func runPortfolio(g1, g2 *circuit.Circuit, cfg portfolioConfig) {
 	ps, err := portfolio.FromNames(cfg.names, portfolio.Config{
-		R:               cfg.r,
-		Seed:            cfg.seed,
-		SimParallel:     cfg.parallel,
-		Strategy:        cfg.strategy,
-		ECNodeLimit:     cfg.nodeLimit,
-		UpToGlobalPhase: cfg.phase,
+		R:                cfg.r,
+		Seed:             cfg.seed,
+		SimParallel:      cfg.parallel,
+		Strategy:         cfg.strategy,
+		ECNodeLimit:      cfg.nodeLimit,
+		UpToGlobalPhase:  cfg.phase,
+		DisableGateCache: cfg.noCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qcec:", err)
@@ -179,9 +192,9 @@ func runPortfolio(g1, g2 *circuit.Circuit, cfg portfolioConfig) {
 	res := portfolio.Run(context.Background(), g1, g2, ps, portfolio.Options{Timeout: cfg.timeout})
 
 	if cfg.jsonOut {
-		printPortfolioJSON(g1.N, res)
+		printPortfolioJSON(g1.N, res, cfg.stats)
 	} else {
-		printPortfolioHuman(g1.N, res)
+		printPortfolioHuman(g1.N, res, cfg.stats)
 	}
 	switch res.Verdict {
 	case portfolio.NotEquivalent:
@@ -191,7 +204,21 @@ func runPortfolio(g1, g2 *circuit.Circuit, cfg portfolioConfig) {
 	}
 }
 
-func printPortfolioHuman(n int, res portfolio.Result) {
+// printDDStats renders one DD-package statistics block, indented under the
+// given label.
+func printDDStats(label string, s dd.Stats) {
+	fmt.Printf("%s DD stats:\n", label)
+	fmt.Printf("  gate cache:    %d hits / %d misses (%.1f%% hit rate, %d entries, %d GC flushes)\n",
+		s.GateHits, s.GateMisses, 100*s.GateHitRate(), s.GateCacheSize, s.GateFlushes)
+	fmt.Printf("  compute table: %d hits / %d misses (%.1f%% hit rate)\n",
+		s.CacheHits, s.CacheMisses, 100*s.ComputeHitRate())
+	fmt.Printf("  unique table:  %d lookups, %.1f%% answered by interned nodes (%d v-nodes, %d m-nodes live)\n",
+		s.UniqueLookups, 100*s.UniqueHitRate(), s.VectorNodes, s.MatrixNodes)
+	fmt.Printf("  weights:       %d interned, %d lookups\n", s.WeightsStored, s.WeightLookups)
+	fmt.Printf("  gc:            %d runs, %d nodes reclaimed\n", s.GCRuns, s.GCReclaimed)
+}
+
+func printPortfolioHuman(n int, res portfolio.Result, stats bool) {
 	fmt.Printf("verdict: %s", res.Verdict)
 	if res.Winner != "" {
 		fmt.Printf(" (won by %s)", res.Winner)
@@ -210,16 +237,24 @@ func printPortfolioHuman(n int, res portfolio.Result) {
 			r.Name, r.Verdict, r.Stop, r.Runtime.Seconds(), peak, r.Detail)
 	}
 	fmt.Printf("total: %.4fs\n", res.Runtime.Seconds())
+	if stats {
+		for _, r := range res.Reports {
+			if r.DD != nil {
+				printDDStats(r.Name, *r.DD)
+			}
+		}
+	}
 }
 
-func printPortfolioJSON(n int, res portfolio.Result) {
+func printPortfolioJSON(n int, res portfolio.Result, stats bool) {
 	type report struct {
-		Prover    string  `json:"prover"`
-		Verdict   string  `json:"verdict"`
-		Stopped   string  `json:"stopped"`
-		Seconds   float64 `json:"seconds"`
-		PeakNodes int     `json:"peak_nodes,omitempty"`
-		Detail    string  `json:"detail,omitempty"`
+		Prover    string    `json:"prover"`
+		Verdict   string    `json:"verdict"`
+		Stopped   string    `json:"stopped"`
+		Seconds   float64   `json:"seconds"`
+		PeakNodes int       `json:"peak_nodes,omitempty"`
+		Detail    string    `json:"detail,omitempty"`
+		DD        *ddReport `json:"dd,omitempty"`
 	}
 	out := struct {
 		Verdict        string   `json:"verdict"`
@@ -236,10 +271,14 @@ func printPortfolioJSON(n int, res portfolio.Result) {
 		TotalSeconds:   res.Runtime.Seconds(),
 	}
 	for _, r := range res.Reports {
-		out.Reports = append(out.Reports, report{
+		rep := report{
 			Prover: r.Name, Verdict: r.Verdict.String(), Stopped: r.Stop.String(),
 			Seconds: r.Runtime.Seconds(), PeakNodes: r.PeakNodes, Detail: r.Detail,
-		})
+		}
+		if stats && r.DD != nil {
+			rep.DD = newDDReport(*r.DD)
+		}
+		out.Reports = append(out.Reports, rep)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -248,7 +287,37 @@ func printPortfolioJSON(n int, res portfolio.Result) {
 	}
 }
 
-func printHuman(n int, rep core.Report, verbose bool) {
+// ddReport is the JSON shape of dd.Stats for -json -stats output.
+type ddReport struct {
+	GateHits       uint64  `json:"gate_hits"`
+	GateMisses     uint64  `json:"gate_misses"`
+	GateHitRate    float64 `json:"gate_hit_rate"`
+	GateCacheSize  int     `json:"gate_cache_size"`
+	GateFlushes    uint64  `json:"gate_flushes"`
+	ComputeHits    uint64  `json:"compute_hits"`
+	ComputeMisses  uint64  `json:"compute_misses"`
+	ComputeHitRate float64 `json:"compute_hit_rate"`
+	UniqueLookups  uint64  `json:"unique_lookups"`
+	UniqueHits     uint64  `json:"unique_hits"`
+	VectorNodes    int     `json:"vector_nodes"`
+	MatrixNodes    int     `json:"matrix_nodes"`
+	WeightsStored  int     `json:"weights_stored"`
+	GCRuns         int     `json:"gc_runs"`
+	GCReclaimed    uint64  `json:"gc_reclaimed"`
+}
+
+func newDDReport(s dd.Stats) *ddReport {
+	return &ddReport{
+		GateHits: s.GateHits, GateMisses: s.GateMisses,
+		GateHitRate: s.GateHitRate(), GateCacheSize: s.GateCacheSize, GateFlushes: s.GateFlushes,
+		ComputeHits: s.CacheHits, ComputeMisses: s.CacheMisses, ComputeHitRate: s.ComputeHitRate(),
+		UniqueLookups: s.UniqueLookups, UniqueHits: s.UniqueHits,
+		VectorNodes: s.VectorNodes, MatrixNodes: s.MatrixNodes, WeightsStored: s.WeightsStored,
+		GCRuns: s.GCRuns, GCReclaimed: s.GCReclaimed,
+	}
+}
+
+func printHuman(n int, rep core.Report, verbose, stats bool) {
 	fmt.Printf("verdict: %s\n", rep.Verdict)
 	if rep.Rewriting != nil {
 		fmt.Printf("rewriting prover: %s (miter %d -> %d gates, %.4fs)\n",
@@ -274,10 +343,16 @@ func printHuman(n int, rep core.Report, verbose bool) {
 	if verbose {
 		fmt.Printf("total: %.3fs\n", rep.TotalTime.Seconds())
 	}
+	if stats {
+		printDDStats("simulation", rep.DD)
+		if rep.EC != nil {
+			printDDStats("complete check", rep.EC.DD)
+		}
+	}
 }
 
 // printJSON emits a machine-readable report (for CI integration).
-func printJSON(n int, rep core.Report) {
+func printJSON(n int, rep core.Report, stats bool) {
 	type counterexample struct {
 		Input    uint64  `json:"input"`
 		Fidelity float64 `json:"fidelity"`
@@ -297,6 +372,8 @@ func printJSON(n int, rep core.Report) {
 		ZX             string          `json:"zx_verdict,omitempty"`
 		Counterexample *counterexample `json:"counterexample,omitempty"`
 		TotalSeconds   float64         `json:"total_seconds"`
+		SimDD          *ddReport       `json:"sim_dd,omitempty"`
+		ECDD           *ddReport       `json:"ec_dd,omitempty"`
 	}{
 		Verdict:      rep.Verdict.String(),
 		Qubits:       n,
@@ -319,6 +396,12 @@ func printJSON(n int, rep core.Report) {
 	if ce := rep.Counterexample; ce != nil {
 		out.Counterexample = &counterexample{
 			Input: ce.Input, Fidelity: ce.Fidelity, StateG: ce.StateG, StateGp: ce.StateGp,
+		}
+	}
+	if stats {
+		out.SimDD = newDDReport(rep.DD)
+		if rep.EC != nil {
+			out.ECDD = newDDReport(rep.EC.DD)
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

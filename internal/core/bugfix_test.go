@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"qcec/internal/circuit"
+)
+
+// TestAgreementToleranceDerivation pins the mapping from DD weight tolerance
+// to state-agreement tolerance: the historical 1e-6 bound at the default
+// weight tolerance, proportional scaling, and the 1e-3 cap.
+func TestAgreementToleranceDerivation(t *testing.T) {
+	for _, tc := range []struct{ ddTol, want float64 }{
+		{1e-10, 1e-6}, // default: historical bound preserved exactly
+		{1e-8, 1e-4},
+		{1e-12, 1e-8},
+		{1.0, 1e-3}, // capped
+	} {
+		if got := agreementTolerance(tc.ddTol); got != tc.want {
+			t.Errorf("agreementTolerance(%g) = %g, want %g", tc.ddTol, got, tc.want)
+		}
+	}
+}
+
+// TestStatesAgreeUsesConfiguredTolerance is the near-threshold regression for
+// the hard-coded tol=1e-6 bug: a single RZ(6e-6) differs from the identity
+// by an overlap imaginary part of ~3e-6 — outside the default 1e-6 agreement
+// bound but inside the 1e-4 bound derived from a coarser Tolerance=1e-8.
+// Before the fix the second check also reported NotEquivalent because the
+// configured tolerance never reached statesAgree.
+func TestStatesAgreeUsesConfiguredTolerance(t *testing.T) {
+	g1 := circuit.New(1, "rz-tiny")
+	g1.RZ(6e-6, 0)
+	g2 := circuit.New(1, "id")
+
+	rep := Check(g1, g2, Options{Stimuli: []uint64{0}, SkipEC: true})
+	if rep.Verdict != NotEquivalent {
+		t.Fatalf("default tolerance: verdict = %v, want not equivalent", rep.Verdict)
+	}
+	if rep.Counterexample == nil || rep.Counterexample.Input != 0 {
+		t.Fatalf("default tolerance: counterexample = %+v", rep.Counterexample)
+	}
+
+	rep = Check(g1, g2, Options{Stimuli: []uint64{0}, SkipEC: true, Tolerance: 1e-8})
+	if rep.Verdict != ProbablyEquivalent {
+		t.Fatalf("coarse tolerance: verdict = %v, want probably equivalent", rep.Verdict)
+	}
+}
+
+// TestStimulusValidation: out-of-range caller stimuli must surface as a
+// typed *StimulusRangeError on the report instead of a panic inside
+// dd.BasisState on a worker goroutine.
+func TestStimulusValidation(t *testing.T) {
+	g := ghz(3)
+	rep := Check(g, g.Clone(), Options{Stimuli: []uint64{1, 8}})
+	if rep.Err == nil {
+		t.Fatal("out-of-range stimulus accepted")
+	}
+	var sre *StimulusRangeError
+	if !errors.As(rep.Err, &sre) {
+		t.Fatalf("Err = %v (%T), want *StimulusRangeError", rep.Err, rep.Err)
+	}
+	if sre.Index != 1 || sre.Stimulus != 8 || sre.Qubits != 3 {
+		t.Fatalf("error fields = %+v", sre)
+	}
+	if rep.Verdict != ProbablyEquivalent || rep.NumSims != 0 {
+		t.Fatalf("invalid options must be inconclusive with no sims: %v, %d sims",
+			rep.Verdict, rep.NumSims)
+	}
+
+	// The parallel path must reject identically.
+	par := Check(g, g.Clone(), Options{Stimuli: []uint64{0, 8}, Parallel: 2})
+	if !errors.As(par.Err, &sre) {
+		t.Fatalf("parallel Err = %v", par.Err)
+	}
+
+	// The boundary state 2^n-1 is valid.
+	ok := Check(g, g.Clone(), Options{Stimuli: []uint64{7}, SkipEC: true})
+	if ok.Err != nil {
+		t.Fatalf("boundary stimulus rejected: %v", ok.Err)
+	}
+}
+
+// TestParallelFastForwardStopsAtFirstFailure schedules two workers
+// deterministically (via the package test hooks) and asserts that no
+// stimulus at or past the first failing index is evaluated — the regression
+// for the `>` vs `>=` fast-forward check.
+//
+// Layout: g2 = CX(0,1) differs from the identity exactly on inputs with
+// qubit 0 set.  Stimuli [0,2,3,4,6] fail only at index 2 (value 3);
+// worker 0 owns indices 0,2,4 and worker 1 owns 1,3.  Worker 1 is held in
+// the eval hook until worker 0 has recorded the failure, so its check of
+// index 3 provably runs after firstFail=2 is visible.
+func TestParallelFastForwardStopsAtFirstFailure(t *testing.T) {
+	g1 := circuit.New(3, "id")
+	g1.X(2).X(2)
+	g2 := circuit.New(3, "cx")
+	g2.CX(0, 1)
+
+	failSet := make(chan struct{})
+	var mu sync.Mutex
+	counts := make(map[int]int)
+	evalHook = func(i int) {
+		if i%2 == 1 { // worker 1's lane: wait for the recorded failure
+			select {
+			case <-failSet:
+			case <-time.After(10 * time.Second):
+				t.Error("failure was never recorded")
+			}
+		}
+		mu.Lock()
+		counts[i]++
+		mu.Unlock()
+	}
+	failHook = func(int) { close(failSet) }
+	defer func() { evalHook, failHook = nil, nil }()
+
+	rep := Check(g1, g2, Options{
+		Stimuli:  []uint64{0, 2, 3, 4, 6},
+		Parallel: 2,
+		SkipEC:   true,
+	})
+	if rep.Verdict != NotEquivalent {
+		t.Fatalf("verdict = %v", rep.Verdict)
+	}
+	if rep.Counterexample == nil || rep.Counterexample.Input != 3 {
+		t.Fatalf("counterexample = %+v, want input 3", rep.Counterexample)
+	}
+	if rep.NumSims != 3 {
+		t.Fatalf("NumSims = %d, want 3 (prefix through the failure)", rep.NumSims)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("stimulus index %d evaluated %d times", i, c)
+		}
+		if i > 2 {
+			t.Fatalf("stimulus index %d past the first failure was evaluated", i)
+		}
+	}
+	if counts[2] != 1 {
+		t.Fatal("failing stimulus was never evaluated")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qcec/internal/circuit"
+	"qcec/internal/errinject"
+	"qcec/internal/qasm"
+	"qcec/internal/revlib"
+)
+
+// loadSeedCircuit parses one of the repo's seed benchmark circuits.
+func loadSeedCircuit(t *testing.T, path string) *circuit.Circuit {
+	t.Helper()
+	switch {
+	case strings.HasSuffix(path, ".real"):
+		f, err := revlib.ParseFile(path)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		return f.Circuit
+	case strings.HasSuffix(path, ".qasm"):
+		prog, err := qasm.ParseFile(path)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		return prog.Circuit
+	default:
+		t.Fatalf("unsupported circuit format %q", path)
+		return nil
+	}
+}
+
+func seedCircuitFiles(t *testing.T) []string {
+	t.Helper()
+	dir := filepath.Join("..", "..", "circuits")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read seed circuits: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".qasm") || strings.HasSuffix(e.Name(), ".real") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatal("no seed circuits found")
+	}
+	return files
+}
+
+// TestGateCacheParity checks that the gate-DD cache is invisible to results:
+// on every seed circuit, both for an equivalent pair and an error-injected
+// one, the cached run, the uncached run, and a cached run under constant
+// garbage-collection pressure (which forces the cache's re-root/flush paths)
+// must produce identical verdicts, simulation counts, and counterexamples.
+func TestGateCacheParity(t *testing.T) {
+	const r = 6
+	for _, path := range seedCircuitFiles(t) {
+		g := loadSeedCircuit(t, path)
+		type pair struct {
+			name string
+			gp   *circuit.Circuit
+		}
+		pairs := []pair{{name: filepath.Base(path), gp: g.Clone()}}
+		if bad, inj, err := errinject.InjectAny(g, 1); err == nil {
+			pairs = append(pairs, pair{name: filepath.Base(path) + "+" + inj.String(), gp: bad})
+		}
+		for _, pr := range pairs {
+			pr := pr
+			t.Run(pr.name, func(t *testing.T) {
+				base := Options{R: r, Seed: 1, SkipEC: true}
+
+				cached := base
+				ref := Check(g, pr.gp, cached)
+
+				uncached := base
+				uncached.DisableGateCache = true
+
+				gcPressure := base
+				// Collect after nearly every node allocation so the cache is
+				// re-rooted (and, with its limit forced down, flushed)
+				// mid-simulation many times over.
+				gcPressure.GCThreshold = 32
+
+				for _, alt := range []struct {
+					name string
+					opts Options
+				}{
+					{"uncached", uncached},
+					{"gc-pressure", gcPressure},
+				} {
+					got := Check(g, pr.gp, alt.opts)
+					if got.Verdict != ref.Verdict {
+						t.Errorf("%s: verdict %v, cached run said %v", alt.name, got.Verdict, ref.Verdict)
+					}
+					if got.NumSims != ref.NumSims {
+						t.Errorf("%s: %d sims, cached run used %d", alt.name, got.NumSims, ref.NumSims)
+					}
+					switch {
+					case (got.Counterexample == nil) != (ref.Counterexample == nil):
+						t.Errorf("%s: counterexample presence mismatch (%v vs %v)",
+							alt.name, got.Counterexample, ref.Counterexample)
+					case got.Counterexample != nil && got.Counterexample.Input != ref.Counterexample.Input:
+						t.Errorf("%s: counterexample |%b>, cached run found |%b>",
+							alt.name, got.Counterexample.Input, ref.Counterexample.Input)
+					}
+				}
+			})
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"qcec/internal/circuit"
+	"qcec/internal/dd"
 	"qcec/internal/ec"
 	"qcec/internal/ecrw"
 	"qcec/internal/zx"
@@ -112,8 +113,20 @@ type Options struct {
 	// OutputPerm declares that output wire OutputPerm[q] of G' corresponds
 	// to wire q of G (see ec.Options.OutputPerm).
 	OutputPerm []int
-	// Tolerance is the DD weight tolerance (0 = default).
+	// Tolerance is the DD weight tolerance (0 = default).  The simulation
+	// stage's state-agreement tolerance is derived from it (see
+	// agreementTolerance), so coarsening or tightening the weight tolerance
+	// coarsens or tightens the equivalence criterion consistently.
 	Tolerance float64
+	// DisableGateCache turns off the per-package gate-DD cache in the
+	// simulation stage (and, via ec.Options, in the complete routine).  Only
+	// the benchmark runner uses this; verdicts are identical either way.
+	DisableGateCache bool
+	// GCThreshold overrides the DD garbage-collection trigger of the
+	// simulation packages (0 = dd.DefaultGCThreshold).  Tests use a tiny
+	// threshold to force collections and exercise the gate cache's GC
+	// re-rooting.
+	GCThreshold int
 	// FidelityThreshold enables approximate equivalence checking: a
 	// stimulus only counts as a counterexample when its output fidelity
 	// |<u|u'>|^2 drops below the threshold (e.g. 0.99 when verifying a
@@ -159,6 +172,16 @@ type Report struct {
 	// reached a definitive verdict; the verdict is then inconclusive
 	// (ProbablyEquivalent at best) regardless of how many stimuli agreed.
 	Cancelled bool
+	// DD aggregates the simulation stage's DD-package statistics (gate-cache
+	// and compute-table hit rates, unique-table activity, GC reclaims),
+	// summed across parallel workers.  The complete routine's own statistics
+	// live in EC.DD.
+	DD dd.Stats
+	// Err is set when the options are invalid — currently only a
+	// *StimulusRangeError from caller-supplied Stimuli — in which case no
+	// simulation ran and the verdict is ProbablyEquivalent (inconclusive).
+	// Callers passing explicit Stimuli must check it.
+	Err       error
 	TotalTime time.Duration
 }
 
@@ -210,7 +233,17 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Report {
 		}
 	}
 
-	stimuli := chooseStimuli(g1.N, opts)
+	stimuli, err := chooseStimuli(g1.N, opts)
+	if err != nil {
+		// Invalid caller-supplied stimuli: fail the options check up front
+		// instead of letting dd.BasisState panic deep inside a worker.
+		report.Err = err
+		report.Verdict = ProbablyEquivalent
+		report.MinFidelity = 1
+		report.AvgFidelity = 1
+		report.TotalTime = time.Since(start)
+		return report
+	}
 	report.Exhaustive = g1.N < 63 && uint64(len(stimuli)) == uint64(1)<<uint(g1.N)
 
 	simStart := time.Now()
@@ -218,9 +251,9 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Report {
 	var ce *Counterexample
 	var stats fidStats
 	if opts.Parallel > 1 && len(stimuli) > 1 {
-		numSims, ce, stats = runStimuliParallel(g1, g2, stimuli, opts)
+		numSims, ce, stats, report.DD = runStimuliParallel(g1, g2, stimuli, opts)
 	} else {
-		numSims, ce, stats = runStimuliSequential(g1, g2, stimuli, opts)
+		numSims, ce, stats, report.DD = runStimuliSequential(g1, g2, stimuli, opts)
 	}
 	report.NumSims = numSims
 	report.SimTime = time.Since(simStart)
@@ -266,13 +299,14 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Report {
 	}
 
 	res := ec.Check(g1, g2, ec.Options{
-		Strategy:        opts.Strategy,
-		Context:         opts.Context,
-		Timeout:         opts.ECTimeout,
-		NodeLimit:       opts.ECNodeLimit,
-		UpToGlobalPhase: opts.UpToGlobalPhase,
-		OutputPerm:      opts.OutputPerm,
-		Tolerance:       opts.Tolerance,
+		Strategy:         opts.Strategy,
+		Context:          opts.Context,
+		Timeout:          opts.ECTimeout,
+		NodeLimit:        opts.ECNodeLimit,
+		UpToGlobalPhase:  opts.UpToGlobalPhase,
+		OutputPerm:       opts.OutputPerm,
+		Tolerance:        opts.Tolerance,
+		DisableGateCache: opts.DisableGateCache,
 	})
 	report.EC = &res
 	switch res.Verdict {
@@ -296,8 +330,22 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Report {
 	return report
 }
 
-func statesAgree(overlap complex128, upToPhase bool) bool {
-	const tol = 1e-6
+// agreementTolerance derives the state-agreement tolerance of statesAgree
+// from the configured DD weight tolerance: weight round-off compounds over
+// the gate sequence, so the overlap bound sits four orders of magnitude
+// above the interning tolerance.  At the default weight tolerance of 1e-10
+// this reproduces the historical 1e-6 agreement bound exactly; it is capped
+// at 1e-3 so a coarse custom tolerance can never silently accept grossly
+// different states.
+func agreementTolerance(ddTol float64) float64 {
+	tol := ddTol * 1e4
+	if tol > 1e-3 {
+		tol = 1e-3
+	}
+	return tol
+}
+
+func statesAgree(overlap complex128, upToPhase bool, tol float64) bool {
 	if upToPhase {
 		re, im := real(overlap), imag(overlap)
 		return re*re+im*im > 1-tol
@@ -305,11 +353,45 @@ func statesAgree(overlap complex128, upToPhase bool) bool {
 	return math.Abs(real(overlap)-1) < tol && math.Abs(imag(overlap)) < tol
 }
 
+// StimulusRangeError reports a caller-supplied stimulus that does not fit
+// the circuits' register: basis state indices on n qubits must be below 2^n.
+type StimulusRangeError struct {
+	Index    int    // position in Options.Stimuli
+	Stimulus uint64 // the offending basis-state index
+	Qubits   int    // register size of the circuit pair
+}
+
+// Error formats the range violation.
+func (e *StimulusRangeError) Error() string {
+	return fmt.Sprintf("core: stimulus %d (index %d) out of range for %d qubits",
+		e.Stimulus, e.Index, e.Qubits)
+}
+
+// validateStimuli checks caller-supplied basis-state indices against the
+// n-qubit mask, so an out-of-range stimulus surfaces as a typed error here
+// instead of a panic deep inside dd.BasisState on a worker goroutine.
+func validateStimuli(n int, stimuli []uint64) error {
+	if n >= 64 {
+		return nil // every uint64 is a valid index
+	}
+	limit := uint64(1) << uint(n)
+	for i, s := range stimuli {
+		if s >= limit {
+			return &StimulusRangeError{Index: i, Stimulus: s, Qubits: n}
+		}
+	}
+	return nil
+}
+
 // chooseStimuli picks the basis states to simulate: the caller's explicit
-// list, all 2^n states when r covers them, or r distinct random states.
-func chooseStimuli(n int, opts Options) []uint64 {
+// list (validated against the register size), all 2^n states when r covers
+// them, or r distinct random states.
+func chooseStimuli(n int, opts Options) ([]uint64, error) {
 	if opts.Stimuli != nil {
-		return opts.Stimuli
+		if err := validateStimuli(n, opts.Stimuli); err != nil {
+			return nil, err
+		}
+		return opts.Stimuli, nil
 	}
 	r := opts.R
 	if r <= 0 {
@@ -322,7 +404,7 @@ func chooseStimuli(n int, opts Options) []uint64 {
 			for i := range all {
 				all[i] = uint64(i)
 			}
-			return all
+			return all, nil
 		}
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -342,5 +424,5 @@ func chooseStimuli(n int, opts Options) []uint64 {
 		seen[i] = true
 		out = append(out, i)
 	}
-	return out
+	return out, nil
 }

@@ -18,6 +18,7 @@ type simRunner struct {
 	unperm    dd.MEdge
 	havePerm  bool
 	upToPhase bool
+	agreeTol  float64 // state-agreement tolerance, derived from the DD tolerance
 	threshold float64 // approximate mode when > 0
 }
 
@@ -30,7 +31,14 @@ func newSimRunner(n int, opts Options) *simRunner {
 		p:         dd.New(n, tol),
 		havePerm:  opts.OutputPerm != nil,
 		upToPhase: opts.UpToGlobalPhase,
+		agreeTol:  agreementTolerance(tol),
 		threshold: opts.FidelityThreshold,
+	}
+	if opts.DisableGateCache {
+		r.p.SetGateCacheEnabled(false)
+	}
+	if opts.GCThreshold > 0 {
+		r.p.SetGCThreshold(opts.GCThreshold)
 	}
 	if ctx := opts.Context; ctx != nil {
 		// Cancellation must reach inside a single large simulation, not just
@@ -57,7 +65,7 @@ func (r *simRunner) compare(g1, g2 *circuit.Circuit, input uint64) (*Counterexam
 	overlap := r.p.InnerProduct(u, v)
 	re, im := real(overlap), imag(overlap)
 	fidelity := re*re + im*im
-	agree := statesAgree(overlap, r.upToPhase)
+	agree := statesAgree(overlap, r.upToPhase, r.agreeTol)
 	if r.threshold > 0 {
 		agree = fidelity >= r.threshold
 	}
@@ -122,25 +130,36 @@ func recoverCancel() {
 	}
 }
 
+// evalHook and failHook, when non-nil, observe the parallel runner: evalHook
+// sees every stimulus index about to be evaluated, failHook every index
+// recorded as a failure.  Test-only; they let the fast-forward regression
+// test schedule workers deterministically and assert that nothing past the
+// first failure is simulated.
+var (
+	evalHook func(i int)
+	failHook func(i int)
+)
+
 // runStimuliSequential is the paper's loop: one stimulus at a time, stopping
 // at the first counterexample.
-func runStimuliSequential(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (n int, ce *Counterexample, stats fidStats) {
+func runStimuliSequential(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (n int, ce *Counterexample, stats fidStats, ddStats dd.Stats) {
 	r := newSimRunner(g1.N, opts)
 	stats = newFidStats()
+	defer func() { ddStats = r.p.Snapshot() }()
 	defer recoverCancel()
 	for i, input := range stimuli {
 		n = i // sims completed so far, reported if compare is cancelled mid-run
 		if cancelled(opts) {
-			return i, nil, stats
+			return i, nil, stats, ddStats
 		}
 		ce, fid := r.compare(g1, g2, input)
 		stats.add(fid)
 		if ce != nil {
-			return i + 1, ce, stats
+			return i + 1, ce, stats, ddStats
 		}
 		r.gcBetween()
 	}
-	return len(stimuli), nil, stats
+	return len(stimuli), nil, stats, ddStats
 }
 
 // runStimuliParallel distributes the stimuli round-robin over
@@ -149,7 +168,7 @@ func runStimuliSequential(g1, g2 *circuit.Circuit, stimuli []uint64, opts Option
 // stimulus order is reported, and every stimulus before it has been
 // checked.  Workers fast-forward past indices beyond the current best
 // counterexample, so the early-exit behaviour parallelizes too.
-func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (int, *Counterexample, fidStats) {
+func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (int, *Counterexample, fidStats, dd.Stats) {
 	workers := opts.Parallel
 	if workers > len(stimuli) {
 		workers = len(stimuli)
@@ -157,6 +176,7 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 	ces := make([]*Counterexample, len(stimuli))
 	fids := make([]float64, len(stimuli))
 	evaluated := make([]bool, len(stimuli))
+	workerDD := make([]dd.Stats, workers)
 	var firstFail atomic.Int64
 	firstFail.Store(int64(len(stimuli)))
 
@@ -165,14 +185,18 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			defer recoverCancel()
 			r := newSimRunner(g1.N, opts)
+			defer func() { workerDD[w] = r.p.Snapshot() }()
+			defer recoverCancel()
 			for i := w; i < len(stimuli); i += workers {
 				if cancelled(opts) {
 					return
 				}
-				if int64(i) > firstFail.Load() {
-					return // a strictly earlier stimulus already failed
+				if int64(i) >= firstFail.Load() {
+					return // this or an earlier stimulus already failed
+				}
+				if evalHook != nil {
+					evalHook(i)
 				}
 				ce, fid := r.compare(g1, g2, stimuli[i])
 				fids[i] = fid
@@ -186,6 +210,9 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 							break
 						}
 					}
+					if failHook != nil {
+						failHook(i)
+					}
 					return
 				}
 				r.gcBetween()
@@ -194,6 +221,10 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 	}
 	wg.Wait()
 
+	var ddStats dd.Stats
+	for _, s := range workerDD {
+		ddStats.Add(s)
+	}
 	stats := newFidStats()
 	if idx := firstFail.Load(); idx < int64(len(stimuli)) {
 		// Deterministic statistics: only the sequential prefix counts.
@@ -202,7 +233,7 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 				stats.add(fids[i])
 			}
 		}
-		return int(idx) + 1, ces[idx], stats
+		return int(idx) + 1, ces[idx], stats, ddStats
 	}
 	n := 0
 	for i := range fids {
@@ -211,5 +242,5 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 			stats.add(fids[i])
 		}
 	}
-	return n, nil, stats
+	return n, nil, stats, ddStats
 }

@@ -8,14 +8,59 @@ import (
 	"qcec/internal/cn"
 )
 
-// Compute tables are fixed-size, power-of-two hash arrays with
-// overwrite-on-collision semantics, matching the JKU package.  This bounds
-// memory and keeps lookups O(1) regardless of circuit length.
+// Compute tables are power-of-two hash arrays with overwrite-on-collision
+// semantics, matching the JKU package.  Unlike that package's fixed-size
+// arrays they are allocated lazily and grow geometrically: creating a
+// Package costs nothing, small workloads (a basis-state simulation touches a
+// few hundred slots) stay in a cache-friendly 2^10 array, and insert-heavy
+// workloads grow to the 2^17 ceiling, which bounds memory and keeps lookups
+// O(1) regardless of circuit length.  Growth drops the previous generation —
+// these are caches, so discarding entries is always sound.
 const (
-	ctBits = 17
-	ctSize = 1 << ctBits
-	ctMask = ctSize - 1
+	ctMinBits = 10
+	ctMaxBits = 17
 )
+
+// ctab is one compute table.  The zero value is ready to use (empty, no
+// backing array).  Callers pass full 64-bit hashes; the table masks them
+// with its current capacity, so the slot mapping changes transparently when
+// it grows.
+type ctab[E any] struct {
+	e       []E
+	inserts int // since the last growth or clear
+}
+
+// slot returns the entry for hash h, or nil while the table is unallocated
+// (every lookup before the first insert is a miss).
+func (t *ctab[E]) slot(h uint64) *E {
+	if len(t.e) == 0 {
+		return nil
+	}
+	return &t.e[h&uint64(len(t.e)-1)]
+}
+
+// put stores val at hash h, allocating on first use and growing 8x (up to
+// the ceiling) once the inserts since the last resize outnumber the slots —
+// a cheap proxy for "this workload is collision-bound at the current size".
+func (t *ctab[E]) put(h uint64, val E) {
+	if len(t.e) == 0 {
+		t.e = make([]E, 1<<ctMinBits)
+	} else if t.inserts > len(t.e) && len(t.e) < 1<<ctMaxBits {
+		next := len(t.e) << 3
+		if next > 1<<ctMaxBits {
+			next = 1 << ctMaxBits
+		}
+		t.e = make([]E, next)
+		t.inserts = 0
+	}
+	t.e[h&uint64(len(t.e)-1)] = val
+	t.inserts++
+}
+
+func (t *ctab[E]) clear() {
+	clear(t.e)
+	t.inserts = 0
+}
 
 func mix(h, x uint64) uint64 {
 	h ^= x
@@ -31,20 +76,12 @@ type addVEntry struct {
 	ok     bool
 }
 
-type addVTable struct{ e []addVEntry }
-
-func newAddVTable() *addVTable { return &addVTable{e: make([]addVEntry, ctSize)} }
-
 type addMEntry struct {
 	aN, bN *MNode
 	aW, bW *cn.Value
 	res    MEdge
 	ok     bool
 }
-
-type addMTable struct{ e []addMEntry }
-
-func newAddMTable() *addMTable { return &addMTable{e: make([]addMEntry, ctSize)} }
 
 type mvEntry struct {
 	m   *MNode
@@ -53,19 +90,11 @@ type mvEntry struct {
 	ok  bool
 }
 
-type mvTable struct{ e []mvEntry }
-
-func newMVTable() *mvTable { return &mvTable{e: make([]mvEntry, ctSize)} }
-
 type mmEntry struct {
 	a, b *MNode
 	res  MEdge
 	ok   bool
 }
-
-type mmTable struct{ e []mmEntry }
-
-func newMMTable() *mmTable { return &mmTable{e: make([]mmEntry, ctSize)} }
 
 type ipEntry struct {
 	a, b *VNode
@@ -73,19 +102,11 @@ type ipEntry struct {
 	ok   bool
 }
 
-type ipTable struct{ e []ipEntry }
-
-func newIPTable() *ipTable { return &ipTable{e: make([]ipEntry, ctSize)} }
-
 type ctEntry struct {
 	m   *MNode
 	res MEdge
 	ok  bool
 }
-
-type ctTable struct{ e []ctEntry }
-
-func newCTTable() *ctTable { return &ctTable{e: make([]ctEntry, ctSize)} }
 
 type krEntry struct {
 	aM, bM *MNode
@@ -96,18 +117,14 @@ type krEntry struct {
 	ok     bool
 }
 
-type krTable struct{ e []krEntry }
-
-func newKRTable() *krTable { return &krTable{e: make([]krEntry, ctSize)} }
-
 func (p *Package) clearComputeTables() {
-	clear(p.addV.e)
-	clear(p.addM.e)
-	clear(p.mv.e)
-	clear(p.mm.e)
-	clear(p.ip.e)
-	clear(p.ct.e)
-	clear(p.kr.e)
+	p.addV.clear()
+	p.addM.clear()
+	p.mv.clear()
+	p.mm.clear()
+	p.ip.clear()
+	p.ct.clear()
+	p.kr.clear()
 }
 
 // AddV returns the sum of two vector DDs.  Both operands must be rooted at
@@ -136,8 +153,8 @@ func (p *Package) AddV(a, b VEdge) VEdge {
 	if b.N.id < a.N.id { // commutative: canonical operand order
 		a, b = b, a
 	}
-	h := mix(mix(mix(mix(14695981039346656037, a.N.id), a.W.ID()), b.N.id), b.W.ID()) & ctMask
-	if ent := &p.addV.e[h]; ent.ok && ent.aN == a.N && ent.bN == b.N && ent.aW == a.W && ent.bW == b.W {
+	h := mix(mix(mix(mix(14695981039346656037, a.N.id), a.W.ID()), b.N.id), b.W.ID())
+	if ent := p.addV.slot(h); ent != nil && ent.ok && ent.aN == a.N && ent.bN == b.N && ent.aW == a.W && ent.bW == b.W {
 		p.cacheHits++
 		return ent.res
 	}
@@ -146,7 +163,7 @@ func (p *Package) AddV(a, b VEdge) VEdge {
 	r0 := p.AddV(p.scaleV(a.N.e[0], a.W), p.scaleV(b.N.e[0], b.W))
 	r1 := p.AddV(p.scaleV(a.N.e[1], a.W), p.scaleV(b.N.e[1], b.W))
 	res := p.makeVNode(v, r0, r1)
-	p.addV.e[h] = addVEntry{aN: a.N, bN: b.N, aW: a.W, bW: b.W, res: res, ok: true}
+	p.addV.put(h, addVEntry{aN: a.N, bN: b.N, aW: a.W, bW: b.W, res: res, ok: true})
 	return res
 }
 
@@ -175,8 +192,8 @@ func (p *Package) AddM(a, b MEdge) MEdge {
 	if b.N.id < a.N.id {
 		a, b = b, a
 	}
-	h := mix(mix(mix(mix(1099511628211, a.N.id), a.W.ID()), b.N.id), b.W.ID()) & ctMask
-	if ent := &p.addM.e[h]; ent.ok && ent.aN == a.N && ent.bN == b.N && ent.aW == a.W && ent.bW == b.W {
+	h := mix(mix(mix(mix(1099511628211, a.N.id), a.W.ID()), b.N.id), b.W.ID())
+	if ent := p.addM.slot(h); ent != nil && ent.ok && ent.aN == a.N && ent.bN == b.N && ent.aW == a.W && ent.bW == b.W {
 		p.cacheHits++
 		return ent.res
 	}
@@ -187,7 +204,7 @@ func (p *Package) AddM(a, b MEdge) MEdge {
 		r[i] = p.AddM(p.scaleM(a.N.e[i], a.W), p.scaleM(b.N.e[i], b.W))
 	}
 	res := p.makeMNode(v, r)
-	p.addM.e[h] = addMEntry{aN: a.N, bN: b.N, aW: a.W, bW: b.W, res: res, ok: true}
+	p.addM.put(h, addMEntry{aN: a.N, bN: b.N, aW: a.W, bW: b.W, res: res, ok: true})
 	return res
 }
 
@@ -208,8 +225,8 @@ func (p *Package) MulMV(m MEdge, x VEdge) VEdge {
 	if v := m.N.v; v+1 < len(p.idents) && p.idents[v+1].N == m.N {
 		return p.scaleV(VEdge{W: p.CN.One, N: x.N}, w)
 	}
-	h := mix(mix(0x51ed270b, m.N.id), x.N.id) & ctMask
-	if ent := &p.mv.e[h]; ent.ok && ent.m == m.N && ent.x == x.N {
+	h := mix(mix(0x51ed270b, m.N.id), x.N.id)
+	if ent := p.mv.slot(h); ent != nil && ent.ok && ent.m == m.N && ent.x == x.N {
 		p.cacheHits++
 		return p.scaleV(ent.res, w)
 	}
@@ -218,7 +235,7 @@ func (p *Package) MulMV(m MEdge, x VEdge) VEdge {
 	r0 := p.AddV(p.MulMV(m.N.e[0], x.N.e[0]), p.MulMV(m.N.e[1], x.N.e[1]))
 	r1 := p.AddV(p.MulMV(m.N.e[2], x.N.e[0]), p.MulMV(m.N.e[3], x.N.e[1]))
 	res := p.makeVNode(v, r0, r1)
-	p.mv.e[h] = mvEntry{m: m.N, x: x.N, res: res, ok: true}
+	p.mv.put(h, mvEntry{m: m.N, x: x.N, res: res, ok: true})
 	return p.scaleV(res, w)
 }
 
@@ -243,8 +260,8 @@ func (p *Package) MulMM(a, b MEdge) MEdge {
 			return p.scaleM(MEdge{W: p.CN.One, N: a.N}, w)
 		}
 	}
-	h := mix(mix(0x2545F4914F6CDD1D, a.N.id), b.N.id) & ctMask
-	if ent := &p.mm.e[h]; ent.ok && ent.a == a.N && ent.b == b.N {
+	h := mix(mix(0x2545F4914F6CDD1D, a.N.id), b.N.id)
+	if ent := p.mm.slot(h); ent != nil && ent.ok && ent.a == a.N && ent.b == b.N {
 		p.cacheHits++
 		return p.scaleM(ent.res, w)
 	}
@@ -260,7 +277,7 @@ func (p *Package) MulMM(a, b MEdge) MEdge {
 		}
 	}
 	res := p.makeMNode(v, r)
-	p.mm.e[h] = mmEntry{a: a.N, b: b.N, res: res, ok: true}
+	p.mm.put(h, mmEntry{a: a.N, b: b.N, res: res, ok: true})
 	return p.scaleM(res, w)
 }
 
@@ -278,14 +295,14 @@ func (p *Package) InnerProduct(a, b VEdge) complex128 {
 	if a.N == nil || b.N == nil || a.N.v != b.N.v {
 		panic("dd: InnerProduct level mismatch")
 	}
-	h := mix(mix(0x9E3779B1, a.N.id), b.N.id) & ctMask
-	if ent := &p.ip.e[h]; ent.ok && ent.a == a.N && ent.b == b.N {
+	h := mix(mix(0x9E3779B1, a.N.id), b.N.id)
+	if ent := p.ip.slot(h); ent != nil && ent.ok && ent.a == a.N && ent.b == b.N {
 		p.cacheHits++
 		return w * ent.res
 	}
 	p.cacheMisses++
 	f := p.InnerProduct(a.N.e[0], b.N.e[0]) + p.InnerProduct(a.N.e[1], b.N.e[1])
-	p.ip.e[h] = ipEntry{a: a.N, b: b.N, res: f, ok: true}
+	p.ip.put(h, ipEntry{a: a.N, b: b.N, res: f, ok: true})
 	return w * f
 }
 
@@ -314,17 +331,19 @@ func (p *Package) ConjugateTranspose(m MEdge) MEdge {
 	if m.N == nil {
 		return MEdge{W: wc, N: nil}
 	}
-	h := mix(0xC6A4A7935BD1E995, m.N.id) & ctMask
-	if ent := &p.ct.e[h]; ent.ok && ent.m == m.N {
+	h := mix(0xC6A4A7935BD1E995, m.N.id)
+	if ent := p.ct.slot(h); ent != nil && ent.ok && ent.m == m.N {
+		p.cacheHits++
 		return p.scaleM(ent.res, wc)
 	}
+	p.cacheMisses++
 	res := p.makeMNode(m.N.v, [4]MEdge{
 		p.ConjugateTranspose(m.N.e[0]),
 		p.ConjugateTranspose(m.N.e[2]),
 		p.ConjugateTranspose(m.N.e[1]),
 		p.ConjugateTranspose(m.N.e[3]),
 	})
-	p.ct.e[h] = ctEntry{m: m.N, res: res, ok: true}
+	p.ct.put(h, ctEntry{m: m.N, res: res, ok: true})
 	return p.scaleM(res, wc)
 }
 
@@ -345,16 +364,18 @@ func (p *Package) KronM(a, b MEdge, bLevels int) MEdge {
 	if b.N != nil {
 		bID = b.N.id
 	}
-	h := mix(mix(mix(0xA0761D6478BD642F, a.N.id), bID), uint64(bLevels)) & ctMask
-	if ent := &p.kr.e[h]; ent.ok && ent.aM == a.N && ent.bM == b.N && ent.shift == bLevels && ent.aV == nil {
+	h := mix(mix(mix(0xA0761D6478BD642F, a.N.id), bID), uint64(bLevels))
+	if ent := p.kr.slot(h); ent != nil && ent.ok && ent.aM == a.N && ent.bM == b.N && ent.shift == bLevels && ent.aV == nil {
+		p.cacheHits++
 		return p.scaleM(ent.resM, a.W)
 	}
+	p.cacheMisses++
 	var r [4]MEdge
 	for i := 0; i < 4; i++ {
 		r[i] = p.KronM(a.N.e[i], b, bLevels)
 	}
 	res := p.makeMNode(a.N.v+bLevels, r)
-	p.kr.e[h] = krEntry{aM: a.N, bM: b.N, shift: bLevels, resM: res, ok: true}
+	p.kr.put(h, krEntry{aM: a.N, bM: b.N, shift: bLevels, resM: res, ok: true})
 	return p.scaleM(res, a.W)
 }
 
@@ -374,13 +395,15 @@ func (p *Package) KronV(a, b VEdge, bLevels int) VEdge {
 	if b.N != nil {
 		bID = b.N.id
 	}
-	h := mix(mix(mix(0xE7037ED1A0B428DB, a.N.id), bID), uint64(bLevels)) & ctMask
-	if ent := &p.kr.e[h]; ent.ok && ent.aV == a.N && ent.bV == b.N && ent.shift == bLevels && ent.aM == nil {
+	h := mix(mix(mix(0xE7037ED1A0B428DB, a.N.id), bID), uint64(bLevels))
+	if ent := p.kr.slot(h); ent != nil && ent.ok && ent.aV == a.N && ent.bV == b.N && ent.shift == bLevels && ent.aM == nil {
+		p.cacheHits++
 		return p.scaleV(ent.resV, a.W)
 	}
+	p.cacheMisses++
 	r0 := p.KronV(a.N.e[0], b, bLevels)
 	r1 := p.KronV(a.N.e[1], b, bLevels)
 	res := p.makeVNode(a.N.v+bLevels, r0, r1)
-	p.kr.e[h] = krEntry{aV: a.N, bV: b.N, shift: bLevels, resV: res, ok: true}
+	p.kr.put(h, krEntry{aV: a.N, bV: b.N, shift: bLevels, resV: res, ok: true})
 	return p.scaleV(res, a.W)
 }

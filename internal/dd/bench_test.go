@@ -81,6 +81,47 @@ func BenchmarkInnerProduct(b *testing.B) {
 	}
 }
 
+// The next four benchmarks pin the gate-cache hot paths.  NewPackage matters
+// because every checker run (and every parallel worker) creates its own
+// Package: with the lazily allocated compute tables this costs microseconds,
+// not the tens of milliseconds the old eagerly zeroed 2^17-entry tables took.
+
+func BenchmarkNewPackage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewDefault(8)
+	}
+}
+
+func BenchmarkGateDDUncached8(b *testing.B) {
+	p := NewDefault(8)
+	p.SetGateCacheEnabled(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.GateDD(hMat, i%8, []Control{{Qubit: (i + 1) % 8}})
+	}
+}
+
+func BenchmarkGateDDCached8(b *testing.B) {
+	p := NewDefault(8)
+	for i := 0; i < 8; i++ {
+		p.GateDD(hMat, i%8, []Control{{Qubit: (i + 1) % 8}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.GateDD(hMat, i%8, []Control{{Qubit: (i + 1) % 8}})
+	}
+}
+
+func BenchmarkMulMVBasis8(b *testing.B) {
+	p := NewDefault(8)
+	g := p.GateDD(hMat, 3, []Control{{Qubit: 1}})
+	v := p.BasisState(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.MulMV(g, v)
+	}
+}
+
 func BenchmarkGC(b *testing.B) {
 	p := NewDefault(14)
 	b.ResetTimer()

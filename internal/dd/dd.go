@@ -20,6 +20,11 @@
 //     operation strictly level-synchronized.
 //   - Operation results are memoized in fixed-size, overwrite-on-collision
 //     compute tables, so memory use is bounded and lookups are O(1).
+//   - Whole gate DDs are memoized in a per-package gate cache keyed by the
+//     interned 2×2 matrix entries, the target and the control masks, so the
+//     hot simulation loop (r stimuli × |G| gates) builds each distinct gate
+//     once.  Unlike the compute tables, the cache survives garbage
+//     collection: its entries are marked as GC roots (see GC).
 //
 // Concurrency: a Package (and the cn.Table it owns) is NOT safe for
 // concurrent use.  Concurrent clients — the parallel simulation stage in
@@ -97,6 +102,18 @@ type mKey struct {
 	n0, n1, n2, n3 *MNode
 }
 
+// gateKey identifies a full-register gate DD: the four interned entries of
+// the 2×2 operation matrix, the target qubit, and the positive/negative
+// control sets encoded as bitmasks (exact for MaxQubits = 64).  Because the
+// entries are interned through the package's cn.Table, two matrices equal up
+// to the weight tolerance share a key — the same equivalence the DD itself
+// applies to edge weights.
+type gateKey struct {
+	w00, w01, w10, w11 *cn.Value
+	target             int
+	posCtl, negCtl     uint64
+}
+
 // Package owns the unique tables, compute tables and complex table for DDs on
 // a fixed number of qubits.  It is not safe for concurrent use.
 type Package struct {
@@ -109,13 +126,14 @@ type Package struct {
 
 	idents []MEdge // idents[k] = identity on the k lowest levels
 
-	addV *addVTable
-	addM *addMTable
-	mv   *mvTable
-	mm   *mmTable
-	ip   *ipTable
-	ct   *ctTable
-	kr   *krTable
+	// Compute tables (zero values: lazily allocated on first insert).
+	addV ctab[addVEntry]
+	addM ctab[addMEntry]
+	mv   ctab[mvEntry]
+	mm   ctab[mmEntry]
+	ip   ctab[ipEntry]
+	ct   ctab[ctEntry]
+	kr   ctab[krEntry]
 
 	// gcThreshold is the unique-table population that triggers a garbage
 	// collection in MaybeGC; it doubles after every collection that fails
@@ -142,6 +160,25 @@ type Package struct {
 	allocCount uint64
 
 	cacheHits, cacheMisses uint64
+
+	// gateCache memoizes full-register gate DDs across gate applications:
+	// the simulation loop applies the same few dozen distinct gates to r
+	// stimuli, and the uncached path rebuilds the O(n)-node matrix DD every
+	// time.  Entries are treated as GC roots (re-rooted, not invalidated),
+	// unless the cache has outgrown gateCacheLimit, in which case the
+	// collection flushes it and construction starts over on demand.  Like
+	// everything else in the Package, the cache is strictly per-Package and
+	// never crosses goroutines.
+	gateCache      map[gateKey]MEdge
+	gateCacheOn    bool
+	gateCacheLimit int
+	gateHits       uint64
+	gateMisses     uint64
+	gateFlushes    uint64
+
+	uniqueLookups uint64
+	uniqueHits    uint64
+	gcReclaimed   uint64
 }
 
 // LimitError is the panic value raised when the configured node limit or
@@ -204,6 +241,14 @@ func (p *Package) checkLimit() {
 // garbage collection via MaybeGC.
 const DefaultGCThreshold = 250_000
 
+// DefaultGateCacheLimit bounds the gate-DD cache population: a garbage
+// collection that finds more cached gates than this flushes the cache instead
+// of re-rooting it.  Real workloads stay far below the limit (a circuit
+// contributes at most one entry per distinct (matrix, target, controls)
+// triple), so the bound only guards against pathological parameterized-gate
+// streams.
+const DefaultGateCacheLimit = 1 << 16
+
 // MaxQubits is the largest supported register size (basis-state indices are
 // addressed with uint64).
 const MaxQubits = 64
@@ -218,14 +263,11 @@ func New(n int, tol float64) *Package {
 		CN:          cn.NewTable(tol),
 		vUnique:     make(map[vKey]*VNode, 1024),
 		mUnique:     make(map[mKey]*MNode, 1024),
-		addV:        newAddVTable(),
-		addM:        newAddMTable(),
-		mv:          newMVTable(),
-		mm:          newMMTable(),
-		ip:          newIPTable(),
-		ct:          newCTTable(),
-		kr:          newKRTable(),
 		gcThreshold: DefaultGCThreshold,
+
+		gateCache:      make(map[gateKey]MEdge, 64),
+		gateCacheOn:    true,
+		gateCacheLimit: DefaultGateCacheLimit,
 	}
 	p.idents = []MEdge{{W: p.CN.One, N: nil}}
 	return p
@@ -242,28 +284,129 @@ func (p *Package) Qubits() int { return p.n }
 func (p *Package) NodeCount() int { return len(p.vUnique) + len(p.mUnique) }
 
 // Stats is a snapshot of the package's internal activity, exposed for the
-// benchmark harness and for performance debugging.
+// benchmark harness, the CLI's -stats flag and for performance debugging.
+//
+// The first group are gauges (current populations); the rest are
+// monotonically increasing counters.  CacheHits/CacheMisses cover the
+// operation compute tables (add, mul, inner product, ...); the unique-table
+// counters measure hash-consing effectiveness (a "hit" is a makeNode call
+// that found a structurally identical node already interned — with Go's
+// map-backed unique tables a miss is an insertion, and genuine bucket
+// collisions are invisible); the gate counters cover the gate-DD cache.
 type Stats struct {
 	VectorNodes   int
 	MatrixNodes   int
-	NodesCreated  uint64
 	WeightsStored int
+	GateCacheSize int
+	NodesCreated  uint64
 	GCRuns        int
-	CacheHits     uint64
-	CacheMisses   uint64
+	GCReclaimed   uint64 // total nodes removed across all collections
+	CacheHits     uint64 // compute-table hits
+	CacheMisses   uint64 // compute-table misses
+	UniqueLookups uint64 // unique-table probes by makeVNode/makeMNode
+	UniqueHits    uint64 // probes answered by an existing node
+	WeightLookups int64  // cn.Table lookups
+	WeightHits    int64  // cn.Table lookups answered by an existing value
+	GateHits      uint64 // gate-DD cache hits
+	GateMisses    uint64 // gate-DD cache misses (full bottom-up builds)
+	GateFlushes   uint64 // gate-DD cache flushes forced by oversized GCs
 }
 
 // Snapshot returns current package statistics.
 func (p *Package) Snapshot() Stats {
+	wl, wh := p.CN.Stats()
 	return Stats{
 		VectorNodes:   len(p.vUnique),
 		MatrixNodes:   len(p.mUnique),
-		NodesCreated:  p.nextID,
 		WeightsStored: p.CN.Size(),
+		GateCacheSize: len(p.gateCache),
+		NodesCreated:  p.nextID,
 		GCRuns:        p.gcRuns,
+		GCReclaimed:   p.gcReclaimed,
 		CacheHits:     p.cacheHits,
 		CacheMisses:   p.cacheMisses,
+		UniqueLookups: p.uniqueLookups,
+		UniqueHits:    p.uniqueHits,
+		WeightLookups: wl,
+		WeightHits:    wh,
+		GateHits:      p.gateHits,
+		GateMisses:    p.gateMisses,
+		GateFlushes:   p.gateFlushes,
 	}
+}
+
+// Add accumulates another snapshot into s.  Counters sum exactly; the gauges
+// (node, weight and cache populations) also sum, which for snapshots taken
+// from disjoint packages — e.g. the per-worker packages of a parallel
+// simulation stage — yields the total footprint across workers.
+func (s *Stats) Add(o Stats) {
+	s.VectorNodes += o.VectorNodes
+	s.MatrixNodes += o.MatrixNodes
+	s.WeightsStored += o.WeightsStored
+	s.GateCacheSize += o.GateCacheSize
+	s.NodesCreated += o.NodesCreated
+	s.GCRuns += o.GCRuns
+	s.GCReclaimed += o.GCReclaimed
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.UniqueLookups += o.UniqueLookups
+	s.UniqueHits += o.UniqueHits
+	s.WeightLookups += o.WeightLookups
+	s.WeightHits += o.WeightHits
+	s.GateHits += o.GateHits
+	s.GateMisses += o.GateMisses
+	s.GateFlushes += o.GateFlushes
+}
+
+// GateHitRate returns the fraction of GateDD calls answered by the gate
+// cache (0 when no calls were made).
+func (s Stats) GateHitRate() float64 {
+	total := s.GateHits + s.GateMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.GateHits) / float64(total)
+}
+
+// ComputeHitRate returns the fraction of compute-table probes that hit.
+func (s Stats) ComputeHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// UniqueHitRate returns the fraction of unique-table probes answered by an
+// already-interned node.
+func (s Stats) UniqueHitRate() float64 {
+	if s.UniqueLookups == 0 {
+		return 0
+	}
+	return float64(s.UniqueHits) / float64(s.UniqueLookups)
+}
+
+// SetGateCacheEnabled turns the gate-DD cache on or off (it is on by
+// default).  Disabling also drops all current entries, so a subsequent GC no
+// longer treats them as roots; re-enabling starts from an empty cache.
+func (p *Package) SetGateCacheEnabled(on bool) {
+	if !on {
+		clear(p.gateCache)
+	}
+	p.gateCacheOn = on
+}
+
+// GateCacheEnabled reports whether the gate-DD cache is active.
+func (p *Package) GateCacheEnabled() bool { return p.gateCacheOn }
+
+// SetGateCacheLimit overrides the population bound above which a garbage
+// collection flushes the gate cache instead of re-rooting it (primarily for
+// tests; values < 1 are clamped to 1).
+func (p *Package) SetGateCacheLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.gateCacheLimit = n
 }
 
 // VZero returns the canonical zero vector edge.
@@ -308,8 +451,11 @@ func (p *Package) makeVNode(v int, e0, e1 VEdge) VEdge {
 		}
 	}
 	key := vKey{v: v, w0: e0.W, w1: e1.W, n0: e0.N, n1: e1.N}
+	p.uniqueLookups++
 	node, ok := p.vUnique[key]
-	if !ok {
+	if ok {
+		p.uniqueHits++
+	} else {
 		node = &VNode{id: p.newID(), v: v, e: [2]VEdge{e0, e1}}
 		p.vUnique[key] = node
 		p.checkLimit()
@@ -347,8 +493,11 @@ func (p *Package) makeMNode(v int, e [4]MEdge) MEdge {
 		w0: e[0].W, w1: e[1].W, w2: e[2].W, w3: e[3].W,
 		n0: e[0].N, n1: e[1].N, n2: e[2].N, n3: e[3].N,
 	}
+	p.uniqueLookups++
 	node, ok := p.mUnique[key]
-	if !ok {
+	if ok {
+		p.uniqueHits++
+	} else {
 		node = &MNode{id: p.newID(), v: v, e: e}
 		p.mUnique[key] = node
 		p.checkLimit()
@@ -434,26 +583,58 @@ func (p *Package) BasisState(i uint64) VEdge {
 // ZeroState returns |0...0>.
 func (p *Package) ZeroState() VEdge { return p.BasisState(0) }
 
-// GateDD builds the n-qubit matrix DD of a single-qubit operation u applied
+// GateDD returns the n-qubit matrix DD of a single-qubit operation u applied
 // to target, optionally controlled (positively or negatively) by the given
-// qubits.  This is the bottom-up construction used by the JKU package.
+// qubits.  Results are memoized in the per-package gate cache (see Stats's
+// GateHits/GateMisses and SetGateCacheEnabled); a miss falls through to the
+// bottom-up construction used by the JKU package.
 func (p *Package) GateDD(u [2][2]complex128, target int, controls []Control) MEdge {
 	if target < 0 || target >= p.n {
 		panic(fmt.Sprintf("dd: gate target %d out of range", target))
 	}
+	// Validate via the control bitmasks (exact for MaxQubits = 64): range,
+	// target collision and duplicates, without allocating on the hit path.
+	var pos, neg uint64
+	for _, c := range controls {
+		if c.Qubit < 0 || c.Qubit >= p.n || c.Qubit == target {
+			panic(fmt.Sprintf("dd: invalid control qubit %d", c.Qubit))
+		}
+		bit := uint64(1) << uint(c.Qubit)
+		if (pos|neg)&bit != 0 {
+			panic(fmt.Sprintf("dd: duplicate control qubit %d", c.Qubit))
+		}
+		if c.Neg {
+			neg |= bit
+		} else {
+			pos |= bit
+		}
+	}
+	if !p.gateCacheOn {
+		return p.buildGateDD(u, target, controls)
+	}
+	key := gateKey{
+		w00: p.CN.Lookup(u[0][0]), w01: p.CN.Lookup(u[0][1]),
+		w10: p.CN.Lookup(u[1][0]), w11: p.CN.Lookup(u[1][1]),
+		target: target, posCtl: pos, negCtl: neg,
+	}
+	if e, ok := p.gateCache[key]; ok {
+		p.gateHits++
+		return e
+	}
+	p.gateMisses++
+	e := p.buildGateDD(u, target, controls)
+	p.gateCache[key] = e
+	return e
+}
+
+// buildGateDD performs the bottom-up gate-DD construction.  The caller has
+// already validated target and controls.
+func (p *Package) buildGateDD(u [2][2]complex128, target int, controls []Control) MEdge {
 	sorted := make([]Control, len(controls))
 	copy(sorted, controls)
 	for i := 1; i < len(sorted); i++ { // insertion sort; control lists are tiny
 		for j := i; j > 0 && sorted[j].Qubit < sorted[j-1].Qubit; j-- {
 			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
-		}
-	}
-	for i, c := range sorted {
-		if c.Qubit < 0 || c.Qubit >= p.n || c.Qubit == target {
-			panic(fmt.Sprintf("dd: invalid control qubit %d", c.Qubit))
-		}
-		if i > 0 && sorted[i-1].Qubit == c.Qubit {
-			panic(fmt.Sprintf("dd: duplicate control qubit %d", c.Qubit))
 		}
 	}
 

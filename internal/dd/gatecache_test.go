@@ -1,0 +1,254 @@
+package dd
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+)
+
+// xMat and hMat are shared with dd_test.go.
+
+func phaseMat(theta float64) [2][2]complex128 {
+	return [2][2]complex128{{1, 0}, {0, cmplx.Exp(complex(0, theta))}}
+}
+
+// TestGateCacheHit: rebuilding the same gate must be answered by the cache
+// with the identical root edge.
+func TestGateCacheHit(t *testing.T) {
+	p := NewDefault(4)
+	a := p.GateDD(hMat, 2, []Control{{Qubit: 0}})
+	b := p.GateDD(hMat, 2, []Control{{Qubit: 0}})
+	if a != b {
+		t.Fatalf("cached gate differs: %v vs %v", a, b)
+	}
+	s := p.Snapshot()
+	if s.GateHits != 1 || s.GateMisses != 1 {
+		t.Fatalf("want 1 hit / 1 miss, got %d / %d", s.GateHits, s.GateMisses)
+	}
+}
+
+// TestGateCacheKeyDistinguishes: target, control polarity and control set
+// must all separate cache entries.
+func TestGateCacheKeyDistinguishes(t *testing.T) {
+	p := NewDefault(4)
+	base := p.GateDD(xMat, 1, []Control{{Qubit: 0}})
+	cases := []MEdge{
+		p.GateDD(xMat, 2, []Control{{Qubit: 0}}),            // different target
+		p.GateDD(xMat, 1, []Control{{Qubit: 0, Neg: true}}), // negative control
+		p.GateDD(xMat, 1, []Control{{Qubit: 3}}),            // different control
+		p.GateDD(xMat, 1, nil),                              // no control
+		p.GateDD(hMat, 1, []Control{{Qubit: 0}}),            // different matrix
+	}
+	for i, e := range cases {
+		if e == base {
+			t.Fatalf("case %d collided with base CX", i)
+		}
+	}
+	if s := p.Snapshot(); s.GateHits != 0 {
+		t.Fatalf("distinct gates must all miss, got %d hits", s.GateHits)
+	}
+}
+
+// TestGateCacheMatchesUncached: the cached construction must be entry-wise
+// identical to an uncached package's construction for a spread of gates,
+// including multi-controlled and negative-controlled ones.
+func TestGateCacheMatchesUncached(t *testing.T) {
+	type gate struct {
+		u        [2][2]complex128
+		target   int
+		controls []Control
+	}
+	gates := []gate{
+		{hMat, 0, nil},
+		{xMat, 3, []Control{{Qubit: 0}, {Qubit: 2, Neg: true}}},
+		{phaseMat(math.Pi / 4), 2, []Control{{Qubit: 3}}},
+		{xMat, 1, []Control{{Qubit: 0}, {Qubit: 2}, {Qubit: 3}}},
+	}
+	pc := NewDefault(4)
+	pu := NewDefault(4)
+	pu.SetGateCacheEnabled(false)
+	for gi, g := range gates {
+		// Build twice on the cached package so the second build is a hit.
+		pc.GateDD(g.u, g.target, g.controls)
+		mc := pc.GateDD(g.u, g.target, g.controls)
+		mu := pu.GateDD(g.u, g.target, g.controls)
+		for r := uint64(0); r < 16; r++ {
+			for c := uint64(0); c < 16; c++ {
+				a, b := pc.MatrixEntry(mc, r, c), pu.MatrixEntry(mu, r, c)
+				if cmplx.Abs(a-b) > 1e-12 {
+					t.Fatalf("gate %d entry (%d,%d): cached %v != uncached %v", gi, r, c, a, b)
+				}
+			}
+		}
+	}
+	if s := pu.Snapshot(); s.GateHits != 0 || s.GateMisses != 0 {
+		t.Fatalf("disabled cache must not count: %d hits %d misses", s.GateHits, s.GateMisses)
+	}
+}
+
+// TestGateCacheSurvivesGC: a collection with no caller roots must keep the
+// cached gates alive and canonical — rebuilding after GC returns the same
+// root edge without a rebuild.
+func TestGateCacheSurvivesGC(t *testing.T) {
+	p := NewDefault(5)
+	before := p.GateDD(xMat, 4, []Control{{Qubit: 1}, {Qubit: 3, Neg: true}})
+	p.GC(nil, nil)
+	after := p.GateDD(xMat, 4, []Control{{Qubit: 1}, {Qubit: 3, Neg: true}})
+	if before != after {
+		t.Fatalf("gate edge changed across GC: %v vs %v", before, after)
+	}
+	s := p.Snapshot()
+	if s.GateHits != 1 {
+		t.Fatalf("post-GC rebuild should hit the re-rooted cache, got %d hits", s.GateHits)
+	}
+	if s.GCRuns != 1 {
+		t.Fatalf("want 1 GC run, got %d", s.GCRuns)
+	}
+}
+
+// TestGateCacheFlushOnOversizedGC: when the cache exceeds its limit, a
+// collection flushes it instead of rooting an unbounded population.
+func TestGateCacheFlushOnOversizedGC(t *testing.T) {
+	p := NewDefault(3)
+	p.SetGateCacheLimit(4)
+	for i := 0; i < 16; i++ {
+		p.GateDD(phaseMat(float64(i)/7), 0, nil)
+	}
+	if s := p.Snapshot(); s.GateCacheSize != 16 {
+		t.Fatalf("want 16 cached gates, got %d", s.GateCacheSize)
+	}
+	p.GC(nil, nil)
+	s := p.Snapshot()
+	if s.GateCacheSize != 0 {
+		t.Fatalf("oversized cache must be flushed, still %d entries", s.GateCacheSize)
+	}
+	if s.GateFlushes != 1 {
+		t.Fatalf("want 1 flush, got %d", s.GateFlushes)
+	}
+	// The flushed cache must rebuild correctly.
+	m := p.GateDD(phaseMat(1.0/7), 0, nil)
+	if got := p.MatrixEntry(m, 1, 1); cmplx.Abs(got-cmplx.Exp(complex(0, 1.0/7))) > 1e-12 {
+		t.Fatalf("post-flush rebuild wrong: %v", got)
+	}
+}
+
+// TestGateCacheDisableDropsEntries: disabling the cache clears it so GC no
+// longer roots stale gates.
+func TestGateCacheDisableDropsEntries(t *testing.T) {
+	p := NewDefault(3)
+	p.GateDD(hMat, 0, nil)
+	p.SetGateCacheEnabled(false)
+	if s := p.Snapshot(); s.GateCacheSize != 0 {
+		t.Fatalf("disable must clear the cache, %d entries left", s.GateCacheSize)
+	}
+	if p.GateCacheEnabled() {
+		t.Fatal("cache still reports enabled")
+	}
+	p.SetGateCacheEnabled(true)
+	p.GateDD(hMat, 0, nil)
+	if s := p.Snapshot(); s.GateCacheSize != 1 {
+		t.Fatalf("re-enabled cache must repopulate, got %d entries", s.GateCacheSize)
+	}
+}
+
+// TestGateCacheValidationStillPanics: the cached fast path must preserve the
+// construction-time validation panics.
+func TestGateCacheValidationStillPanics(t *testing.T) {
+	p := NewDefault(3)
+	p.GateDD(xMat, 1, []Control{{Qubit: 0}}) // warm the cache
+	for name, call := range map[string]func(){
+		"duplicate control": func() { p.GateDD(xMat, 1, []Control{{Qubit: 0}, {Qubit: 0, Neg: true}}) },
+		"control == target": func() { p.GateDD(xMat, 1, []Control{{Qubit: 1}}) },
+		"control range":     func() { p.GateDD(xMat, 1, []Control{{Qubit: 7}}) },
+		"target range":      func() { p.GateDD(xMat, 5, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+// TestGateCachePerGoroutine: the cache is strictly per-Package; concurrent
+// goroutines on private packages must not interfere (exercised under -race
+// by the CI race job).
+func TestGateCachePerGoroutine(t *testing.T) {
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]complex128, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := NewDefault(4)
+			var m MEdge
+			for i := 0; i < 50; i++ {
+				m = p.GateDD(phaseMat(float64(w)), 2, []Control{{Qubit: 0}})
+			}
+			// Diagonal entry with both the control (qubit 0) and the
+			// target (qubit 2) bit set: the applied phase.
+			results[w] = p.MatrixEntry(m, 0b0101, 0b0101)
+		}(w)
+	}
+	wg.Wait()
+	for w, got := range results {
+		want := cmplx.Exp(complex(0, float64(w)))
+		if cmplx.Abs(got-want) > 1e-12 {
+			t.Fatalf("worker %d: entry %v, want %v", w, got, want)
+		}
+	}
+}
+
+// TestUniqueAndWeightCounters: the instrumentation counters must move when
+// the corresponding tables are exercised.
+func TestUniqueAndWeightCounters(t *testing.T) {
+	p := NewDefault(3)
+	p.GateDD(hMat, 0, nil)
+	p.BasisState(5)
+	p.BasisState(5) // hash-consing hits
+	s := p.Snapshot()
+	if s.UniqueLookups == 0 {
+		t.Fatal("no unique-table lookups recorded")
+	}
+	if s.UniqueHits == 0 {
+		t.Fatal("no unique-table hits recorded")
+	}
+	if s.UniqueHits > s.UniqueLookups {
+		t.Fatalf("hits %d exceed lookups %d", s.UniqueHits, s.UniqueLookups)
+	}
+	if s.WeightLookups == 0 || s.WeightHits == 0 {
+		t.Fatalf("weight-table counters not recorded: %d/%d", s.WeightLookups, s.WeightHits)
+	}
+	if s.UniqueHitRate() <= 0 || s.UniqueHitRate() > 1 {
+		t.Fatalf("bad unique hit rate %g", s.UniqueHitRate())
+	}
+}
+
+// TestStatsAdd: merging snapshots must sum every field (spot-checked on the
+// counters the report surfaces).
+func TestStatsAdd(t *testing.T) {
+	p1, p2 := NewDefault(3), NewDefault(3)
+	p1.GateDD(hMat, 0, nil)
+	p1.GateDD(hMat, 0, nil)
+	p2.GateDD(xMat, 1, nil)
+	a, b := p1.Snapshot(), p2.Snapshot()
+	sum := a
+	sum.Add(b)
+	if sum.GateHits != a.GateHits+b.GateHits {
+		t.Fatalf("GateHits: %d != %d+%d", sum.GateHits, a.GateHits, b.GateHits)
+	}
+	if sum.GateMisses != a.GateMisses+b.GateMisses {
+		t.Fatalf("GateMisses: %d != %d+%d", sum.GateMisses, a.GateMisses, b.GateMisses)
+	}
+	if sum.UniqueLookups != a.UniqueLookups+b.UniqueLookups {
+		t.Fatal("UniqueLookups not summed")
+	}
+	if sum.GateHitRate() <= 0 {
+		t.Fatalf("merged hit rate %g", sum.GateHitRate())
+	}
+}

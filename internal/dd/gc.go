@@ -10,8 +10,11 @@ package dd
 // while the stale cache entry resurrects the old one.
 
 // GC removes all nodes not reachable from the given roots (the identity
-// chain is always retained) and clears the compute tables.  It returns the
-// number of nodes removed.
+// chain is always retained) and clears the compute tables.  Gate-DD cache
+// entries are re-rooted — marked live so the cached edges stay canonical
+// across the collection — unless the cache has outgrown its limit, in which
+// case it is flushed and rebuilt on demand.  It returns the number of nodes
+// removed.
 func (p *Package) GC(rootsV []VEdge, rootsM []MEdge) int {
 	markedV := make(map[*VNode]bool)
 	markedM := make(map[*MNode]bool)
@@ -45,6 +48,14 @@ func (p *Package) GC(rootsV []VEdge, rootsM []MEdge) int {
 	for _, id := range p.idents {
 		markM(id.N)
 	}
+	if len(p.gateCache) > p.gateCacheLimit {
+		clear(p.gateCache)
+		p.gateFlushes++
+	} else {
+		for _, e := range p.gateCache {
+			markM(e.N)
+		}
+	}
 
 	removed := 0
 	for k, n := range p.vUnique {
@@ -61,6 +72,7 @@ func (p *Package) GC(rootsV []VEdge, rootsM []MEdge) int {
 	}
 	p.clearComputeTables()
 	p.gcRuns++
+	p.gcReclaimed += uint64(removed)
 	return removed
 }
 

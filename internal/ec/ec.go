@@ -116,6 +116,9 @@ type Options struct {
 	OutputPerm []int
 	// Tolerance overrides the DD package weight tolerance (0 = default).
 	Tolerance float64
+	// DisableGateCache turns off the DD package's gate-DD cache for this
+	// check (benchmark baseline runs only; verdicts are identical either way).
+	DisableGateCache bool
 }
 
 // StopCause identifies the resource bound that ended an inconclusive check.
@@ -157,6 +160,9 @@ type Result struct {
 	Counterexample *uint64   // basis state whose columns differ, if found
 	Cause          StopCause // what stopped a TimedOut check
 	Reason         string    // human-readable cause for TimedOut
+	// DD snapshots the check's DD-package statistics (gate-cache and
+	// compute-table hit rates, unique-table activity, GC reclaims).
+	DD dd.Stats
 }
 
 // Equivalent reports whether the verdict establishes equivalence under the
@@ -222,6 +228,9 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Result {
 	if opts.NodeLimit > 0 {
 		p.SetNodeLimit(opts.NodeLimit)
 	}
+	if opts.DisableGateCache {
+		p.SetGateCacheEnabled(false)
+	}
 	if ctx := opts.Context; ctx != nil {
 		// Reach cancellation inside long DD operations, where the per-gate
 		// expired() polls cannot.
@@ -256,6 +265,7 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Result {
 	}()
 	c.result.Runtime = time.Since(start)
 	c.result.FinalNodes = p.NodeCount()
+	c.result.DD = p.Snapshot()
 	if n := p.NodeCount(); n > c.result.PeakNodes {
 		c.result.PeakNodes = n
 	}

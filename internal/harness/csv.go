@@ -17,6 +17,9 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 		"ec_verdict", "t_ec_seconds", "ec_timed_out",
 		"num_sims", "t_sim_seconds", "sim_detected",
 		"want_equivalent", "injection",
+		"ec_gate_hit_rate", "sim_gate_hit_rate",
+		"ec_compute_hit_rate", "sim_compute_hit_rate",
+		"gc_reclaimed",
 	}); err != nil {
 		return err
 	}
@@ -27,6 +30,11 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 			r.ECVerdict.String(), fmt.Sprintf("%.6f", r.TEC.Seconds()), fmt.Sprint(r.ECTimedOut),
 			fmt.Sprint(r.NumSims), fmt.Sprintf("%.6f", r.TSim.Seconds()), fmt.Sprint(r.SimDetected),
 			fmt.Sprint(r.WantEquivalent), r.Injection,
+			fmt.Sprintf("%.4f", r.ECDD.GateHitRate()),
+			fmt.Sprintf("%.4f", r.SimDD.GateHitRate()),
+			fmt.Sprintf("%.4f", r.ECDD.ComputeHitRate()),
+			fmt.Sprintf("%.4f", r.SimDD.ComputeHitRate()),
+			fmt.Sprint(r.ECDD.GCReclaimed + r.SimDD.GCReclaimed),
 		}); err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"time"
 
+	"qcec/internal/dd"
 	"qcec/internal/portfolio"
 )
 
@@ -22,6 +23,9 @@ type PortfolioRow struct {
 	TPortfolio time.Duration
 	// Stops summarizes each prover's fate, in prover order ("sim:won dd:cancelled ...").
 	Stops string
+	// Reports keeps the engine's full per-prover records (runtime, peak
+	// nodes, DD telemetry) for the table footer and downstream tooling.
+	Reports []portfolio.Report
 
 	// Single-strategy baseline (the same complete routine the portfolio
 	// races, run alone with the suite's EC options).
@@ -68,6 +72,7 @@ func RunPortfolioInstance(inst Instance, opts RunOptions) PortfolioRow {
 	row.Verdict = res.Verdict
 	row.Winner = res.Winner
 	row.TPortfolio = res.Runtime
+	row.Reports = res.Reports
 	for i, r := range res.Reports {
 		if i > 0 {
 			row.Stops += " "
@@ -129,4 +134,29 @@ func PrintPortfolioTable(w io.Writer, rows []PortfolioRow, opts RunOptions) {
 			math.Exp(logSum/float64(logCount)))
 	}
 	fmt.Fprintln(w)
+
+	// Per-prover DD telemetry, count-weighted across the suite.
+	perProver := map[string]*dd.Stats{}
+	var order []string
+	for _, r := range rows {
+		for _, rep := range r.Reports {
+			if rep.DD == nil {
+				continue
+			}
+			agg, ok := perProver[rep.Name]
+			if !ok {
+				agg = &dd.Stats{}
+				perProver[rep.Name] = agg
+				order = append(order, rep.Name)
+			}
+			agg.Add(*rep.DD)
+		}
+	}
+	if len(order) > 0 {
+		fmt.Fprint(w, "gate-cache hit rate by prover:")
+		for _, name := range order {
+			fmt.Fprintf(w, " %s %.1f%%", name, 100*perProver[name].GateHitRate())
+		}
+		fmt.Fprintln(w)
+	}
 }

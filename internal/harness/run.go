@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"qcec/internal/core"
+	"qcec/internal/dd"
 	"qcec/internal/ec"
 )
 
@@ -61,6 +62,11 @@ type Row struct {
 	WantEquivalent bool
 	FlowVerdict    core.Verdict
 	Injection      string
+
+	// DD telemetry of the two measurements (gate-cache and compute-table
+	// hit rates, unique-table activity, GC reclaims).
+	ECDD  dd.Stats
+	SimDD dd.Stats
 }
 
 // RunInstance measures one benchmark pair: first the complete routine alone
@@ -85,6 +91,7 @@ func RunInstance(inst Instance, opts RunOptions) Row {
 	row.ECVerdict = ecRes.Verdict
 	row.TEC = ecRes.Runtime
 	row.ECTimedOut = ecRes.Verdict == ec.TimedOut
+	row.ECDD = ecRes.DD
 
 	rep := core.Check(inst.G, inst.Gp, core.Options{
 		R:          opts.R,
@@ -96,7 +103,26 @@ func RunInstance(inst Instance, opts RunOptions) Row {
 	row.TSim = rep.SimTime
 	row.SimDetected = rep.Verdict == core.NotEquivalent
 	row.FlowVerdict = rep.Verdict
+	row.SimDD = rep.DD
 	return row
+}
+
+// ddFooter aggregates the DD telemetry of a set of rows into one summary
+// line: hit rates are count-weighted across the suite, not averaged per row.
+func ddFooter(rows []Row) string {
+	var ecDD, simDD dd.Stats
+	for _, r := range rows {
+		ecDD.Add(r.ECDD)
+		simDD.Add(r.SimDD)
+	}
+	var total dd.Stats
+	total.Add(ecDD)
+	total.Add(simDD)
+	return fmt.Sprintf(
+		"DD telemetry: gate-cache hit rate %.1f%% (ec %.1f%%, sim %.1f%%); compute-table %.1f%%; unique-table %.1f%%; GC reclaimed %d nodes in %d runs",
+		100*total.GateHitRate(), 100*ecDD.GateHitRate(), 100*simDD.GateHitRate(),
+		100*total.ComputeHitRate(), 100*total.UniqueHitRate(),
+		total.GCReclaimed, total.GCRuns)
 }
 
 // RunSuite measures every instance and sorts rows by simulation time
@@ -154,6 +180,7 @@ func PrintTable1a(w io.Writer, rows []Row, opts RunOptions) {
 			math.Exp(logSum/float64(logCount)))
 	}
 	fmt.Fprintln(w)
+	fmt.Fprintln(w, ddFooter(rows))
 }
 
 // PrintTable1b renders the equivalent table in the paper's layout.
@@ -170,6 +197,7 @@ func PrintTable1b(w io.Writer, rows []Row, opts RunOptions) {
 		fmt.Fprintf(w, "%-28s %4d %8d %9d %10s %9s\n",
 			r.Name, r.N, r.SizeG, r.SizeGp, tec, fmtDuration(r.TSim))
 	}
+	fmt.Fprintln(w, ddFooter(rows))
 }
 
 // FlowSummary tallies the verdicts of the full proposed flow (Fig. 3) over a

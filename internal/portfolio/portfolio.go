@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"qcec/internal/circuit"
+	"qcec/internal/dd"
 )
 
 // Verdict is a portfolio-level equivalence verdict.  The zero value is
@@ -124,6 +125,9 @@ type Outcome struct {
 	// PeakNodes is the largest live DD population the prover observed
 	// (0 for provers that do not build DDs).
 	PeakNodes int
+	// DD carries the prover's DD-package statistics (nil for provers that do
+	// not build DDs, e.g. sat and zx).
+	DD *dd.Stats
 	// Detail is a short human-readable note for the report table.
 	Detail string
 }
@@ -143,7 +147,9 @@ type Report struct {
 	Stop      Stop
 	Runtime   time.Duration
 	PeakNodes int
-	Detail    string
+	// DD is the prover's DD-package telemetry (nil for DD-free provers).
+	DD     *dd.Stats
+	Detail string
 }
 
 // Options configures a portfolio run.
@@ -222,6 +228,7 @@ func Run(ctx context.Context, g1, g2 *circuit.Circuit, provers []Prover, opts Op
 				Stop:      stop,
 				Runtime:   elapsed,
 				PeakNodes: out.PeakNodes,
+				DD:        out.DD,
 				Detail:    out.Detail,
 			}
 		}(i, p)

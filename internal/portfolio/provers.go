@@ -38,6 +38,9 @@ type Config struct {
 	OutputPerm []int
 	// Tolerance is the DD weight tolerance (0 = default).
 	Tolerance float64
+	// DisableGateCache turns off the gate-DD cache in every DD-building
+	// prover (benchmark baseline runs only).
+	DisableGateCache bool
 }
 
 // ProverNames lists the selectable standard provers in canonical order.
@@ -87,16 +90,18 @@ func SimProver(cfg Config) Prover {
 		Name: "sim",
 		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
 			rep := core.Check(g1, g2, core.Options{
-				Context:         ctx,
-				R:               cfg.R,
-				Seed:            cfg.Seed,
-				Parallel:        cfg.SimParallel,
-				SkipEC:          true,
-				UpToGlobalPhase: cfg.UpToGlobalPhase,
-				OutputPerm:      cfg.OutputPerm,
-				Tolerance:       cfg.Tolerance,
+				Context:          ctx,
+				R:                cfg.R,
+				Seed:             cfg.Seed,
+				Parallel:         cfg.SimParallel,
+				SkipEC:           true,
+				UpToGlobalPhase:  cfg.UpToGlobalPhase,
+				OutputPerm:       cfg.OutputPerm,
+				Tolerance:        cfg.Tolerance,
+				DisableGateCache: cfg.DisableGateCache,
 			})
-			out := Outcome{Detail: fmt.Sprintf("%d sims", rep.NumSims)}
+			ddStats := rep.DD
+			out := Outcome{Detail: fmt.Sprintf("%d sims", rep.NumSims), DD: &ddStats}
 			switch rep.Verdict {
 			case core.NotEquivalent:
 				out.Verdict = NotEquivalent
@@ -125,8 +130,10 @@ func SimProver(cfg Config) Prover {
 
 // ecOutcome translates a complete-routine result into a portfolio outcome.
 func ecOutcome(res ec.Result) Outcome {
+	ddStats := res.DD
 	out := Outcome{
 		PeakNodes: res.PeakNodes,
+		DD:        &ddStats,
 		Detail:    fmt.Sprintf("%d gates applied", res.GatesApplied),
 	}
 	switch res.Verdict {
@@ -168,13 +175,14 @@ func ecProver(name string, strategy ec.Strategy, cfg Config) Prover {
 		Name: name,
 		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
 			return ecOutcome(ec.Check(g1, g2, ec.Options{
-				Strategy:        strategy,
-				Context:         ctx,
-				Timeout:         cfg.ECTimeout,
-				NodeLimit:       cfg.ECNodeLimit,
-				UpToGlobalPhase: cfg.UpToGlobalPhase,
-				OutputPerm:      cfg.OutputPerm,
-				Tolerance:       cfg.Tolerance,
+				Strategy:         strategy,
+				Context:          ctx,
+				Timeout:          cfg.ECTimeout,
+				NodeLimit:        cfg.ECNodeLimit,
+				UpToGlobalPhase:  cfg.UpToGlobalPhase,
+				OutputPerm:       cfg.OutputPerm,
+				Tolerance:        cfg.Tolerance,
+				DisableGateCache: cfg.DisableGateCache,
 			}))
 		},
 	}
