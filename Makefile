@@ -9,7 +9,7 @@ RACE_PKGS = ./internal/core/... ./internal/portfolio/... ./internal/dd/... ./int
 
 FUZZTIME ?= 20s
 
-.PHONY: all build test race vet fmt fuzz-smoke bench ci
+.PHONY: all build test race vet fmt fuzz-smoke bench benchcmp ci
 
 all: build
 
@@ -32,13 +32,24 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Gate-DD cache benchmark over the seed circuits: writes BENCH_sim.json
-# comparing cached vs uncached gate-application rates with verdict parity.
-# -min-speedup makes the run fail below the advertised speedup; CI runs it
-# non-blocking and archives the artifact instead.
+# Simulation benchmark over the seed circuits: writes BENCH_sim.json
+# comparing the apply kernel, the cached legacy path and the uncached legacy
+# path (gate-application rates plus verdict parity).  -r 32 amortizes the
+# per-check setup cost that otherwise dominates the sub-millisecond seed
+# circuits.  The -min-* gates make the run fail below the advertised
+# speedups; CI runs it non-blocking and archives the artifact instead.
+BENCH_R ?= 32
 BENCH_MIN_SPEEDUP ?= 1.5
+BENCH_MIN_KERNEL_SPEEDUP ?= 1.5
 bench:
-	$(GO) run ./cmd/qbench -out BENCH_sim.json -min-speedup $(BENCH_MIN_SPEEDUP)
+	$(GO) run ./cmd/qbench -out BENCH_sim.json -r $(BENCH_R) \
+		-min-speedup $(BENCH_MIN_SPEEDUP) -min-kernel-speedup $(BENCH_MIN_KERNEL_SPEEDUP)
+
+# Fresh benchmark run diffed against the committed BENCH_sim.json, without
+# overwriting it: per-pair and geomean gate-apps/s deltas.  The gates are
+# disabled here — benchcmp reports drift, it does not enforce a floor.
+benchcmp:
+	$(GO) run ./cmd/qbench -out /tmp/qbench-head.json -r $(BENCH_R) -compare BENCH_sim.json
 
 # Short fuzzing bursts over the parsers; -fuzz takes one target per
 # invocation, so each fuzzer gets its own run.

@@ -1,21 +1,27 @@
-// Command qbench measures the gate-DD cache on the seed benchmark circuits:
-// every circuit pair is simulated with the cache enabled and disabled, and
-// the resulting gate-application rates, hit rates, and verdict parity are
-// written to a JSON artifact (BENCH_sim.json) so the speedup is recorded,
+// Command qbench measures the simulation hot path on the seed benchmark
+// circuits: every circuit pair is simulated in three configurations — the
+// direct apply kernel (the default path), the legacy GateDD+MulMV path with
+// the gate-DD cache, and the legacy path with the cache disabled — and the
+// resulting gate-application rates, hit rates, and verdict parity are
+// written to a JSON artifact (BENCH_sim.json) so the speedups are recorded,
 // not asserted.
 //
 // Usage:
 //
-//	qbench [-out BENCH_sim.json] [-circuits circuits] [-r 10] [-reps 3]
+//	qbench [-out BENCH_sim.json] [-circuits circuits] [-r 32] [-reps 7]
 //
 // Two variants are measured per circuit: an equivalent pair (the circuit
 // against its clone — the paper's hot loop, r stimuli of agreeing
 // simulations) and an error-injected pair (internal/errinject), which the
 // simulation stage refutes almost immediately.  The headline geometric-mean
-// speedup is computed over the equivalent pairs, where the repeated gate
-// structure the cache memoizes actually recurs; the error-injected pairs
+// speedups are computed over the equivalent pairs, where the repeated gate
+// structure the caches memoize actually recurs; the error-injected pairs
 // exist to demonstrate verdict parity, and their speedups are reported but
 // not aggregated.
+//
+// With -compare, a previously committed artifact is read before the run and
+// the per-pair and geomean gate-application-rate deltas against it are
+// printed (the benchcmp workflow).
 package main
 
 import (
@@ -25,6 +31,9 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -55,34 +64,42 @@ func loadCircuit(path string) (*circuit.Circuit, error) {
 	}
 }
 
-// measurement is one timed configuration (cached or uncached).
+// measurement is one timed configuration (kernel, cached, or uncached).
 type measurement struct {
 	Seconds        float64 `json:"seconds"`
 	NumSims        int     `json:"num_sims"`
 	GateApps       int     `json:"gate_apps"`
 	GateAppsPerSec float64 `json:"gate_apps_per_sec"`
 	GateHitRate    float64 `json:"gate_hit_rate"`
+	ApplyHitRate   float64 `json:"apply_hit_rate,omitempty"`
 	Verdict        string  `json:"verdict"`
 	Counterexample *uint64 `json:"counterexample,omitempty"`
 }
 
-// result is one benchmark variant: a named pair measured both ways.
+// result is one benchmark variant: a named pair measured in all three
+// configurations.  Speedup is the historic gate-cache ratio (cached over
+// uncached, both on the legacy path); KernelSpeedup is the apply kernel over
+// the best legacy configuration (cached).
 type result struct {
 	Name          string      `json:"name"`
 	Qubits        int         `json:"qubits"`
 	Gates         int         `json:"gates"`
 	Equivalent    bool        `json:"equivalent_pair"`
 	Injection     string      `json:"injection,omitempty"`
+	Kernel        measurement `json:"kernel"`
 	Cached        measurement `json:"cached"`
 	Uncached      measurement `json:"uncached"`
 	Speedup       float64     `json:"speedup"`
+	KernelSpeedup float64     `json:"kernel_speedup"`
 	VerdictsMatch bool        `json:"verdicts_match"`
 }
 
 type summary struct {
-	GeomeanSpeedupEquiv float64 `json:"geomean_speedup_equiv"`
-	MinSpeedupEquiv     float64 `json:"min_speedup_equiv"`
-	AllVerdictsMatch    bool    `json:"all_verdicts_match"`
+	GeomeanSpeedupEquiv       float64 `json:"geomean_speedup_equiv"`
+	MinSpeedupEquiv           float64 `json:"min_speedup_equiv"`
+	GeomeanKernelSpeedupEquiv float64 `json:"geomean_kernel_speedup_equiv"`
+	MinKernelSpeedupEquiv     float64 `json:"min_kernel_speedup_equiv"`
+	AllVerdictsMatch          bool    `json:"all_verdicts_match"`
 }
 
 type artifact struct {
@@ -94,42 +111,96 @@ type artifact struct {
 	Summary   summary  `json:"summary"`
 }
 
-// measure runs the simulation stage reps times in the given cache
-// configuration and keeps the fastest repetition (wall-clock noise only ever
-// slows a run down).  Gate applications count both circuits' gates once per
-// completed simulation.
-func measure(g1, g2 *circuit.Circuit, r int, seed int64, reps int, disableCache bool) measurement {
-	var best measurement
-	for rep := 0; rep < reps; rep++ {
-		repRes := core.Check(g1, g2, core.Options{
-			R:                r,
-			Seed:             seed,
-			SkipEC:           true,
-			DisableGateCache: disableCache,
-		})
-		apps := repRes.NumSims * (g1.NumGates() + g2.NumGates())
-		m := measurement{
-			Seconds:     repRes.SimTime.Seconds(),
-			NumSims:     repRes.NumSims,
-			GateApps:    apps,
-			GateHitRate: repRes.DD.GateHitRate(),
-			Verdict:     repRes.Verdict.String(),
+// simConfig selects one of the three measured configurations.
+type simConfig struct {
+	disableCache  bool
+	disableKernel bool
+}
+
+// Batching bounds: each timed repetition accumulates checks until every
+// configuration's summed simulation time reaches minBatchTime (or
+// maxBatchIters runs, whichever comes first).  The seed circuits simulate in
+// well under a millisecond, far below scheduler-noise resolution; only
+// aggregated batches produce rates that are stable from run to run.
+const (
+	minBatchTime  = 50 * time.Millisecond
+	maxBatchIters = 1000
+)
+
+// measureConfigs is the fixed measurement order: the kernel path, the legacy
+// path with the gate-DD cache (its default), and the legacy path without it.
+var measureConfigs = [3]simConfig{
+	{},
+	{disableKernel: true},
+	{disableKernel: true, disableCache: true},
+}
+
+// measureAll runs the simulation stage in all three configurations,
+// interleaved check by check so machine noise (frequency scaling, scheduler
+// pressure) lands on every configuration equally rather than biasing
+// whichever happened to run during a slow stretch.  It runs reps timed
+// repetitions after one untimed warm-up and keeps each configuration's
+// fastest repetition (noise only ever slows a run down).  Gate applications
+// count both circuits' gates once per completed simulation; the reported
+// rate is the batch aggregate.
+func measureAll(g1, g2 *circuit.Circuit, r int, seed int64, reps int) [3]measurement {
+	var best [3]measurement
+	for rep := -1; rep < reps; rep++ {
+		var batch [3]measurement
+		for iter := 0; iter < maxBatchIters; iter++ {
+			done := true
+			for c, cfg := range measureConfigs {
+				repRes := core.Check(g1, g2, core.Options{
+					R:                  r,
+					Seed:               seed,
+					SkipEC:             true,
+					DisableGateCache:   cfg.disableCache,
+					DisableApplyKernel: cfg.disableKernel,
+				})
+				m := &batch[c]
+				m.Seconds += repRes.SimTime.Seconds()
+				m.NumSims = repRes.NumSims
+				m.GateApps += repRes.NumSims * (g1.NumGates() + g2.NumGates())
+				m.GateHitRate = repRes.DD.GateHitRate()
+				m.ApplyHitRate = repRes.DD.ApplyHitRate()
+				var ce *uint64
+				if repRes.Counterexample != nil {
+					v := repRes.Counterexample.Input
+					ce = &v
+				}
+				if iter == 0 {
+					m.Verdict = repRes.Verdict.String()
+					m.Counterexample = ce
+				} else if m.Verdict != repRes.Verdict.String() || !ceEqual(m.Counterexample, ce) {
+					// Verdicts are deterministic for a fixed seed; fail
+					// loudly if a run ever disagrees.
+					fmt.Fprintf(os.Stderr, "qbench: verdict changed across runs (%s vs %s)\n",
+						m.Verdict, repRes.Verdict)
+					os.Exit(1)
+				}
+				if m.Seconds < minBatchTime.Seconds() {
+					done = false
+				}
+			}
+			if rep < 0 || done {
+				break
+			}
 		}
-		if repRes.Counterexample != nil {
-			ce := repRes.Counterexample.Input
-			m.Counterexample = &ce
+		if rep < 0 {
+			continue
 		}
-		if m.Seconds > 0 {
-			m.GateAppsPerSec = float64(apps) / m.Seconds
-		}
-		if rep == 0 || m.Seconds < best.Seconds {
-			verdict, ce := best.Verdict, best.Counterexample
-			best = m
-			// Verdicts are deterministic across repetitions; keep the first
-			// and fail loudly if a repetition ever disagrees.
-			if rep > 0 && (verdict != m.Verdict || !ceEqual(ce, m.Counterexample)) {
-				fmt.Fprintf(os.Stderr, "qbench: verdict changed across repetitions (%s vs %s)\n", verdict, m.Verdict)
-				os.Exit(1)
+		for c := range batch {
+			m := &batch[c]
+			if m.Seconds > 0 {
+				m.GateAppsPerSec = float64(m.GateApps) / m.Seconds
+			}
+			if rep == 0 || m.GateAppsPerSec > best[c].GateAppsPerSec {
+				if rep > 0 && (best[c].Verdict != m.Verdict || !ceEqual(best[c].Counterexample, m.Counterexample)) {
+					fmt.Fprintf(os.Stderr, "qbench: verdict changed across repetitions (%s vs %s)\n",
+						best[c].Verdict, m.Verdict)
+					os.Exit(1)
+				}
+				best[c] = *m
 			}
 		}
 	}
@@ -143,21 +214,120 @@ func ceEqual(a, b *uint64) bool {
 	return a == nil || *a == *b
 }
 
+// baselineRate extracts the comparison reference rate from a prior artifact's
+// result: the kernel rate when the artifact has one, else the cached rate
+// (artifacts written before the kernel existed).
+func baselineRate(r result) float64 {
+	if r.Kernel.GateAppsPerSec > 0 {
+		return r.Kernel.GateAppsPerSec
+	}
+	return r.Cached.GateAppsPerSec
+}
+
+// compareBaseline prints per-pair and geomean kernel gate-application-rate
+// deltas of the fresh artifact against a committed baseline.  Pairs present
+// on only one side are reported and skipped from the geomean.
+func compareBaseline(art artifact, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base artifact
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	baseRates := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		baseRates[r.Name] = baselineRate(r)
+	}
+	fmt.Printf("comparison against %s (generated %s):\n", path, base.Generated)
+	logSum, logCount := 0.0, 0
+	for _, r := range art.Results {
+		old, ok := baseRates[r.Name]
+		if !ok || old <= 0 {
+			fmt.Printf("  %-22s %8.0f apps/s  (no baseline)\n", r.Name, r.Kernel.GateAppsPerSec)
+			continue
+		}
+		ratio := r.Kernel.GateAppsPerSec / old
+		fmt.Printf("  %-22s %8.0f apps/s  vs %8.0f  %+6.1f%%\n",
+			r.Name, r.Kernel.GateAppsPerSec, old, 100*(ratio-1))
+		if ratio > 0 {
+			logSum += math.Log(ratio)
+			logCount++
+		}
+	}
+	if logCount == 0 {
+		fmt.Println("  no comparable pairs")
+		return nil
+	}
+	geo := math.Exp(logSum / float64(logCount))
+	fmt.Printf("  geomean gate-apps/s delta: %+.1f%% (%d pairs)\n", 100*(geo-1), logCount)
+	return nil
+}
+
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body, returning the exit code instead of calling os.Exit so
+// the profiling defers always flush.
+func run() int {
 	var (
-		out      = flag.String("out", "BENCH_sim.json", "output artifact path")
-		circDir  = flag.String("circuits", "circuits", "directory with seed benchmark circuits (.qasm/.real)")
-		r        = flag.Int("r", core.DefaultR, "random simulations per pair")
-		seed     = flag.Int64("seed", 1, "stimulus and error-injection seed")
-		reps     = flag.Int("reps", 3, "timed repetitions per configuration (fastest kept)")
-		minSpeed = flag.Float64("min-speedup", 0, "fail unless the equiv-pair geomean speedup reaches this (0 = record only)")
+		out        = flag.String("out", "BENCH_sim.json", "output artifact path")
+		circDir    = flag.String("circuits", "circuits", "directory with seed benchmark circuits (.qasm/.real)")
+		r          = flag.Int("r", core.DefaultR, "random simulations per pair")
+		seed       = flag.Int64("seed", 1, "stimulus and error-injection seed")
+		reps       = flag.Int("reps", 7, "timed repetitions per configuration (fastest kept)")
+		minSpeed   = flag.Float64("min-speedup", 0, "fail unless the equiv-pair geomean gate-cache speedup reaches this (0 = record only)")
+		minKernel  = flag.Float64("min-kernel-speedup", 0, "fail unless the equiv-pair geomean kernel speedup over the cached legacy path reaches this (0 = record only)")
+		comparePth = flag.String("compare", "", "read a committed artifact and print per-pair and geomean gate-apps/s deltas against it")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Every Check builds a fresh DD package (unique tables, compute tables,
+	// weight table), so the measurement loop allocates heavily and the default
+	// GC target fires collections mid-batch, at different moments for each
+	// configuration.  A higher target keeps collections out of most batches;
+	// it applies to all three configurations equally.
+	debug.SetGCPercent(400)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "qbench:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "qbench:", err)
+			}
+		}()
+	}
 
 	entries, err := os.ReadDir(*circDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	var files []string
 	for _, e := range entries {
@@ -168,7 +338,7 @@ func main() {
 	sort.Strings(files)
 	if len(files) == 0 {
 		fmt.Fprintf(os.Stderr, "qbench: no circuits in %s\n", *circDir)
-		os.Exit(1)
+		return 1
 	}
 
 	art := artifact{
@@ -177,14 +347,14 @@ func main() {
 		Seed:      *seed,
 		Reps:      *reps,
 	}
-	logSum, logCount := 0.0, 0
-	minEquiv := math.Inf(1)
+	cacheLogSum, kernelLogSum, logCount := 0.0, 0.0, 0
+	minEquiv, minKernelEquiv := math.Inf(1), math.Inf(1)
 	allMatch := true
 	for _, name := range files {
 		g, err := loadCircuit(filepath.Join(*circDir, name))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		type variant struct {
 			name      string
@@ -199,64 +369,90 @@ func main() {
 			})
 		}
 		for _, v := range variants {
+			ms := measureAll(g, v.gp, *r, *seed, *reps)
 			res := result{
 				Name:       v.name,
 				Qubits:     g.N,
 				Gates:      g.NumGates(),
 				Equivalent: v.equiv,
 				Injection:  v.injection,
-				Cached:     measure(g, v.gp, *r, *seed, *reps, false),
-				Uncached:   measure(g, v.gp, *r, *seed, *reps, true),
+				Kernel:     ms[0],
+				Cached:     ms[1],
+				Uncached:   ms[2],
 			}
-			res.VerdictsMatch = res.Cached.Verdict == res.Uncached.Verdict &&
+			res.VerdictsMatch = res.Kernel.Verdict == res.Cached.Verdict &&
+				res.Cached.Verdict == res.Uncached.Verdict &&
+				ceEqual(res.Kernel.Counterexample, res.Cached.Counterexample) &&
 				ceEqual(res.Cached.Counterexample, res.Uncached.Counterexample)
 			if res.Uncached.GateAppsPerSec > 0 {
 				res.Speedup = res.Cached.GateAppsPerSec / res.Uncached.GateAppsPerSec
 			}
+			if res.Cached.GateAppsPerSec > 0 {
+				res.KernelSpeedup = res.Kernel.GateAppsPerSec / res.Cached.GateAppsPerSec
+			}
 			if !res.VerdictsMatch {
 				allMatch = false
 			}
-			if v.equiv && res.Speedup > 0 {
-				logSum += math.Log(res.Speedup)
+			if v.equiv && res.Speedup > 0 && res.KernelSpeedup > 0 {
+				cacheLogSum += math.Log(res.Speedup)
+				kernelLogSum += math.Log(res.KernelSpeedup)
 				logCount++
 				minEquiv = math.Min(minEquiv, res.Speedup)
+				minKernelEquiv = math.Min(minKernelEquiv, res.KernelSpeedup)
 			}
 			art.Results = append(art.Results, res)
-			fmt.Printf("%-22s %8.0f apps/s cached  %8.0f apps/s uncached  %5.2fx  hit %5.1f%%  parity %v\n",
-				v.name, res.Cached.GateAppsPerSec, res.Uncached.GateAppsPerSec,
-				res.Speedup, 100*res.Cached.GateHitRate, res.VerdictsMatch)
+			fmt.Printf("%-22s %8.0f apps/s kernel  %8.0f cached  %8.0f uncached  kernel %5.2fx  cache %5.2fx  parity %v\n",
+				v.name, res.Kernel.GateAppsPerSec, res.Cached.GateAppsPerSec, res.Uncached.GateAppsPerSec,
+				res.KernelSpeedup, res.Speedup, res.VerdictsMatch)
 		}
 	}
 	if logCount > 0 {
-		art.Summary.GeomeanSpeedupEquiv = math.Exp(logSum / float64(logCount))
+		art.Summary.GeomeanSpeedupEquiv = math.Exp(cacheLogSum / float64(logCount))
 		art.Summary.MinSpeedupEquiv = minEquiv
+		art.Summary.GeomeanKernelSpeedupEquiv = math.Exp(kernelLogSum / float64(logCount))
+		art.Summary.MinKernelSpeedupEquiv = minKernelEquiv
 	}
 	art.Summary.AllVerdictsMatch = allMatch
+
+	// Compare against the committed baseline before overwriting it: -out and
+	// -compare may name the same file.
+	if *comparePth != "" {
+		if err := compareBaseline(art, *comparePth); err != nil {
+			fmt.Fprintln(os.Stderr, "qbench:", err)
+			return 1
+		}
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(art); err != nil {
 		fmt.Fprintln(os.Stderr, "qbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "qbench:", err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("geomean speedup (equivalent pairs): %.2fx, verdict parity: %v -> %s\n",
-		art.Summary.GeomeanSpeedupEquiv, allMatch, *out)
+	fmt.Printf("geomean speedups (equivalent pairs): kernel %.2fx over cached legacy, cache %.2fx over uncached, verdict parity: %v -> %s\n",
+		art.Summary.GeomeanKernelSpeedupEquiv, art.Summary.GeomeanSpeedupEquiv, allMatch, *out)
 	if !allMatch {
-		fmt.Fprintln(os.Stderr, "qbench: cached and uncached verdicts diverged")
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "qbench: verdicts diverged across configurations")
+		return 1
 	}
 	if *minSpeed > 0 && art.Summary.GeomeanSpeedupEquiv < *minSpeed {
-		fmt.Fprintf(os.Stderr, "qbench: geomean speedup %.2fx below required %.2fx\n",
+		fmt.Fprintf(os.Stderr, "qbench: geomean cache speedup %.2fx below required %.2fx\n",
 			art.Summary.GeomeanSpeedupEquiv, *minSpeed)
-		os.Exit(1)
+		return 1
 	}
+	if *minKernel > 0 && art.Summary.GeomeanKernelSpeedupEquiv < *minKernel {
+		fmt.Fprintf(os.Stderr, "qbench: geomean kernel speedup %.2fx below required %.2fx\n",
+			art.Summary.GeomeanKernelSpeedupEquiv, *minKernel)
+		return 1
+	}
+	return 0
 }

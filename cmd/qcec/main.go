@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -66,6 +68,12 @@ func parseStrategy(s string) (ec.Strategy, error) {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body, returning the exit code instead of calling os.Exit so
+// the profiling defers always flush.
+func run() int {
 	var (
 		r         = flag.Int("r", core.DefaultR, "number of random basis-state simulations before complete checking")
 		seed      = flag.Int64("seed", 0, "stimulus selection seed")
@@ -84,27 +92,60 @@ func main() {
 		nodeLimit = flag.Int("node-limit", 0, "DD node budget per complete prover (0 = none)")
 		stats     = flag.Bool("stats", false, "print DD-package statistics (gate-cache/compute-table hit rates, unique-table activity, GC reclaims); with -json they are embedded in the report")
 		noCache   = flag.Bool("no-gate-cache", false, "disable the gate-DD cache (benchmark baseline; verdicts are identical)")
+		noKernel  = flag.Bool("no-apply-kernel", false, "use the legacy GateDD+MulMV path for simulation gate application (benchmark baseline; verdicts are identical)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: qcec [flags] <circuit1> <circuit2>")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return 2
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qcec:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "qcec:", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qcec:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "qcec:", err)
+			}
+		}()
 	}
 	strat, err := parseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qcec:", err)
-		os.Exit(2)
+		return 2
 	}
 	g1, err := loadCircuit(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qcec:", err)
-		os.Exit(2)
+		return 2
 	}
 	g2, err := loadCircuit(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qcec:", err)
-		os.Exit(2)
+		return 2
 	}
 	if *verbose {
 		fmt.Printf("G : %s — %d qubits, %d gates\n", flag.Arg(0), g1.N, g1.NumGates())
@@ -112,7 +153,7 @@ func main() {
 	}
 
 	if *portf {
-		runPortfolio(g1, g2, portfolioConfig{
+		return runPortfolio(g1, g2, portfolioConfig{
 			names:     strings.Split(*provers, ","),
 			r:         *r,
 			seed:      *seed,
@@ -124,26 +165,27 @@ func main() {
 			jsonOut:   *jsonOut,
 			stats:     *stats,
 			noCache:   *noCache,
+			noKernel:  *noKernel,
 		})
-		return
 	}
 
 	rep := core.Check(g1, g2, core.Options{
-		R:                 *r,
-		Seed:              *seed,
-		SkipEC:            *simOnly,
-		Strategy:          strat,
-		ECTimeout:         *timeout,
-		UpToGlobalPhase:   *phase,
-		Parallel:          *parallel,
-		RewritePrefilter:  *rewrite,
-		ZXPrefilter:       *zxFlag,
-		FidelityThreshold: *fidThresh,
-		DisableGateCache:  *noCache,
+		R:                  *r,
+		Seed:               *seed,
+		SkipEC:             *simOnly,
+		Strategy:           strat,
+		ECTimeout:          *timeout,
+		UpToGlobalPhase:    *phase,
+		Parallel:           *parallel,
+		RewritePrefilter:   *rewrite,
+		ZXPrefilter:        *zxFlag,
+		FidelityThreshold:  *fidThresh,
+		DisableGateCache:   *noCache,
+		DisableApplyKernel: *noKernel,
 	})
 	if rep.Err != nil {
 		fmt.Fprintln(os.Stderr, "qcec:", rep.Err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *jsonOut {
@@ -153,10 +195,11 @@ func main() {
 	}
 	switch rep.Verdict {
 	case core.NotEquivalent:
-		os.Exit(1)
+		return 1
 	case core.ProbablyEquivalent:
-		os.Exit(3)
+		return 3
 	}
+	return 0
 }
 
 type portfolioConfig struct {
@@ -171,23 +214,25 @@ type portfolioConfig struct {
 	jsonOut   bool
 	stats     bool
 	noCache   bool
+	noKernel  bool
 }
 
 // runPortfolio races the selected provers and prints the winning verdict
 // plus a per-prover outcome table; exit codes match the sequential flow.
-func runPortfolio(g1, g2 *circuit.Circuit, cfg portfolioConfig) {
+func runPortfolio(g1, g2 *circuit.Circuit, cfg portfolioConfig) int {
 	ps, err := portfolio.FromNames(cfg.names, portfolio.Config{
-		R:                cfg.r,
-		Seed:             cfg.seed,
-		SimParallel:      cfg.parallel,
-		Strategy:         cfg.strategy,
-		ECNodeLimit:      cfg.nodeLimit,
-		UpToGlobalPhase:  cfg.phase,
-		DisableGateCache: cfg.noCache,
+		R:                  cfg.r,
+		Seed:               cfg.seed,
+		SimParallel:        cfg.parallel,
+		Strategy:           cfg.strategy,
+		ECNodeLimit:        cfg.nodeLimit,
+		UpToGlobalPhase:    cfg.phase,
+		DisableGateCache:   cfg.noCache,
+		DisableApplyKernel: cfg.noKernel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qcec:", err)
-		os.Exit(2)
+		return 2
 	}
 	res := portfolio.Run(context.Background(), g1, g2, ps, portfolio.Options{Timeout: cfg.timeout})
 
@@ -198,10 +243,11 @@ func runPortfolio(g1, g2 *circuit.Circuit, cfg portfolioConfig) {
 	}
 	switch res.Verdict {
 	case portfolio.NotEquivalent:
-		os.Exit(1)
+		return 1
 	case portfolio.Inconclusive:
-		os.Exit(3)
+		return 3
 	}
+	return 0
 }
 
 // printDDStats renders one DD-package statistics block, indented under the
@@ -212,6 +258,10 @@ func printDDStats(label string, s dd.Stats) {
 		s.GateHits, s.GateMisses, 100*s.GateHitRate(), s.GateCacheSize, s.GateFlushes)
 	fmt.Printf("  compute table: %d hits / %d misses (%.1f%% hit rate)\n",
 		s.CacheHits, s.CacheMisses, 100*s.ComputeHitRate())
+	if s.ApplyCalls > 0 {
+		fmt.Printf("  apply kernel:  %d direct applies (%d diagonal, %d permutation, %d generic), %.1f%% table hit rate\n",
+			s.ApplyCalls, s.ApplyDiag, s.ApplyPerm, s.ApplyGeneric, 100*s.ApplyHitRate())
+	}
 	fmt.Printf("  unique table:  %d lookups, %.1f%% answered by interned nodes (%d v-nodes, %d m-nodes live)\n",
 		s.UniqueLookups, 100*s.UniqueHitRate(), s.VectorNodes, s.MatrixNodes)
 	fmt.Printf("  weights:       %d interned, %d lookups\n", s.WeightsStored, s.WeightLookups)
@@ -297,6 +347,13 @@ type ddReport struct {
 	ComputeHits    uint64  `json:"compute_hits"`
 	ComputeMisses  uint64  `json:"compute_misses"`
 	ComputeHitRate float64 `json:"compute_hit_rate"`
+	ApplyCalls     uint64  `json:"apply_calls"`
+	ApplyDiag      uint64  `json:"apply_diag"`
+	ApplyPerm      uint64  `json:"apply_perm"`
+	ApplyGeneric   uint64  `json:"apply_generic"`
+	ApplyHits      uint64  `json:"apply_hits"`
+	ApplyMisses    uint64  `json:"apply_misses"`
+	ApplyHitRate   float64 `json:"apply_hit_rate"`
 	UniqueLookups  uint64  `json:"unique_lookups"`
 	UniqueHits     uint64  `json:"unique_hits"`
 	VectorNodes    int     `json:"vector_nodes"`
@@ -311,6 +368,9 @@ func newDDReport(s dd.Stats) *ddReport {
 		GateHits: s.GateHits, GateMisses: s.GateMisses,
 		GateHitRate: s.GateHitRate(), GateCacheSize: s.GateCacheSize, GateFlushes: s.GateFlushes,
 		ComputeHits: s.CacheHits, ComputeMisses: s.CacheMisses, ComputeHitRate: s.ComputeHitRate(),
+		ApplyCalls: s.ApplyCalls, ApplyDiag: s.ApplyDiag, ApplyPerm: s.ApplyPerm,
+		ApplyGeneric: s.ApplyGeneric, ApplyHits: s.ApplyHits, ApplyMisses: s.ApplyMisses,
+		ApplyHitRate:  s.ApplyHitRate(),
 		UniqueLookups: s.UniqueLookups, UniqueHits: s.UniqueHits,
 		VectorNodes: s.VectorNodes, MatrixNodes: s.MatrixNodes, WeightsStored: s.WeightsStored,
 		GCRuns: s.GCRuns, GCReclaimed: s.GCReclaimed,

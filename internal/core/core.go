@@ -122,6 +122,12 @@ type Options struct {
 	// simulation stage (and, via ec.Options, in the complete routine).  Only
 	// the benchmark runner uses this; verdicts are identical either way.
 	DisableGateCache bool
+	// DisableApplyKernel switches the simulation stage's gate application
+	// from the direct kernel (dd.ApplyGateV) back to the legacy
+	// GateDD+MulMV reference path, and plumbs the same choice into
+	// ec.Options.  Only the benchmark runner and the parity tests use
+	// this; verdicts are identical either way.
+	DisableApplyKernel bool
 	// GCThreshold overrides the DD garbage-collection trigger of the
 	// simulation packages (0 = dd.DefaultGCThreshold).  Tests use a tiny
 	// threshold to force collections and exercise the gate cache's GC
@@ -299,14 +305,15 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Report {
 	}
 
 	res := ec.Check(g1, g2, ec.Options{
-		Strategy:         opts.Strategy,
-		Context:          opts.Context,
-		Timeout:          opts.ECTimeout,
-		NodeLimit:        opts.ECNodeLimit,
-		UpToGlobalPhase:  opts.UpToGlobalPhase,
-		OutputPerm:       opts.OutputPerm,
-		Tolerance:        opts.Tolerance,
-		DisableGateCache: opts.DisableGateCache,
+		Strategy:           opts.Strategy,
+		Context:            opts.Context,
+		Timeout:            opts.ECTimeout,
+		NodeLimit:          opts.ECNodeLimit,
+		UpToGlobalPhase:    opts.UpToGlobalPhase,
+		OutputPerm:         opts.OutputPerm,
+		Tolerance:          opts.Tolerance,
+		DisableGateCache:   opts.DisableGateCache,
+		DisableApplyKernel: opts.DisableApplyKernel,
 	})
 	report.EC = &res
 	switch res.Verdict {

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"qcec/internal/circuit"
+	"qcec/internal/qasm"
+)
+
+// loadBenchCircuit is loadSeedCircuit for benchmarks (no *testing.T).
+func loadBenchCircuit(b *testing.B, name string) *circuit.Circuit {
+	b.Helper()
+	prog, err := qasm.ParseFile(filepath.Join("..", "..", "circuits", name))
+	if err != nil {
+		b.Fatalf("parse %s: %v", name, err)
+	}
+	return prog.Circuit
+}
+
+func benchSim(b *testing.B, disableKernel bool) {
+	g := loadBenchCircuit(b, "grover4_cx.qasm")
+	gp := g.Clone()
+	opts := Options{R: 10, Seed: 1, SkipEC: true, DisableApplyKernel: disableKernel}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := Check(g, gp, opts)
+		if rep.Verdict != ProbablyEquivalent && rep.Verdict != Equivalent {
+			b.Fatalf("unexpected verdict %s", rep.Verdict)
+		}
+	}
+}
+
+// BenchmarkSimKernel measures the simulation stage on the direct
+// apply-kernel path (the default).
+func BenchmarkSimKernel(b *testing.B) { benchSim(b, false) }
+
+// BenchmarkSimLegacy measures the same workload on the legacy
+// GateDD+MulMV path.
+func BenchmarkSimLegacy(b *testing.B) { benchSim(b, true) }

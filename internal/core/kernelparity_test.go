@@ -1,0 +1,72 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"qcec/internal/circuit"
+	"qcec/internal/errinject"
+)
+
+// TestApplyKernelParity checks that the apply kernel is invisible to
+// end-to-end results: on every seed circuit, both for an equivalent pair and
+// an error-injected one, the kernel run, the legacy GateDD+MulMV run, and a
+// kernel run under constant garbage-collection pressure (which forces the
+// gate-id map resets and prepared-gate re-registration) must produce
+// identical verdicts, simulation counts, and counterexamples.
+func TestApplyKernelParity(t *testing.T) {
+	const r = 6
+	for _, path := range seedCircuitFiles(t) {
+		g := loadSeedCircuit(t, path)
+		type pair struct {
+			name string
+			gp   *circuit.Circuit
+		}
+		pairs := []pair{{name: filepath.Base(path), gp: g.Clone()}}
+		if bad, inj, err := errinject.InjectAny(g, 1); err == nil {
+			pairs = append(pairs, pair{name: filepath.Base(path) + "+" + inj.String(), gp: bad})
+		}
+		for _, pr := range pairs {
+			pr := pr
+			t.Run(pr.name, func(t *testing.T) {
+				base := Options{R: r, Seed: 1, SkipEC: true}
+
+				ref := Check(g, pr.gp, base)
+
+				legacy := base
+				legacy.DisableApplyKernel = true
+
+				gcPressure := base
+				// Collect after nearly every node allocation so the apply
+				// compute tables are flushed and the gate-id map reset
+				// (bumping the epoch that re-registers prepared gates)
+				// mid-simulation many times over.
+				gcPressure.GCThreshold = 32
+
+				for _, alt := range []struct {
+					name string
+					opts Options
+				}{
+					{"legacy", legacy},
+					{"kernel-gc-pressure", gcPressure},
+				} {
+					got := Check(g, pr.gp, alt.opts)
+					if got.Verdict != ref.Verdict {
+						t.Errorf("%s: verdict %v, kernel run said %v", alt.name, got.Verdict, ref.Verdict)
+					}
+					if got.NumSims != ref.NumSims {
+						t.Errorf("%s: %d sims, kernel run used %d", alt.name, got.NumSims, ref.NumSims)
+					}
+					switch {
+					case (got.Counterexample == nil) != (ref.Counterexample == nil):
+						t.Errorf("%s: counterexample presence mismatch (%v vs %v)",
+							alt.name, got.Counterexample, ref.Counterexample)
+					case got.Counterexample != nil && got.Counterexample.Input != ref.Counterexample.Input:
+						t.Errorf("%s: counterexample |%b>, kernel run found |%b>",
+							alt.name, got.Counterexample.Input, ref.Counterexample.Input)
+					}
+				}
+			})
+		}
+	}
+}

@@ -47,6 +47,7 @@ func newSimRunner(n int, opts Options) *simRunner {
 		r.p.SetCancel(func() bool { return ctx.Err() != nil })
 	}
 	r.s = sim.NewOn(r.p)
+	r.s.Legacy = opts.DisableApplyKernel
 	if r.havePerm {
 		r.unperm = sim.PermutationDD(r.p, invertPerm(opts.OutputPerm))
 	}

@@ -125,6 +125,8 @@ func (p *Package) clearComputeTables() {
 	p.ip.clear()
 	p.ct.clear()
 	p.kr.clear()
+	p.ap.clear()
+	p.apb.clear()
 }
 
 // AddV returns the sum of two vector DDs.  Both operands must be rooted at

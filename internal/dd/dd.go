@@ -12,9 +12,10 @@
 //   - Edge weights are interned in a cn.Table, so numerically equal weights
 //     are identical pointers.
 //   - Nodes live in per-kind unique tables and are normalized with the
-//     largest-magnitude rule (ties broken towards the lowest edge index), so
-//     two DDs represent the same function if and only if their root edges
-//     compare equal as (node pointer, weight pointer) pairs.
+//     largest-magnitude rule (magnitudes tied within the weight tolerance
+//     break towards the lowest edge index), so two DDs represent the same
+//     function if and only if their root edges compare equal as
+//     (node pointer, weight pointer) pairs.
 //   - All non-zero paths visit a node at every level ("full chains"); only
 //     zero edges shortcut directly to the terminal.  This keeps every binary
 //     operation strictly level-synchronized.
@@ -134,6 +135,24 @@ type Package struct {
 	ip   ctab[ipEntry]
 	ct   ctab[ctEntry]
 	kr   ctab[krEntry]
+	ap   ctab[apEntry]
+	apb  ctab[apbEntry]
+
+	// apIDs assigns each distinct gate key a small id that keys the apply
+	// compute tables (see applyID).  The map survives garbage collections —
+	// ids stay valid because entries referencing them live in ap and apb,
+	// which GC clears — unless it outgrows gateCacheLimit, in which case GC resets
+	// it alongside the table and bumps apEpoch so prepared gates
+	// re-register their ids.
+	apIDs   map[gateKey]uint32
+	apEpoch uint64
+
+	applyCalls     uint64
+	applyDiag      uint64
+	applyPerm      uint64
+	applyGenericCt uint64
+	applyHits      uint64
+	applyMisses    uint64
 
 	// gcThreshold is the unique-table population that triggers a garbage
 	// collection in MaybeGC; it doubles after every collection that fails
@@ -310,6 +329,12 @@ type Stats struct {
 	GateHits      uint64 // gate-DD cache hits
 	GateMisses    uint64 // gate-DD cache misses (full bottom-up builds)
 	GateFlushes   uint64 // gate-DD cache flushes forced by oversized GCs
+	ApplyCalls    uint64 // direct kernel gate applications (ApplyGateV)
+	ApplyDiag     uint64 // of those, diagonal fast-path applications
+	ApplyPerm     uint64 // of those, permutation (cofactor-swap) applications
+	ApplyGeneric  uint64 // of those, dense 2x2 applications
+	ApplyHits     uint64 // apply compute-table hits
+	ApplyMisses   uint64 // apply compute-table misses
 }
 
 // Snapshot returns current package statistics.
@@ -332,6 +357,12 @@ func (p *Package) Snapshot() Stats {
 		GateHits:      p.gateHits,
 		GateMisses:    p.gateMisses,
 		GateFlushes:   p.gateFlushes,
+		ApplyCalls:    p.applyCalls,
+		ApplyDiag:     p.applyDiag,
+		ApplyPerm:     p.applyPerm,
+		ApplyGeneric:  p.applyGenericCt,
+		ApplyHits:     p.applyHits,
+		ApplyMisses:   p.applyMisses,
 	}
 }
 
@@ -356,6 +387,12 @@ func (s *Stats) Add(o Stats) {
 	s.GateHits += o.GateHits
 	s.GateMisses += o.GateMisses
 	s.GateFlushes += o.GateFlushes
+	s.ApplyCalls += o.ApplyCalls
+	s.ApplyDiag += o.ApplyDiag
+	s.ApplyPerm += o.ApplyPerm
+	s.ApplyGeneric += o.ApplyGeneric
+	s.ApplyHits += o.ApplyHits
+	s.ApplyMisses += o.ApplyMisses
 }
 
 // GateHitRate returns the fraction of GateDD calls answered by the gate
@@ -366,6 +403,16 @@ func (s Stats) GateHitRate() float64 {
 		return 0
 	}
 	return float64(s.GateHits) / float64(total)
+}
+
+// ApplyHitRate returns the fraction of apply compute-table probes answered
+// from the table (0 when the kernel was never used).
+func (s Stats) ApplyHitRate() float64 {
+	total := s.ApplyHits + s.ApplyMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ApplyHits) / float64(total)
 }
 
 // ComputeHitRate returns the fraction of compute-table probes that hit.
@@ -427,13 +474,17 @@ func (p *Package) MTerminal(c complex128) MEdge {
 
 // makeVNode builds the canonical, normalized node for the given successors
 // and returns it as an edge whose weight carries the normalization factor.
+// The largest-magnitude pick uses the weight tolerance as a tie band:
+// magnitudes that agree within it break towards the lowest index, so the
+// choice is stable when different computation orders of the same function
+// produce floating-point noise around an exact tie.
 func (p *Package) makeVNode(v int, e0, e1 VEdge) VEdge {
 	zero := p.CN.Zero
 	if e0.W == zero && e1.W == zero {
 		return p.VZero()
 	}
 	k := 0
-	if e1.W.Abs2() > e0.W.Abs2() {
+	if a0, a1 := e0.W.Abs2(), e1.W.Abs2(); a1-a0 > p.CN.Tolerance()*(a0+a1) {
 		k = 1
 	}
 	var top *cn.Value
@@ -463,7 +514,8 @@ func (p *Package) makeVNode(v int, e0, e1 VEdge) VEdge {
 	return VEdge{W: top, N: node}
 }
 
-// makeMNode is the matrix counterpart of makeVNode.
+// makeMNode is the matrix counterpart of makeVNode (including the
+// tolerance tie band on the largest-magnitude pick).
 func (p *Package) makeMNode(v int, e [4]MEdge) MEdge {
 	zero := p.CN.Zero
 	k := -1
@@ -472,7 +524,7 @@ func (p *Package) makeMNode(v int, e [4]MEdge) MEdge {
 		if e[i].W == zero {
 			continue
 		}
-		if a := e[i].W.Abs2(); k < 0 || a > max {
+		if a := e[i].W.Abs2(); k < 0 || a-max > p.CN.Tolerance()*(a+max) {
 			k, max = i, a
 		}
 	}

@@ -57,6 +57,16 @@ func (p *Package) GC(rootsV []VEdge, rootsM []MEdge) int {
 		}
 	}
 
+	// The apply-kernel id map carries no edges, so it needs no re-rooting;
+	// it is only reset when it outgrows the same bound as the gate cache.
+	// That is safe exactly here because clearComputeTables below wipes the
+	// apply table that interprets the ids; the epoch bump makes prepared
+	// gates re-register instead of reusing ids that may be reassigned.
+	if len(p.apIDs) > p.gateCacheLimit {
+		clear(p.apIDs)
+		p.apEpoch++
+	}
+
 	removed := 0
 	for k, n := range p.vUnique {
 		if !markedV[n] {

@@ -119,6 +119,13 @@ type Options struct {
 	// DisableGateCache turns off the DD package's gate-DD cache for this
 	// check (benchmark baseline runs only; verdicts are identical either way).
 	DisableGateCache bool
+	// DisableApplyKernel is plumbed alongside DisableGateCache so one knob
+	// configures a whole flow (core.Check and the portfolio forward it).
+	// The complete routine's own gate applications are matrix-matrix
+	// products, which the vector kernel does not cover, so the flag
+	// currently changes nothing here; it exists so callers need not know
+	// which stages a configuration reaches.
+	DisableApplyKernel bool
 }
 
 // StopCause identifies the resource bound that ended an inconclusive check.

@@ -19,6 +19,7 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 		"want_equivalent", "injection",
 		"ec_gate_hit_rate", "sim_gate_hit_rate",
 		"ec_compute_hit_rate", "sim_compute_hit_rate",
+		"sim_kernel_applies", "sim_kernel_hit_rate",
 		"gc_reclaimed",
 	}); err != nil {
 		return err
@@ -34,6 +35,8 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 			fmt.Sprintf("%.4f", r.SimDD.GateHitRate()),
 			fmt.Sprintf("%.4f", r.ECDD.ComputeHitRate()),
 			fmt.Sprintf("%.4f", r.SimDD.ComputeHitRate()),
+			fmt.Sprint(r.SimDD.ApplyCalls),
+			fmt.Sprintf("%.4f", r.SimDD.ApplyHitRate()),
 			fmt.Sprint(r.ECDD.GCReclaimed + r.SimDD.GCReclaimed),
 		}); err != nil {
 			return err

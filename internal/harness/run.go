@@ -118,11 +118,16 @@ func ddFooter(rows []Row) string {
 	var total dd.Stats
 	total.Add(ecDD)
 	total.Add(simDD)
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"DD telemetry: gate-cache hit rate %.1f%% (ec %.1f%%, sim %.1f%%); compute-table %.1f%%; unique-table %.1f%%; GC reclaimed %d nodes in %d runs",
 		100*total.GateHitRate(), 100*ecDD.GateHitRate(), 100*simDD.GateHitRate(),
 		100*total.ComputeHitRate(), 100*total.UniqueHitRate(),
 		total.GCReclaimed, total.GCRuns)
+	if total.ApplyCalls > 0 {
+		line += fmt.Sprintf("; apply kernel: %d direct applies, %.1f%% table hits",
+			total.ApplyCalls, 100*total.ApplyHitRate())
+	}
+	return line
 }
 
 // RunSuite measures every instance and sorts rows by simulation time

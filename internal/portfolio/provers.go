@@ -41,6 +41,9 @@ type Config struct {
 	// DisableGateCache turns off the gate-DD cache in every DD-building
 	// prover (benchmark baseline runs only).
 	DisableGateCache bool
+	// DisableApplyKernel switches the sim prover's gate application to the
+	// legacy GateDD+MulMV path (see core.Options.DisableApplyKernel).
+	DisableApplyKernel bool
 }
 
 // ProverNames lists the selectable standard provers in canonical order.
@@ -90,15 +93,16 @@ func SimProver(cfg Config) Prover {
 		Name: "sim",
 		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
 			rep := core.Check(g1, g2, core.Options{
-				Context:          ctx,
-				R:                cfg.R,
-				Seed:             cfg.Seed,
-				Parallel:         cfg.SimParallel,
-				SkipEC:           true,
-				UpToGlobalPhase:  cfg.UpToGlobalPhase,
-				OutputPerm:       cfg.OutputPerm,
-				Tolerance:        cfg.Tolerance,
-				DisableGateCache: cfg.DisableGateCache,
+				Context:            ctx,
+				R:                  cfg.R,
+				Seed:               cfg.Seed,
+				Parallel:           cfg.SimParallel,
+				SkipEC:             true,
+				UpToGlobalPhase:    cfg.UpToGlobalPhase,
+				OutputPerm:         cfg.OutputPerm,
+				Tolerance:          cfg.Tolerance,
+				DisableGateCache:   cfg.DisableGateCache,
+				DisableApplyKernel: cfg.DisableApplyKernel,
 			})
 			ddStats := rep.DD
 			out := Outcome{Detail: fmt.Sprintf("%d sims", rep.NumSims), DD: &ddStats}
@@ -175,14 +179,15 @@ func ecProver(name string, strategy ec.Strategy, cfg Config) Prover {
 		Name: name,
 		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
 			return ecOutcome(ec.Check(g1, g2, ec.Options{
-				Strategy:         strategy,
-				Context:          ctx,
-				Timeout:          cfg.ECTimeout,
-				NodeLimit:        cfg.ECNodeLimit,
-				UpToGlobalPhase:  cfg.UpToGlobalPhase,
-				OutputPerm:       cfg.OutputPerm,
-				Tolerance:        cfg.Tolerance,
-				DisableGateCache: cfg.DisableGateCache,
+				Strategy:           strategy,
+				Context:            ctx,
+				Timeout:            cfg.ECTimeout,
+				NodeLimit:          cfg.ECNodeLimit,
+				UpToGlobalPhase:    cfg.UpToGlobalPhase,
+				OutputPerm:         cfg.OutputPerm,
+				Tolerance:          cfg.Tolerance,
+				DisableGateCache:   cfg.DisableGateCache,
+				DisableApplyKernel: cfg.DisableApplyKernel,
 			}))
 		},
 	}

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"testing"
+
+	"qcec/internal/bench"
+)
+
+func BenchmarkKernelGrover(b *testing.B) {
+	c := bench.Grover(6, 0b101010)
+	s := New(c.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(c, uint64(i)&uint64(1<<uint(c.N)-1))
+	}
+}
+
+func BenchmarkLegacyGrover(b *testing.B) {
+	c := bench.Grover(6, 0b101010)
+	s := New(c.N)
+	s.Legacy = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(c, uint64(i)&uint64(1<<uint(c.N)-1))
+	}
+}

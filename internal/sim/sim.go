@@ -34,7 +34,11 @@ func ToDDControls(cs []circuit.Control) []dd.Control {
 func swapAsCXs(g circuit.Gate) [3]circuit.Gate {
 	a, b := g.Target, g.Target2
 	cx := func(ctl, tgt int) circuit.Gate {
-		controls := append([]circuit.Control{{Qubit: ctl}}, g.Controls...)
+		// Exactly sized and freshly backed: the factors must never alias
+		// (or grow into) the input gate's controls slice.
+		controls := make([]circuit.Control, 0, len(g.Controls)+1)
+		controls = append(controls, circuit.Control{Qubit: ctl})
+		controls = append(controls, g.Controls...)
 		return circuit.Gate{Kind: circuit.X, Target: tgt, Target2: -1, Controls: controls}
 	}
 	return [3]circuit.Gate{cx(a, b), cx(b, a), cx(a, b)}
@@ -53,11 +57,26 @@ func GateDD(p *dd.Package, g circuit.Gate) dd.MEdge {
 	return p.GateDD(g.Matrix(), g.Target, ToDDControls(g.Controls))
 }
 
-// ApplyGate applies a single gate to a state DD.
+// ApplyGate applies a single gate to a state DD through the direct
+// gate-application kernel (dd.ApplyGateV), which walks the state without
+// building the gate's matrix DD.  SWAPs expand into three CX factors.
 func ApplyGate(p *dd.Package, state dd.VEdge, g circuit.Gate) dd.VEdge {
 	if g.Kind == circuit.SWAP {
 		for _, cx := range swapAsCXs(g) {
 			state = ApplyGate(p, state, cx)
+		}
+		return state
+	}
+	return p.ApplyGateV(g.Matrix(), g.Target, ToDDControls(g.Controls), state)
+}
+
+// ApplyGateLegacy applies a single gate by building its full-register
+// matrix DD and running the generic matrix-vector product — the reference
+// path the kernel is checked against (see core.Options.DisableApplyKernel).
+func ApplyGateLegacy(p *dd.Package, state dd.VEdge, g circuit.Gate) dd.VEdge {
+	if g.Kind == circuit.SWAP {
+		for _, cx := range swapAsCXs(g) {
+			state = ApplyGateLegacy(p, state, cx)
 		}
 		return state
 	}
@@ -68,9 +87,54 @@ func ApplyGate(p *dd.Package, state dd.VEdge, g circuit.Gate) dd.VEdge {
 type Simulator struct {
 	P *dd.Package
 
+	// Legacy switches gate application from the direct kernel
+	// (dd.ApplyGateV) back to the full-matrix GateDD+MulMV reference path.
+	// Results are identical either way; only the cost differs.
+	Legacy bool
+
 	// GatesApplied counts the elementary gate applications performed, for
 	// the experiment reports.
 	GatesApplied int64
+
+	// prep caches each circuit's kernel-prepared program (one entry per
+	// circuit gate; SWAPs contribute their three CX factors) so the
+	// r-stimuli loop translates every gate exactly once.  Keyed by circuit
+	// pointer: callers must not mutate a circuit's gates between runs on
+	// the same simulator.
+	prep map[*circuit.Circuit][][]*dd.PreparedGate
+}
+
+// apply dispatches one gate application according to the Legacy switch.
+func (s *Simulator) apply(state dd.VEdge, g circuit.Gate) dd.VEdge {
+	if s.Legacy {
+		return ApplyGateLegacy(s.P, state, g)
+	}
+	return ApplyGate(s.P, state, g)
+}
+
+// prepared returns (building and caching on first use) the kernel-prepared
+// program of a circuit.
+func (s *Simulator) prepared(c *circuit.Circuit) [][]*dd.PreparedGate {
+	if pg, ok := s.prep[c]; ok {
+		return pg
+	}
+	prepare := func(g circuit.Gate) *dd.PreparedGate {
+		return s.P.PrepareGate(g.Matrix(), g.Target, ToDDControls(g.Controls))
+	}
+	pg := make([][]*dd.PreparedGate, len(c.Gates))
+	for i, g := range c.Gates {
+		if g.Kind == circuit.SWAP {
+			cxs := swapAsCXs(g)
+			pg[i] = []*dd.PreparedGate{prepare(cxs[0]), prepare(cxs[1]), prepare(cxs[2])}
+		} else {
+			pg[i] = []*dd.PreparedGate{prepare(g)}
+		}
+	}
+	if s.prep == nil {
+		s.prep = make(map[*circuit.Circuit][][]*dd.PreparedGate, 2)
+	}
+	s.prep[c] = pg
+	return pg
 }
 
 // New creates a simulator on a fresh default package for n qubits.
@@ -91,8 +155,18 @@ func (s *Simulator) Run(c *circuit.Circuit, input uint64) dd.VEdge {
 
 // RunFrom simulates the circuit starting from an arbitrary state DD.
 func (s *Simulator) RunFrom(c *circuit.Circuit, state dd.VEdge) dd.VEdge {
-	for _, g := range c.Gates {
-		state = ApplyGate(s.P, state, g)
+	if s.Legacy {
+		for _, g := range c.Gates {
+			state = ApplyGateLegacy(s.P, state, g)
+			s.GatesApplied++
+			s.P.MaybeGC([]dd.VEdge{state}, nil)
+		}
+		return state
+	}
+	for _, steps := range s.prepared(c) {
+		for _, pg := range steps {
+			state = s.P.ApplyPrepared(pg, state)
+		}
 		s.GatesApplied++
 		s.P.MaybeGC([]dd.VEdge{state}, nil)
 	}
@@ -104,8 +178,20 @@ func (s *Simulator) RunFrom(c *circuit.Circuit, state dd.VEdge) dd.VEdge {
 // circuits on one package).
 func (s *Simulator) RunFromWithPins(c *circuit.Circuit, state dd.VEdge, pins []dd.VEdge) dd.VEdge {
 	roots := make([]dd.VEdge, 0, len(pins)+1)
-	for _, g := range c.Gates {
-		state = ApplyGate(s.P, state, g)
+	if s.Legacy {
+		for _, g := range c.Gates {
+			state = ApplyGateLegacy(s.P, state, g)
+			s.GatesApplied++
+			roots = append(roots[:0], pins...)
+			roots = append(roots, state)
+			s.P.MaybeGC(roots, nil)
+		}
+		return state
+	}
+	for _, steps := range s.prepared(c) {
+		for _, pg := range steps {
+			state = s.P.ApplyPrepared(pg, state)
+		}
 		s.GatesApplied++
 		roots = append(roots[:0], pins...)
 		roots = append(roots, state)
@@ -186,7 +272,6 @@ func (s *Simulator) SampleCounts(c *circuit.Circuit, input uint64, shots int, rn
 // the chemistry-style workloads.  Z_q is diagonal, so the value is the
 // probability of qubit q being 0 minus the probability of it being 1.
 func (s *Simulator) ExpectationZ(state dd.VEdge, q int) float64 {
-	zMat := [2][2]complex128{{1, 0}, {0, -1}}
-	applied := s.P.MulMV(s.P.GateDD(zMat, q, nil), state)
-	return real(s.P.InnerProduct(state, applied))
+	zGate := circuit.Gate{Kind: circuit.Z, Target: q, Target2: -1}
+	return real(s.P.InnerProduct(state, s.apply(state, zGate)))
 }
