@@ -5,11 +5,11 @@ GO ?= go
 
 # Packages with real concurrency (goroutines + shared cancellation state):
 # these are the ones the race detector must cover.
-RACE_PKGS = ./internal/core/... ./internal/portfolio/... ./internal/dd/... ./internal/ec/...
+RACE_PKGS = ./internal/core/... ./internal/portfolio/... ./internal/dd/... ./internal/ec/... ./internal/resource/... ./internal/faultinject/...
 
 FUZZTIME ?= 20s
 
-.PHONY: all build test race vet fmt fuzz-smoke bench benchcmp ci
+.PHONY: all build test race vet fmt fuzz-smoke chaos bench benchcmp ci
 
 all: build
 
@@ -51,11 +51,19 @@ bench:
 benchcmp:
 	$(GO) run ./cmd/qbench -out /tmp/qbench-head.json -r $(BENCH_R) -compare BENCH_sim.json
 
-# Short fuzzing bursts over the parsers; -fuzz takes one target per
-# invocation, so each fuzzer gets its own run.
+# Short fuzzing bursts over the parsers and the decomposition pipeline;
+# -fuzz takes one target per invocation, so each fuzzer gets its own run.
 fuzz-smoke:
 	$(GO) test ./internal/qasm -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/qasm -run='^$$' -fuzz='^FuzzRoundTrip$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/revlib -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/decompose -run='^$$' -fuzz='^FuzzZYZ$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/decompose -run='^$$' -fuzz='^FuzzDecompose$$' -fuzztime=$(FUZZTIME)
+
+# The fault-injection chaos suite and the watchdog tests under the race
+# detector: every injected fault must degrade into a typed report, never a
+# crash or a flipped verdict.
+chaos:
+	$(GO) test -race -count=1 ./internal/faultinject/... ./internal/resource/...
 
 ci: build test vet fmt race

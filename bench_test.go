@@ -158,7 +158,10 @@ func BenchmarkFlowFig3(b *testing.B) {
 // detection-probability measurement for difference gates with c controls.
 func BenchmarkTheory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := harness.TheoryExperiment(8, int64(i))
+		rows, err := harness.TheoryExperiment(8, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range rows {
 			if r.Measured != r.Predicted {
 				b.Fatalf("c=%d: measured %g != predicted %g", r.Controls, r.Measured, r.Predicted)

@@ -30,6 +30,7 @@ import (
 	"qcec/internal/ec"
 	"qcec/internal/portfolio"
 	"qcec/internal/qasm"
+	"qcec/internal/resource"
 	"qcec/internal/revlib"
 )
 
@@ -93,6 +94,9 @@ func run() int {
 		stats     = flag.Bool("stats", false, "print DD-package statistics (gate-cache/compute-table hit rates, unique-table activity, GC reclaims); with -json they are embedded in the report")
 		noCache   = flag.Bool("no-gate-cache", false, "disable the gate-DD cache (benchmark baseline; verdicts are identical)")
 		noKernel  = flag.Bool("no-apply-kernel", false, "use the legacy GateDD+MulMV path for simulation gate application (benchmark baseline; verdicts are identical)")
+		memLimit  = flag.Int("mem-limit", 0, "hard heap budget in MiB; the check is cancelled cleanly when exceeded (0 = none)")
+		memSoft   = flag.Int("mem-soft-limit", 0, "soft heap budget in MiB: force DD collections and cache flushes above it (0 = 80% of -mem-limit)")
+		retry     = flag.Bool("retry-crashed", false, "with -portfolio: re-run a panicked prover once with a degraded configuration")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -137,6 +141,11 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "qcec:", err)
 		return 2
 	}
+	memHardBytes := uint64(*memLimit) << 20
+	memSoftBytes := uint64(*memSoft) << 20
+	if memSoftBytes == 0 && memHardBytes > 0 {
+		memSoftBytes = memHardBytes / 10 * 8
+	}
 	g1, err := loadCircuit(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qcec:", err)
@@ -166,6 +175,9 @@ func run() int {
 			stats:     *stats,
 			noCache:   *noCache,
 			noKernel:  *noKernel,
+			memSoft:   memSoftBytes,
+			memHard:   memHardBytes,
+			retry:     *retry,
 		})
 	}
 
@@ -182,6 +194,8 @@ func run() int {
 		FidelityThreshold:  *fidThresh,
 		DisableGateCache:   *noCache,
 		DisableApplyKernel: *noKernel,
+		MemSoftLimit:       memSoftBytes,
+		MemHardLimit:       memHardBytes,
 	})
 	if rep.Err != nil {
 		fmt.Fprintln(os.Stderr, "qcec:", rep.Err)
@@ -215,6 +229,9 @@ type portfolioConfig struct {
 	stats     bool
 	noCache   bool
 	noKernel  bool
+	memSoft   uint64
+	memHard   uint64
+	retry     bool
 }
 
 // runPortfolio races the selected provers and prints the winning verdict
@@ -234,7 +251,12 @@ func runPortfolio(g1, g2 *circuit.Circuit, cfg portfolioConfig) int {
 		fmt.Fprintln(os.Stderr, "qcec:", err)
 		return 2
 	}
-	res := portfolio.Run(context.Background(), g1, g2, ps, portfolio.Options{Timeout: cfg.timeout})
+	res := portfolio.Run(context.Background(), g1, g2, ps, portfolio.Options{
+		Timeout:      cfg.timeout,
+		RetryCrashed: cfg.retry,
+		MemSoftLimit: cfg.memSoft,
+		MemHardLimit: cfg.memHard,
+	})
 
 	if cfg.jsonOut {
 		printPortfolioJSON(g1.N, res, cfg.stats)
@@ -265,7 +287,39 @@ func printDDStats(label string, s dd.Stats) {
 	fmt.Printf("  unique table:  %d lookups, %.1f%% answered by interned nodes (%d v-nodes, %d m-nodes live)\n",
 		s.UniqueLookups, 100*s.UniqueHitRate(), s.VectorNodes, s.MatrixNodes)
 	fmt.Printf("  weights:       %d interned, %d lookups\n", s.WeightsStored, s.WeightLookups)
-	fmt.Printf("  gc:            %d runs, %d nodes reclaimed\n", s.GCRuns, s.GCReclaimed)
+	gcLine := fmt.Sprintf("  gc:            %d runs, %d nodes reclaimed", s.GCRuns, s.GCReclaimed)
+	if s.PressureGCs > 0 {
+		gcLine += fmt.Sprintf(", %d forced by memory pressure", s.PressureGCs)
+	}
+	fmt.Println(gcLine)
+}
+
+// printMemStats renders the memory watchdog's counters.
+func printMemStats(m *resource.Stats) {
+	if m == nil {
+		return
+	}
+	fmt.Printf("memory watchdog: %d samples, %d soft trips, %d hard trips, peak heap %.1f MiB, peak DD nodes %d\n",
+		m.Samples, m.SoftTrips, m.HardTrips, float64(m.PeakHeapBytes)/(1<<20), m.PeakDDNodes)
+}
+
+// memReport is the JSON shape of resource.Stats.
+type memReport struct {
+	Samples       uint64 `json:"samples"`
+	SoftTrips     uint64 `json:"soft_trips"`
+	HardTrips     uint64 `json:"hard_trips"`
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	PeakDDNodes   int64  `json:"peak_dd_nodes"`
+}
+
+func newMemReport(m *resource.Stats) *memReport {
+	if m == nil {
+		return nil
+	}
+	return &memReport{
+		Samples: m.Samples, SoftTrips: m.SoftTrips, HardTrips: m.HardTrips,
+		PeakHeapBytes: m.PeakHeapBytes, PeakDDNodes: m.PeakDDNodes,
+	}
 }
 
 func printPortfolioHuman(n int, res portfolio.Result, stats bool) {
@@ -283,8 +337,12 @@ func printPortfolioHuman(n int, res portfolio.Result, stats bool) {
 		if r.PeakNodes > 0 {
 			peak = fmt.Sprintf("%d", r.PeakNodes)
 		}
+		name := r.Name
+		if r.Retried {
+			name += "*" // degraded retry after a crash; see detail column
+		}
 		fmt.Printf("%-6s %-30s %-12s %9.4fs %10s  %s\n",
-			r.Name, r.Verdict, r.Stop, r.Runtime.Seconds(), peak, r.Detail)
+			name, r.Verdict, r.Stop, r.Runtime.Seconds(), peak, r.Detail)
 	}
 	fmt.Printf("total: %.4fs\n", res.Runtime.Seconds())
 	if stats {
@@ -293,6 +351,7 @@ func printPortfolioHuman(n int, res portfolio.Result, stats bool) {
 				printDDStats(r.Name, *r.DD)
 			}
 		}
+		printMemStats(res.Mem)
 	}
 }
 
@@ -304,15 +363,18 @@ func printPortfolioJSON(n int, res portfolio.Result, stats bool) {
 		Seconds   float64   `json:"seconds"`
 		PeakNodes int       `json:"peak_nodes,omitempty"`
 		Detail    string    `json:"detail,omitempty"`
+		Error     string    `json:"error,omitempty"`
+		Retried   bool      `json:"retried,omitempty"`
 		DD        *ddReport `json:"dd,omitempty"`
 	}
 	out := struct {
-		Verdict        string   `json:"verdict"`
-		Winner         string   `json:"winner,omitempty"`
-		Qubits         int      `json:"qubits"`
-		Counterexample *uint64  `json:"counterexample,omitempty"`
-		TotalSeconds   float64  `json:"total_seconds"`
-		Reports        []report `json:"provers"`
+		Verdict        string     `json:"verdict"`
+		Winner         string     `json:"winner,omitempty"`
+		Qubits         int        `json:"qubits"`
+		Counterexample *uint64    `json:"counterexample,omitempty"`
+		TotalSeconds   float64    `json:"total_seconds"`
+		Reports        []report   `json:"provers"`
+		Mem            *memReport `json:"mem,omitempty"`
 	}{
 		Verdict:        res.Verdict.String(),
 		Winner:         res.Winner,
@@ -324,11 +386,18 @@ func printPortfolioJSON(n int, res portfolio.Result, stats bool) {
 		rep := report{
 			Prover: r.Name, Verdict: r.Verdict.String(), Stopped: r.Stop.String(),
 			Seconds: r.Runtime.Seconds(), PeakNodes: r.PeakNodes, Detail: r.Detail,
+			Retried: r.Retried,
+		}
+		if r.Err != nil {
+			rep.Error = r.Err.Error()
 		}
 		if stats && r.DD != nil {
 			rep.DD = newDDReport(*r.DD)
 		}
 		out.Reports = append(out.Reports, rep)
+	}
+	if stats {
+		out.Mem = newMemReport(res.Mem)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -361,6 +430,8 @@ type ddReport struct {
 	WeightsStored  int     `json:"weights_stored"`
 	GCRuns         int     `json:"gc_runs"`
 	GCReclaimed    uint64  `json:"gc_reclaimed"`
+	PressureGCs    uint64  `json:"pressure_gcs,omitempty"`
+	FaultEvents    uint64  `json:"fault_events,omitempty"`
 }
 
 func newDDReport(s dd.Stats) *ddReport {
@@ -374,11 +445,15 @@ func newDDReport(s dd.Stats) *ddReport {
 		UniqueLookups: s.UniqueLookups, UniqueHits: s.UniqueHits,
 		VectorNodes: s.VectorNodes, MatrixNodes: s.MatrixNodes, WeightsStored: s.WeightsStored,
 		GCRuns: s.GCRuns, GCReclaimed: s.GCReclaimed,
+		PressureGCs: s.PressureGCs, FaultEvents: s.FaultEvents,
 	}
 }
 
 func printHuman(n int, rep core.Report, verbose, stats bool) {
 	fmt.Printf("verdict: %s\n", rep.Verdict)
+	if rep.Cancelled && rep.CancelCause != nil {
+		fmt.Printf("stopped early: %v\n", rep.CancelCause)
+	}
 	if rep.Rewriting != nil {
 		fmt.Printf("rewriting prover: %s (miter %d -> %d gates, %.4fs)\n",
 			rep.Rewriting.Verdict, rep.Rewriting.MiterGates, rep.Rewriting.ResidualGates,
@@ -408,6 +483,7 @@ func printHuman(n int, rep core.Report, verbose, stats bool) {
 		if rep.EC != nil {
 			printDDStats("complete check", rep.EC.DD)
 		}
+		printMemStats(rep.Mem)
 	}
 }
 
@@ -431,9 +507,12 @@ func printJSON(n int, rep core.Report, stats bool) {
 		Rewriting      string          `json:"rewriting_verdict,omitempty"`
 		ZX             string          `json:"zx_verdict,omitempty"`
 		Counterexample *counterexample `json:"counterexample,omitempty"`
+		Cancelled      bool            `json:"cancelled,omitempty"`
+		CancelCause    string          `json:"cancel_cause,omitempty"`
 		TotalSeconds   float64         `json:"total_seconds"`
 		SimDD          *ddReport       `json:"sim_dd,omitempty"`
 		ECDD           *ddReport       `json:"ec_dd,omitempty"`
+		Mem            *memReport      `json:"mem,omitempty"`
 	}{
 		Verdict:      rep.Verdict.String(),
 		Qubits:       n,
@@ -458,11 +537,16 @@ func printJSON(n int, rep core.Report, stats bool) {
 			Input: ce.Input, Fidelity: ce.Fidelity, StateG: ce.StateG, StateGp: ce.StateGp,
 		}
 	}
+	out.Cancelled = rep.Cancelled
+	if rep.CancelCause != nil {
+		out.CancelCause = rep.CancelCause.Error()
+	}
 	if stats {
 		out.SimDD = newDDReport(rep.DD)
 		if rep.EC != nil {
 			out.ECDD = newDDReport(rep.EC.DD)
 		}
+		out.Mem = newMemReport(rep.Mem)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

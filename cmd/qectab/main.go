@@ -137,7 +137,10 @@ func main() {
 		fmt.Println()
 	}
 	runTheory := func() {
-		rows := harness.TheoryExperiment(*theoryN, *seed)
+		rows, err := harness.TheoryExperiment(*theoryN, *seed)
+		if err != nil {
+			die(err)
+		}
 		harness.PrintTheory(os.Stdout, *theoryN, rows)
 		writeCSV("theory.csv", func(f *os.File) error { return harness.WriteTheoryCSV(f, rows) })
 		fmt.Println()

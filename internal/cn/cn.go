@@ -132,15 +132,31 @@ func (t *Table) approx(a, b complex128) bool {
 	return math.Abs(real(a)-real(b)) <= t.tol && math.Abs(imag(a)-imag(b)) <= t.tol
 }
 
+// NonFiniteError is the panic value raised by Lookup on a NaN or infinite
+// input.  Non-finite values would corrupt the bucket quantization, so they
+// cannot be interned; they are reachable from user input (e.g. a rotation
+// gate with a non-finite angle), so the flow layers (internal/core,
+// internal/ec, internal/portfolio) recover this panic at their isolation
+// boundaries and surface it as a typed report error instead of crashing.
+type NonFiniteError struct {
+	// Value is the offending complex number.
+	Value complex128
+}
+
+// Error formats the offending value.
+func (e *NonFiniteError) Error() string {
+	return fmt.Sprintf("cn: non-finite value %v", e.Value)
+}
+
 // Lookup returns the canonical Value for c, interning it if no value within
 // the tolerance exists yet.  Values within tolerance of 0 or 1 snap exactly
-// to the canonical Zero / One entries.  Non-finite values panic: they can
-// only arise from a bug upstream (amplitudes and matrix entries are bounded)
-// and would corrupt the bucket quantization.
+// to the canonical Zero / One entries.  Non-finite values panic with a
+// *NonFiniteError: they arise from non-finite user input (gate parameters)
+// or an upstream numeric bug, and would corrupt the bucket quantization.
 func (t *Table) Lookup(c complex128) *Value {
 	if math.IsNaN(real(c)) || math.IsNaN(imag(c)) ||
 		math.IsInf(real(c), 0) || math.IsInf(imag(c), 0) {
-		panic(fmt.Sprintf("cn: non-finite value %v", c))
+		panic(&NonFiniteError{Value: c})
 	}
 	t.lookups++
 	// Fast paths for the two values that dominate DD construction.

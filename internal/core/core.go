@@ -25,6 +25,7 @@ import (
 	"qcec/internal/dd"
 	"qcec/internal/ec"
 	"qcec/internal/ecrw"
+	"qcec/internal/resource"
 	"qcec/internal/zx"
 )
 
@@ -133,6 +134,16 @@ type Options struct {
 	// threshold to force collections and exercise the gate cache's GC
 	// re-rooting.
 	GCThreshold int
+	// MemSoftLimit / MemHardLimit, in bytes, put the whole flow under a
+	// memory watchdog (internal/resource): above the soft limit every
+	// simulation worker's DD package is forced to collect and flush caches,
+	// above the hard limit the flow's context is cancelled with a
+	// *resource.MemoryLimitError cause (Report.Cancelled plus
+	// Report.CancelCause).  Ignored when Context already carries a watchdog
+	// (the portfolio starts one per race); zero disables the respective
+	// bound.
+	MemSoftLimit uint64
+	MemHardLimit uint64
 	// FidelityThreshold enables approximate equivalence checking: a
 	// stimulus only counts as a counterexample when its output fidelity
 	// |<u|u'>|^2 drops below the threshold (e.g. 0.99 when verifying a
@@ -178,16 +189,28 @@ type Report struct {
 	// reached a definitive verdict; the verdict is then inconclusive
 	// (ProbablyEquivalent at best) regardless of how many stimuli agreed.
 	Cancelled bool
+	// CancelCause, set alongside Cancelled, is the context's cancellation
+	// cause — a *resource.MemoryLimitError when the memory watchdog's hard
+	// limit stopped the run, context.Canceled/DeadlineExceeded otherwise.
+	CancelCause error
 	// DD aggregates the simulation stage's DD-package statistics (gate-cache
 	// and compute-table hit rates, unique-table activity, GC reclaims),
 	// summed across parallel workers.  The complete routine's own statistics
 	// live in EC.DD.
 	DD dd.Stats
-	// Err is set when the options are invalid — currently only a
-	// *StimulusRangeError from caller-supplied Stimuli — in which case no
-	// simulation ran and the verdict is ProbablyEquivalent (inconclusive).
-	// Callers passing explicit Stimuli must check it.
-	Err       error
+	// Err is set when the flow failed rather than finished: a
+	// *StimulusRangeError from invalid caller-supplied Stimuli (no
+	// simulation ran), a *resource.PanicError recovered from a simulation
+	// worker (degenerate input such as non-finite gate parameters, or
+	// injected chaos), or the complete routine's CauseError.  The verdict is
+	// then ProbablyEquivalent (inconclusive) unless a healthy worker already
+	// found a counterexample.  Callers must treat Err as "no usable
+	// equivalence answer".
+	Err error
+	// Mem snapshots the memory watchdog's counters when this flow started
+	// its own watchdog (MemSoftLimit/MemHardLimit set and no watchdog on
+	// the context); nil otherwise.
+	Mem       *resource.Stats
 	TotalTime time.Duration
 }
 
@@ -210,6 +233,34 @@ func invertPerm(perm []int) []int {
 
 // Check runs the proposed flow on the circuit pair.
 func Check(g1, g2 *circuit.Circuit, opts Options) Report {
+	// Put the flow under a memory watchdog when limits are configured and
+	// the caller has not already provided one through the context (the
+	// portfolio runs one watchdog per race).
+	w := resource.FromContext(opts.Context)
+	ownWatchdog := false
+	if w == nil && (opts.MemSoftLimit > 0 || opts.MemHardLimit > 0) {
+		w, opts.Context = resource.Start(opts.Context, resource.Config{
+			SoftLimit: opts.MemSoftLimit,
+			HardLimit: opts.MemHardLimit,
+		})
+		ownWatchdog = true
+	}
+	report := check(g1, g2, opts)
+	if report.Cancelled && report.CancelCause == nil {
+		if ctx := opts.Context; ctx != nil {
+			report.CancelCause = context.Cause(ctx)
+		}
+	}
+	if ownWatchdog {
+		w.Stop()
+		st := w.Stats()
+		report.Mem = &st
+	}
+	return report
+}
+
+// check is the flow body; Check wraps it with watchdog setup/teardown.
+func check(g1, g2 *circuit.Circuit, opts Options) Report {
 	start := time.Now()
 	report := Report{}
 	if g1.N != g2.N {
@@ -256,18 +307,33 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Report {
 	var numSims int
 	var ce *Counterexample
 	var stats fidStats
+	var simErr error
 	if opts.Parallel > 1 && len(stimuli) > 1 {
-		numSims, ce, stats, report.DD = runStimuliParallel(g1, g2, stimuli, opts)
+		numSims, ce, stats, report.DD, simErr = runStimuliParallel(g1, g2, stimuli, opts)
 	} else {
-		numSims, ce, stats, report.DD = runStimuliSequential(g1, g2, stimuli, opts)
+		numSims, ce, stats, report.DD, simErr = runStimuliSequential(g1, g2, stimuli, opts)
 	}
 	report.NumSims = numSims
 	report.SimTime = time.Since(simStart)
 	report.MinFidelity = stats.min
 	report.AvgFidelity = stats.avg()
 	if ce != nil {
+		// A concrete distinguishing stimulus is definitive even if another
+		// worker crashed: the counterexample stands on its own, so the crash
+		// only cost coverage that no longer matters.
 		report.Verdict = NotEquivalent
 		report.Counterexample = ce
+		report.TotalTime = time.Since(start)
+		return report
+	}
+	if simErr != nil {
+		// A worker died mid-stage, so the surviving agreement does not cover
+		// all chosen stimuli — an exhaustive-proof or all-agree claim would
+		// be unsound, and the complete routine would hit the same fault.
+		// Surface the typed error and stop with an inconclusive verdict.
+		report.Err = simErr
+		report.Verdict = ProbablyEquivalent
+		report.Exhaustive = false
 		report.TotalTime = time.Since(start)
 		return report
 	}
@@ -331,7 +397,15 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Report {
 		}
 	case ec.TimedOut:
 		report.Verdict = ProbablyEquivalent
-		report.Cancelled = res.Cause == ec.CauseCancelled
+		switch res.Cause {
+		case ec.CauseCancelled:
+			report.Cancelled = true
+		case ec.CauseMemLimit:
+			report.Cancelled = true
+			report.CancelCause = res.Err
+		case ec.CauseError:
+			report.Err = res.Err
+		}
 	}
 	report.TotalTime = time.Since(start)
 	return report

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"qcec/internal/circuit"
+	"qcec/internal/cn"
+	"qcec/internal/resource"
+)
+
+// infPair builds a pair whose second circuit carries a non-finite rotation
+// angle — the degenerate input class that used to crash the checker with an
+// untyped panic deep inside the weight table.
+func infPair() (*circuit.Circuit, *circuit.Circuit) {
+	g1 := circuit.New(2, "clean")
+	g1.H(0).CX(0, 1)
+	g2 := circuit.New(2, "degenerate")
+	g2.H(0).CX(0, 1).RX(math.Inf(1), 0)
+	return g1, g2
+}
+
+// TestNonFiniteAngleSequential: the degenerate pair must come back as a
+// degraded report with a typed *cn.NonFiniteError, never a crash and never
+// a definitive verdict.
+func TestNonFiniteAngleSequential(t *testing.T) {
+	g1, g2 := infPair()
+	rep := Check(g1, g2, Options{SkipEC: true})
+	if rep.Err == nil {
+		t.Fatal("degenerate circuit produced no Report.Err")
+	}
+	var perr *resource.PanicError
+	if !errors.As(rep.Err, &perr) {
+		t.Fatalf("Err = %v (%T), want *resource.PanicError", rep.Err, rep.Err)
+	}
+	var nfe *cn.NonFiniteError
+	if !errors.As(rep.Err, &nfe) {
+		t.Fatalf("Err = %v, want to unwrap to *cn.NonFiniteError", rep.Err)
+	}
+	if rep.Verdict != ProbablyEquivalent {
+		t.Fatalf("verdict = %v, want %v (no usable answer)", rep.Verdict, ProbablyEquivalent)
+	}
+	if rep.Exhaustive {
+		t.Fatal("failed run claims exhaustive coverage")
+	}
+}
+
+// TestNonFiniteAngleParallel: the same guarantee through the parallel
+// stimulus runner — a worker hitting the degenerate gate must not take the
+// process down or poison the verdict.
+func TestNonFiniteAngleParallel(t *testing.T) {
+	g1, g2 := infPair()
+	rep := Check(g1, g2, Options{SkipEC: true, Parallel: 2})
+	if rep.Err == nil {
+		t.Fatal("degenerate circuit produced no Report.Err")
+	}
+	var nfe *cn.NonFiniteError
+	if !errors.As(rep.Err, &nfe) {
+		t.Fatalf("Err = %v, want to unwrap to *cn.NonFiniteError", rep.Err)
+	}
+	if rep.Verdict == Equivalent || rep.Verdict == NotEquivalent {
+		t.Fatalf("degenerate run returned definitive verdict %v", rep.Verdict)
+	}
+}
+
+// TestNonFiniteValueCarriedInError: the typed error carries the offending
+// value for diagnostics.
+func TestNonFiniteValueCarriedInError(t *testing.T) {
+	g1, g2 := infPair()
+	rep := Check(g1, g2, Options{SkipEC: true})
+	var nfe *cn.NonFiniteError
+	if !errors.As(rep.Err, &nfe) {
+		t.Fatalf("Err = %v, want *cn.NonFiniteError", rep.Err)
+	}
+	re, im := real(nfe.Value), imag(nfe.Value)
+	finite := !math.IsInf(re, 0) && !math.IsNaN(re) && !math.IsInf(im, 0) && !math.IsNaN(im)
+	if finite {
+		t.Fatalf("NonFiniteError carries a finite value: %v", nfe.Value)
+	}
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"qcec/internal/circuit"
 	"qcec/internal/dd"
+	"qcec/internal/resource"
 	"qcec/internal/sim"
 )
 
@@ -20,6 +22,10 @@ type simRunner struct {
 	upToPhase bool
 	agreeTol  float64 // state-agreement tolerance, derived from the DD tolerance
 	threshold float64 // approximate mode when > 0
+
+	// removeGauge unregisters this runner's occupancy gauge from the memory
+	// watchdog; nil when the flow runs without one.
+	removeGauge func()
 }
 
 func newSimRunner(n int, opts Options) *simRunner {
@@ -46,12 +52,26 @@ func newSimRunner(n int, opts Options) *simRunner {
 		// the stimulus loops below.
 		r.p.SetCancel(func() bool { return ctx.Err() != nil })
 	}
+	if w := resource.FromContext(opts.Context); w != nil {
+		// Under a memory watchdog: observe pressure epochs at this package's
+		// GC safe points and report its occupancy to the sampler.
+		r.p.SetPressure(w.Epoch)
+		r.removeGauge = w.AddGauge(r.p.OccupancyGauge())
+	}
 	r.s = sim.NewOn(r.p)
 	r.s.Legacy = opts.DisableApplyKernel
 	if r.havePerm {
 		r.unperm = sim.PermutationDD(r.p, invertPerm(opts.OutputPerm))
 	}
 	return r
+}
+
+// close unregisters the runner from the watchdog (if any); the package must
+// not be sampled after its owning goroutine exits.
+func (r *simRunner) close() {
+	if r.removeGauge != nil {
+		r.removeGauge()
+	}
 }
 
 // compare simulates both circuits on |input>, returning the output fidelity
@@ -120,15 +140,21 @@ func cancelled(opts Options) bool {
 	return opts.Context != nil && opts.Context.Err() != nil
 }
 
-// recoverCancel absorbs the *dd.LimitError panic raised by the SetCancel
-// hook mid-simulation; any other panic propagates.  Limit errors can only be
-// cancellations here: the stimulus loops install no node limit or deadline.
-func recoverCancel() {
-	if r := recover(); r != nil {
-		if _, ok := r.(*dd.LimitError); !ok {
-			panic(r)
-		}
+// recoverWorker isolates a simulation worker: the *dd.LimitError panic raised
+// by the SetCancel hook mid-simulation is absorbed silently (limit errors can
+// only be cancellations here — the stimulus loops install no node limit or
+// deadline), and any other panic is converted into a typed
+// *resource.PanicError stored in *errp instead of crashing the process.  Must
+// be installed directly with defer so recover() sees the panic.
+func recoverWorker(op string, errp *error) {
+	r := recover()
+	if r == nil {
+		return
 	}
+	if _, ok := r.(*dd.LimitError); ok {
+		return
+	}
+	*errp = resource.NewPanicError(op, r)
 }
 
 // evalHook and failHook, when non-nil, observe the parallel runner: evalHook
@@ -142,25 +168,28 @@ var (
 )
 
 // runStimuliSequential is the paper's loop: one stimulus at a time, stopping
-// at the first counterexample.
-func runStimuliSequential(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (n int, ce *Counterexample, stats fidStats, ddStats dd.Stats) {
+// at the first counterexample.  A non-nil err means the runner panicked mid-
+// stage (degenerate input or injected chaos); the other returns then reflect
+// the progress made before the fault.
+func runStimuliSequential(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (n int, ce *Counterexample, stats fidStats, ddStats dd.Stats, err error) {
 	r := newSimRunner(g1.N, opts)
+	defer r.close()
 	stats = newFidStats()
 	defer func() { ddStats = r.p.Snapshot() }()
-	defer recoverCancel()
+	defer recoverWorker("core.sim", &err)
 	for i, input := range stimuli {
 		n = i // sims completed so far, reported if compare is cancelled mid-run
 		if cancelled(opts) {
-			return i, nil, stats, ddStats
+			return i, nil, stats, ddStats, nil
 		}
 		ce, fid := r.compare(g1, g2, input)
 		stats.add(fid)
 		if ce != nil {
-			return i + 1, ce, stats, ddStats
+			return i + 1, ce, stats, ddStats, nil
 		}
 		r.gcBetween()
 	}
-	return len(stimuli), nil, stats, ddStats
+	return len(stimuli), nil, stats, ddStats, nil
 }
 
 // runStimuliParallel distributes the stimuli round-robin over
@@ -169,7 +198,7 @@ func runStimuliSequential(g1, g2 *circuit.Circuit, stimuli []uint64, opts Option
 // stimulus order is reported, and every stimulus before it has been
 // checked.  Workers fast-forward past indices beyond the current best
 // counterexample, so the early-exit behaviour parallelizes too.
-func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (int, *Counterexample, fidStats, dd.Stats) {
+func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (int, *Counterexample, fidStats, dd.Stats, error) {
 	workers := opts.Parallel
 	if workers > len(stimuli) {
 		workers = len(stimuli)
@@ -178,6 +207,7 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 	fids := make([]float64, len(stimuli))
 	evaluated := make([]bool, len(stimuli))
 	workerDD := make([]dd.Stats, workers)
+	workerErr := make([]error, workers)
 	var firstFail atomic.Int64
 	firstFail.Store(int64(len(stimuli)))
 
@@ -187,8 +217,9 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 		go func(w int) {
 			defer wg.Done()
 			r := newSimRunner(g1.N, opts)
+			defer r.close()
 			defer func() { workerDD[w] = r.p.Snapshot() }()
-			defer recoverCancel()
+			defer recoverWorker(fmt.Sprintf("core.sim worker %d", w), &workerErr[w])
 			for i := w; i < len(stimuli); i += workers {
 				if cancelled(opts) {
 					return
@@ -226,6 +257,13 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 	for _, s := range workerDD {
 		ddStats.Add(s)
 	}
+	var err error
+	for _, e := range workerErr {
+		if e != nil {
+			err = e
+			break
+		}
+	}
 	stats := newFidStats()
 	if idx := firstFail.Load(); idx < int64(len(stimuli)) {
 		// Deterministic statistics: only the sequential prefix counts.
@@ -234,7 +272,7 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 				stats.add(fids[i])
 			}
 		}
-		return int(idx) + 1, ces[idx], stats, ddStats
+		return int(idx) + 1, ces[idx], stats, ddStats, err
 	}
 	n := 0
 	for i := range fids {
@@ -243,5 +281,5 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 			stats.add(fids[i])
 		}
 	}
-	return n, nil, stats, ddStats
+	return n, nil, stats, ddStats, err
 }

@@ -178,6 +178,7 @@ func (p *Package) countApply(class applyClass) {
 // per-call translation.
 func (p *Package) ApplyGateV(u [2][2]complex128, target int, controls []Control, x VEdge) VEdge {
 	s := p.buildApplySpec(u, target, controls)
+	p.faultPoint()
 	p.countApply(s.class)
 	if x.W == p.CN.Zero {
 		return p.VZero()
@@ -215,6 +216,7 @@ func (p *Package) ApplyPrepared(g *PreparedGate, x VEdge) VEdge {
 		})
 		g.epoch = p.apEpoch
 	}
+	p.faultPoint()
 	p.countApply(g.spec.class)
 	if x.W == p.CN.Zero {
 		return p.VZero()

@@ -38,6 +38,7 @@ package dd
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"qcec/internal/cn"
@@ -178,6 +179,31 @@ type Package struct {
 	cancel     func() bool
 	allocCount uint64
 
+	// pressure, when set, is polled at GC decision points (MaybeGC): a value
+	// different from pressureSeen means the memory watchdog bumped its
+	// pressure epoch, and the next MaybeGC collects unconditionally and
+	// flushes the gate cache.  The hook must be safe to call from this
+	// package's owning goroutine while the watchdog writes the epoch (an
+	// atomic load — see resource.Watchdog.Epoch).
+	pressure     func() uint64
+	pressureSeen uint64
+	pressureGCs  uint64
+
+	// occupancy mirrors the unique-table population for cross-goroutine
+	// observers (the memory watchdog).  It is the only Package field written
+	// by the owner and read by another goroutine, hence the atomic; it is
+	// refreshed at allocation checkpoints and after collections, so it lags
+	// the true population by at most a few hundred nodes.
+	occupancy atomic.Int64
+
+	// faults is the fault-injection seam: when non-nil, BeforeApply runs at
+	// every gate-application entry point with a per-package ordinal.  It is
+	// nil in production (dd_test and internal/faultinject install injectors);
+	// the field is copied from the process-wide default at New, so installing
+	// an injector before worker packages are created is race-free.
+	faults      FaultInjector
+	faultEvents uint64
+
 	cacheHits, cacheMisses uint64
 
 	// gateCache memoizes full-register gate DDs across gate applications:
@@ -246,6 +272,9 @@ func (p *Package) checkLimit() {
 		}
 	}
 	p.allocCount++
+	if p.allocCount&0x1FF == 0 {
+		p.updateOccupancy()
+	}
 	if p.allocCount&0x1FFF == 0 {
 		if !p.deadline.IsZero() && time.Now().After(p.deadline) {
 			panic(&LimitError{Nodes: p.NodeCount(), Limit: p.nodeLimit, Deadline: true})
@@ -254,6 +283,65 @@ func (p *Package) checkLimit() {
 			panic(&LimitError{Nodes: p.NodeCount(), Limit: p.nodeLimit, Cancelled: true})
 		}
 	}
+}
+
+// SetPressure installs (or with nil removes) a memory-pressure hook, polled
+// at every MaybeGC decision.  When the returned epoch differs from the last
+// observed one, the next MaybeGC collects unconditionally and flushes the
+// gate cache — this is how the resource watchdog's soft limit reaches a
+// package it must not touch directly (Package is single-goroutine).  The
+// typical hook is resource.Watchdog.Epoch.
+func (p *Package) SetPressure(f func() uint64) {
+	p.pressure = f
+	if f != nil {
+		p.pressureSeen = f()
+	}
+}
+
+// OccupancyGauge returns a function reporting the package's approximate live
+// node population, safe to call from any goroutine (the memory watchdog
+// samples it off-thread).  The value is refreshed at allocation checkpoints
+// and after collections.
+func (p *Package) OccupancyGauge() func() int64 { return p.occupancy.Load }
+
+func (p *Package) updateOccupancy() {
+	p.occupancy.Store(int64(p.NodeCount()))
+}
+
+// FaultInjector is the deterministic fault-injection seam used by chaos
+// tests (internal/faultinject): BeforeApply runs at every gate-application
+// entry point (GateDD, ApplyGateV, ApplyPrepared) with the package's
+// 1-based application ordinal, and may panic, allocate, sleep or corrupt
+// weights to exercise the recovery paths.  Production code never installs
+// one, so the seam costs a nil check per gate.
+type FaultInjector interface {
+	BeforeApply(p *Package, nth uint64)
+}
+
+// defaultInjector holds the process-wide injector copied into every Package
+// at New.  atomic.Value cannot store a bare nil interface, so it stores a
+// one-field box.
+var defaultInjector atomic.Value
+
+type injectorBox struct{ fi FaultInjector }
+
+// SetDefaultFaultInjector installs (or with nil removes) the process-wide
+// fault injector that every subsequently created Package copies at New.
+// Install it before the checking run spawns worker goroutines; already-live
+// packages are unaffected.
+func SetDefaultFaultInjector(fi FaultInjector) {
+	defaultInjector.Store(injectorBox{fi: fi})
+}
+
+// SetFaultInjector overrides the fault injector for this package only.
+func (p *Package) SetFaultInjector(fi FaultInjector) { p.faults = fi }
+
+func (p *Package) faultPoint() {
+	if p.faults == nil {
+		return
+	}
+	p.faultEvents++
+	p.faults.BeforeApply(p, p.faultEvents)
 }
 
 // DefaultGCThreshold is the initial unique-table population that triggers
@@ -287,6 +375,9 @@ func New(n int, tol float64) *Package {
 		gateCache:      make(map[gateKey]MEdge, 64),
 		gateCacheOn:    true,
 		gateCacheLimit: DefaultGateCacheLimit,
+	}
+	if box, ok := defaultInjector.Load().(injectorBox); ok {
+		p.faults = box.fi
 	}
 	p.idents = []MEdge{{W: p.CN.One, N: nil}}
 	return p
@@ -335,6 +426,8 @@ type Stats struct {
 	ApplyGeneric  uint64 // of those, dense 2x2 applications
 	ApplyHits     uint64 // apply compute-table hits
 	ApplyMisses   uint64 // apply compute-table misses
+	PressureGCs   uint64 // collections forced by the memory watchdog's pressure epoch
+	FaultEvents   uint64 // fault-injection callbacks fired (0 outside chaos tests)
 }
 
 // Snapshot returns current package statistics.
@@ -363,6 +456,8 @@ func (p *Package) Snapshot() Stats {
 		ApplyGeneric:  p.applyGenericCt,
 		ApplyHits:     p.applyHits,
 		ApplyMisses:   p.applyMisses,
+		PressureGCs:   p.pressureGCs,
+		FaultEvents:   p.faultEvents,
 	}
 }
 
@@ -393,6 +488,8 @@ func (s *Stats) Add(o Stats) {
 	s.ApplyGeneric += o.ApplyGeneric
 	s.ApplyHits += o.ApplyHits
 	s.ApplyMisses += o.ApplyMisses
+	s.PressureGCs += o.PressureGCs
+	s.FaultEvents += o.FaultEvents
 }
 
 // GateHitRate returns the fraction of GateDD calls answered by the gate
@@ -661,6 +758,7 @@ func (p *Package) GateDD(u [2][2]complex128, target int, controls []Control) MEd
 			pos |= bit
 		}
 	}
+	p.faultPoint()
 	if !p.gateCacheOn {
 		return p.buildGateDD(u, target, controls)
 	}

@@ -83,20 +83,40 @@ func (p *Package) GC(rootsV []VEdge, rootsM []MEdge) int {
 	p.clearComputeTables()
 	p.gcRuns++
 	p.gcReclaimed += uint64(removed)
+	p.updateOccupancy()
 	return removed
 }
 
 // MaybeGC runs GC when the unique-table population exceeds the current
-// threshold.  If a collection reclaims less than a quarter of the nodes, the
-// threshold doubles so that the package does not thrash on genuinely large
-// working sets.  It reports whether a collection ran.
+// threshold, or unconditionally when the memory watchdog has bumped its
+// pressure epoch since the last check (see SetPressure) — a pressure-forced
+// collection also flushes the gate cache, whose entries are rebuildable
+// ballast.  If a threshold-triggered collection reclaims less than a quarter
+// of the nodes, the threshold doubles so that the package does not thrash on
+// genuinely large working sets (pressure-forced collections leave the
+// threshold alone: reclaiming little under memory pressure is expected, not
+// a reason to collect less).  It reports whether a collection ran.
 func (p *Package) MaybeGC(rootsV []VEdge, rootsM []MEdge) bool {
+	forced := false
+	if p.pressure != nil {
+		if e := p.pressure(); e != p.pressureSeen {
+			p.pressureSeen = e
+			forced = true
+		}
+	}
 	before := p.NodeCount()
-	if before < p.gcThreshold {
+	if !forced && before < p.gcThreshold {
 		return false
 	}
+	if forced {
+		p.pressureGCs++
+		if len(p.gateCache) > 0 {
+			clear(p.gateCache)
+			p.gateFlushes++
+		}
+	}
 	removed := p.GC(rootsV, rootsM)
-	if removed*4 < before {
+	if !forced && removed*4 < before {
 		p.gcThreshold *= 2
 	}
 	return true

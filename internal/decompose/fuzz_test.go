@@ -1,0 +1,110 @@
+package decompose
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"qcec/internal/circuit"
+)
+
+// FuzzZYZ round-trips the Euler decomposition: any finite angle quadruple
+// defines a unitary via reconstructZYZ; ZYZ of that unitary must reproduce
+// it exactly (up to numerical tolerance), for any branch of the angles.
+func FuzzZYZ(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(0.1, math.Pi/2, -0.7, 3.0)
+	f.Add(-math.Pi, math.Pi, 2*math.Pi, -2*math.Pi)
+	f.Add(1e-300, -1e-300, 1e8, -1e8)
+	f.Fuzz(func(t *testing.T, alpha, beta, gamma, delta float64) {
+		for _, a := range []float64{alpha, beta, gamma, delta} {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				t.Skip("non-finite angle")
+			}
+			// Huge angles lose the sub-ulp phase precision the round-trip
+			// tolerance assumes; the decomposer never produces them.
+			if math.Abs(a) > 1e9 {
+				t.Skip("angle out of range")
+			}
+		}
+		u := reconstructZYZ(alpha, beta, gamma, delta)
+		if err := checkUnitary2(u); err != nil {
+			t.Fatalf("reconstructZYZ(%g,%g,%g,%g) not unitary: %v", alpha, beta, gamma, delta, err)
+		}
+		a2, b2, g2, d2 := ZYZ(u)
+		v := reconstructZYZ(a2, b2, g2, d2)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if cmplx.Abs(u[i][j]-v[i][j]) > 1e-6 {
+					t.Fatalf("round trip diverged at [%d][%d]: %v vs %v\nangles in  (%g,%g,%g,%g)\nangles out (%g,%g,%g,%g)",
+						i, j, u[i][j], v[i][j], alpha, beta, gamma, delta, a2, b2, g2, d2)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecompose drives the lowering pipeline with byte-derived circuits:
+// whatever multi-controlled mess comes in, the output must validate and
+// respect the target gate set's control bounds — and the decomposer must
+// not panic.
+func FuzzDecompose(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 2, 3})
+	f.Add([]byte{6, 5, 5, 5, 5, 5, 5, 5})
+	f.Add([]byte{3, 4, 2, 0, 4, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 64 {
+			t.Skip()
+		}
+		n := 2 + int(data[0]%5) // 2..6 qubits
+		c := circuit.New(n, "fuzz")
+		for _, b := range data[1:] {
+			q := int(b>>3) % n
+			switch b % 6 {
+			case 0:
+				c.H(q)
+			case 1:
+				c.T(q)
+			case 2:
+				c.RZ(float64(b)/17, q)
+			case 3:
+				c.CX(q, (q+1)%n)
+			case 4:
+				// Multi-controlled X over all other wires: the worst case
+				// for the ancilla-free recursion.
+				var controls []int
+				for i := 0; i < n; i++ {
+					if i != q {
+						controls = append(controls, i)
+					}
+				}
+				c.MCX(controls, q)
+			case 5:
+				controls := []int{(q + 1) % n}
+				if c2 := (q + 2) % n; c2 != q && c2 != controls[0] {
+					controls = append(controls, c2)
+				}
+				c.MCX(controls, q)
+			}
+		}
+		if err := c.Validate(); err != nil {
+			t.Skip("fuzz builder produced an invalid circuit")
+		}
+		for _, level := range []Level{LevelToffoli, LevelCX} {
+			out := Circuit(c, level)
+			if err := out.Validate(); err != nil {
+				t.Fatalf("%v output invalid: %v", level, err)
+			}
+			max := 2
+			if level == LevelCX {
+				max = 1
+			}
+			for i, g := range out.Gates {
+				if len(g.Controls) > max {
+					t.Fatalf("%v gate %d (%s) has %d controls, max %d",
+						level, i, g, len(g.Controls), max)
+				}
+			}
+		}
+	})
+}

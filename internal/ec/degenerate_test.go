@@ -1,0 +1,42 @@
+package ec
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"qcec/internal/circuit"
+	"qcec/internal/cn"
+	"qcec/internal/resource"
+)
+
+// TestNonFiniteAngleIsTypedError: a non-finite rotation angle in the input
+// must surface as TimedOut/CauseError with a *cn.NonFiniteError reachable
+// through the error chain — for every strategy, and never a crash.
+func TestNonFiniteAngleIsTypedError(t *testing.T) {
+	g1 := circuit.New(2, "clean")
+	g1.H(0).CX(0, 1)
+	g2 := circuit.New(2, "degenerate")
+	g2.H(0).CX(0, 1).RX(math.Inf(1), 0)
+
+	for _, s := range allStrategies() {
+		res := Check(g1, g2, Options{Strategy: s})
+		if res.Verdict != TimedOut {
+			t.Fatalf("%v: verdict = %v, want %v", s, res.Verdict, TimedOut)
+		}
+		if res.Cause != CauseError {
+			t.Fatalf("%v: cause = %v, want %v", s, res.Cause, CauseError)
+		}
+		var perr *resource.PanicError
+		if !errors.As(res.Err, &perr) {
+			t.Fatalf("%v: Err = %v (%T), want *resource.PanicError", s, res.Err, res.Err)
+		}
+		var nfe *cn.NonFiniteError
+		if !errors.As(res.Err, &nfe) {
+			t.Fatalf("%v: Err = %v, want to unwrap to *cn.NonFiniteError", s, res.Err)
+		}
+		if res.Reason == "" {
+			t.Fatalf("%v: no human-readable reason", s)
+		}
+	}
+}

@@ -24,12 +24,14 @@ package ec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"qcec/internal/circuit"
 	"qcec/internal/dd"
+	"qcec/internal/resource"
 	"qcec/internal/sim"
 )
 
@@ -126,6 +128,14 @@ type Options struct {
 	// currently changes nothing here; it exists so callers need not know
 	// which stages a configuration reaches.
 	DisableApplyKernel bool
+	// MemSoftLimit / MemHardLimit, in bytes, put the check under a memory
+	// watchdog (internal/resource): above the soft limit the DD package is
+	// forced to collect and flush caches, above the hard limit the check is
+	// cancelled with Cause == CauseMemLimit.  They are ignored when Context
+	// already carries a watchdog (the portfolio starts one per race); zero
+	// disables the respective bound.
+	MemSoftLimit uint64
+	MemHardLimit uint64
 }
 
 // StopCause identifies the resource bound that ended an inconclusive check.
@@ -138,6 +148,13 @@ const (
 	CauseTimeout
 	CauseNodeLimit
 	CauseCancelled
+	// CauseMemLimit: the memory watchdog's hard limit cancelled the check
+	// (Result.Err carries the *resource.MemoryLimitError).
+	CauseMemLimit
+	// CauseError: the check died on a recovered panic (Result.Err carries
+	// the *resource.PanicError) — reachable from degenerate input such as
+	// non-finite gate parameters.
+	CauseError
 )
 
 // String returns the cause name.
@@ -151,6 +168,10 @@ func (c StopCause) String() string {
 		return "node-limit"
 	case CauseCancelled:
 		return "cancelled"
+	case CauseMemLimit:
+		return "mem-limit"
+	case CauseError:
+		return "error"
 	default:
 		return fmt.Sprintf("cause(%d)", int(c))
 	}
@@ -167,9 +188,16 @@ type Result struct {
 	Counterexample *uint64   // basis state whose columns differ, if found
 	Cause          StopCause // what stopped a TimedOut check
 	Reason         string    // human-readable cause for TimedOut
+	// Err carries the typed failure behind CauseError (*resource.PanicError)
+	// or CauseMemLimit (*resource.MemoryLimitError); nil otherwise.
+	Err error
 	// DD snapshots the check's DD-package statistics (gate-cache and
 	// compute-table hit rates, unique-table activity, GC reclaims).
 	DD dd.Stats
+	// Mem snapshots the memory watchdog's counters when this check started
+	// its own watchdog (MemSoftLimit/MemHardLimit set and no watchdog on the
+	// context); nil otherwise.
+	Mem *resource.Stats
 }
 
 // Equivalent reports whether the verdict establishes equivalence under the
@@ -185,10 +213,21 @@ type checker struct {
 	result   Result
 }
 
+// cancelCause classifies a context cancellation: a *resource.MemoryLimitError
+// cause means the memory watchdog tripped; anything else is an ordinary
+// cancellation.
+func cancelCause(ctx context.Context) (StopCause, string, error) {
+	cause := context.Cause(ctx)
+	var mle *resource.MemoryLimitError
+	if errors.As(cause, &mle) {
+		return CauseMemLimit, mle.Error(), mle
+	}
+	return CauseCancelled, fmt.Sprintf("cancelled: %v", ctx.Err()), nil
+}
+
 func (c *checker) expired() bool {
 	if ctx := c.opts.Context; ctx != nil && ctx.Err() != nil {
-		c.result.Cause = CauseCancelled
-		c.result.Reason = fmt.Sprintf("cancelled: %v", ctx.Err())
+		c.result.Cause, c.result.Reason, c.result.Err = cancelCause(ctx)
 		return true
 	}
 	if c.opts.NodeLimit > 0 && c.p.NodeCount() > c.opts.NodeLimit {
@@ -223,6 +262,18 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Result {
 	if tol == 0 {
 		tol = 1e-10
 	}
+	// Put the check under a memory watchdog when limits are configured and
+	// the caller has not already provided one through the context (the
+	// portfolio runs one watchdog per race).
+	w := resource.FromContext(opts.Context)
+	ownWatchdog := false
+	if w == nil && (opts.MemSoftLimit > 0 || opts.MemHardLimit > 0) {
+		w, opts.Context = resource.Start(opts.Context, resource.Config{
+			SoftLimit: opts.MemSoftLimit,
+			HardLimit: opts.MemHardLimit,
+		})
+		ownWatchdog = true
+	}
 	p := dd.New(g1.N, tol)
 	c := &checker{p: p, opts: opts}
 	c.result.Strategy = opts.Strategy
@@ -243,25 +294,43 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Result {
 		// expired() polls cannot.
 		p.SetCancel(func() bool { return ctx.Err() != nil })
 	}
+	var removeGauge func()
+	if w != nil {
+		p.SetPressure(w.Epoch)
+		removeGauge = w.AddGauge(p.OccupancyGauge())
+	}
 	start := time.Now()
 	func() {
 		defer func() {
-			if r := recover(); r != nil {
-				le, ok := r.(*dd.LimitError)
-				if !ok {
-					panic(r)
-				}
+			r := recover()
+			if r == nil {
+				return
+			}
+			if le, ok := r.(*dd.LimitError); ok {
 				c.result.Verdict = TimedOut
 				c.result.Reason = le.Error()
 				switch {
 				case le.Cancelled:
-					c.result.Cause = CauseCancelled
+					if ctx := c.opts.Context; ctx != nil {
+						c.result.Cause, c.result.Reason, c.result.Err = cancelCause(ctx)
+					} else {
+						c.result.Cause = CauseCancelled
+					}
 				case le.Deadline:
 					c.result.Cause = CauseTimeout
 				default:
 					c.result.Cause = CauseNodeLimit
 				}
+				return
 			}
+			// Anything else is a genuine fault (degenerate input, injected
+			// chaos, or a bug): isolate it as a typed error instead of
+			// crossing the prover boundary as a crash.
+			perr := resource.NewPanicError("ec "+c.opts.Strategy.String(), r)
+			c.result.Verdict = TimedOut
+			c.result.Cause = CauseError
+			c.result.Err = perr
+			c.result.Reason = perr.Error()
 		}()
 		switch opts.Strategy {
 		case Construction:
@@ -275,6 +344,14 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Result {
 	c.result.DD = p.Snapshot()
 	if n := p.NodeCount(); n > c.result.PeakNodes {
 		c.result.PeakNodes = n
+	}
+	if removeGauge != nil {
+		removeGauge()
+	}
+	if ownWatchdog {
+		w.Stop()
+		st := w.Stats()
+		c.result.Mem = &st
 	}
 	return c.result
 }

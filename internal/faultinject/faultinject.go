@@ -1,0 +1,196 @@
+// Package faultinject is a deterministic fault-injection layer for chaos
+// testing the checking runtime.  It drives the no-op-by-default hooks in
+// internal/dd (FaultInjector, observed before every gate application) and
+// internal/sim (SetFaultHook, observed once per circuit gate), turning them
+// into reproducible faults: a panic at the Nth application, a non-finite
+// edge weight, a slowdown, or an allocation spike.
+//
+// The layer exists to prove a negative: that no injected fault — however
+// placed — can crash the checker or flip a verdict.  The chaos suite in this
+// package activates each fault class against known-equivalent and
+// known-inequivalent pairs and asserts that every run degrades into a typed,
+// inconclusive-at-worst report.
+//
+// Activation is process-global (the hooks are globals by design, so faults
+// reach packages created deep inside the flow under test) and therefore not
+// safe for parallel tests; Activate returns a deactivate func that restores
+// the no-op state.
+package faultinject
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qcec/internal/dd"
+	"qcec/internal/sim"
+)
+
+// Class selects the kind of fault to inject.
+type Class int
+
+const (
+	// PanicAtApply panics with an *InjectedPanic at the Nth DD gate
+	// application — the crash-mid-checker scenario.
+	PanicAtApply Class = iota
+	// NonFiniteWeight interns a NaN weight into the package's cn.Table at
+	// the Nth application, triggering the table's non-finite guard — the
+	// numerical-corruption scenario.
+	NonFiniteWeight
+	// SlowApply sleeps Spec.Delay at every circuit gate the simulator
+	// applies — the hung-prover scenario (exercises cancellation paths).
+	SlowApply
+	// AllocSpike retains Spec.Bytes of ballast at the Nth application (and
+	// every Nth with Repeat), optionally sleeping Spec.Delay to give a
+	// memory watchdog time to sample — the resource-blow-up scenario.
+	AllocSpike
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case PanicAtApply:
+		return "panic-at-apply"
+	case NonFiniteWeight:
+		return "non-finite-weight"
+	case SlowApply:
+		return "slow-apply"
+	case AllocSpike:
+		return "alloc-spike"
+	default:
+		return "class(?)"
+	}
+}
+
+// Spec describes one deterministic fault.
+type Spec struct {
+	// Class is the fault kind.
+	Class Class
+	// N is the 1-based gate-application ordinal the fault fires at
+	// (default 1).  With Repeat, it fires at every multiple of N.
+	N uint64
+	// Repeat fires the fault at every Nth application instead of only the
+	// first one reached.
+	Repeat bool
+	// Once limits the fault to a single firing process-wide, across all
+	// packages — the "crashes once, succeeds on retry" scenario.
+	Once bool
+	// Delay is the sleep per firing (SlowApply; optional for AllocSpike).
+	Delay time.Duration
+	// Bytes is the ballast size per AllocSpike firing.
+	Bytes int
+}
+
+// InjectedPanic is the panic value (and error) raised by PanicAtApply, so
+// chaos tests can assert the recovered failure is the injected one.
+type InjectedPanic struct {
+	Spec Spec
+}
+
+// Error implements error.
+func (e *InjectedPanic) Error() string {
+	return "faultinject: injected panic (" + e.Spec.Class.String() + ")"
+}
+
+// injector implements dd.FaultInjector for the DD-level classes and serves
+// as the sim hook's state for SlowApply.
+type injector struct {
+	spec  Spec
+	fired atomic.Bool // used by Once
+
+	mu      sync.Mutex
+	ballast [][]byte
+}
+
+// hits reports whether the nth application (1-based, per package) fires.
+func (j *injector) hits(nth uint64) bool {
+	n := j.spec.N
+	if n == 0 {
+		n = 1
+	}
+	var due bool
+	if j.spec.Repeat {
+		due = nth%n == 0
+	} else {
+		due = nth == n
+	}
+	if !due {
+		return false
+	}
+	if j.spec.Once {
+		// First CAS wins; later due points are no-ops.
+		return j.fired.CompareAndSwap(false, true)
+	}
+	return true
+}
+
+// BeforeApply implements dd.FaultInjector.
+func (j *injector) BeforeApply(p *dd.Package, nth uint64) {
+	if !j.hits(nth) {
+		return
+	}
+	switch j.spec.Class {
+	case PanicAtApply:
+		panic(&InjectedPanic{Spec: j.spec})
+	case NonFiniteWeight:
+		// Interning a NaN trips cn.Table's non-finite guard, which panics
+		// with a typed *cn.NonFiniteError exactly as real numerical
+		// corruption would.
+		p.CN.Lookup(complex(math.NaN(), 0))
+	case AllocSpike:
+		size := j.spec.Bytes
+		if size <= 0 {
+			size = 16 << 20
+		}
+		b := make([]byte, size)
+		for i := 0; i < len(b); i += 4096 {
+			b[i] = 1 // touch every page so the spike is resident
+		}
+		j.mu.Lock()
+		j.ballast = append(j.ballast, b)
+		j.mu.Unlock()
+		if j.spec.Delay > 0 {
+			time.Sleep(j.spec.Delay)
+		}
+	}
+}
+
+// simHook returns the per-circuit-gate hook for SlowApply.
+func (j *injector) simHook() func(gatesApplied int64) {
+	return func(gatesApplied int64) {
+		if !j.hits(uint64(gatesApplied)) {
+			return
+		}
+		if j.spec.Delay > 0 {
+			time.Sleep(j.spec.Delay)
+		}
+	}
+}
+
+// release drops any retained ballast.
+func (j *injector) release() {
+	j.mu.Lock()
+	j.ballast = nil
+	j.mu.Unlock()
+}
+
+// Activate installs the fault process-wide and returns a func that removes
+// it (and releases any ballast).  Faults reach every dd.Package created
+// after the call (DD classes) or every simulator step (SlowApply).  Not safe
+// for concurrent Activate calls; chaos tests serialize on it.
+func Activate(spec Spec) (deactivate func()) {
+	j := &injector{spec: spec}
+	if spec.Class == SlowApply {
+		sim.SetFaultHook(j.simHook())
+		return func() {
+			sim.SetFaultHook(nil)
+			j.release()
+		}
+	}
+	dd.SetDefaultFaultInjector(j)
+	return func() {
+		dd.SetDefaultFaultInjector(nil)
+		j.release()
+	}
+}

@@ -146,9 +146,18 @@ func TestRunFlowSummary(t *testing.T) {
 
 func TestTheoryExperimentMatchesPrediction(t *testing.T) {
 	n := 7
-	rows := TheoryExperiment(n, 23)
+	rows, err := TheoryExperiment(n, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != n {
 		t.Fatalf("rows = %d", len(rows))
+	}
+	if _, err := TheoryExperiment(1, 23); err == nil {
+		t.Error("out-of-range qubit count did not error")
+	}
+	if _, err := TheoryExperiment(15, 23); err == nil {
+		t.Error("out-of-range qubit count did not error")
 	}
 	for _, r := range rows {
 		// Exhaustive measurement must match 2^{-c} exactly: the difference

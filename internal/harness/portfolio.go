@@ -34,6 +34,10 @@ type PortfolioRow struct {
 
 	WantEquivalent bool
 	Wrong          bool // definitive portfolio verdict contradicting ground truth
+
+	// Err marks a row that could not be measured (e.g. the prover set failed
+	// to build); the row is degraded, not a crash.
+	Err error
 }
 
 // RunPortfolioInstance races the standard provers on one instance and runs
@@ -65,7 +69,11 @@ func RunPortfolioInstance(inst Instance, opts RunOptions) PortfolioRow {
 	}
 	provers, err := portfolio.FromNames(names, cfg)
 	if err != nil {
-		panic(err) // static prover list; cannot fail
+		// Static prover list, so this should not happen — but a harness row
+		// must degrade, not crash the whole suite run.
+		row.Err = err
+		row.Stops = "error: " + err.Error()
+		return row
 	}
 	res := portfolio.Run(context.Background(), inst.G, inst.Gp, provers,
 		portfolio.Options{Timeout: opts.ECTimeout})

@@ -10,6 +10,7 @@ import (
 	"qcec/internal/core"
 	"qcec/internal/dd"
 	"qcec/internal/ec"
+	"qcec/internal/resource"
 )
 
 // RunOptions configures an experiment run.
@@ -25,6 +26,10 @@ type RunOptions struct {
 	ECStrategy ec.Strategy
 	// Seed drives stimulus selection.
 	Seed int64
+	// MemSoftLimit / MemHardLimit, in bytes, run every measurement under a
+	// memory watchdog (see internal/resource); 0 disables the bound.
+	MemSoftLimit uint64
+	MemHardLimit uint64
 }
 
 // Defaults fills unset fields.
@@ -67,6 +72,11 @@ type Row struct {
 	// hit rates, unique-table activity, GC reclaims).
 	ECDD  dd.Stats
 	SimDD dd.Stats
+
+	// Memory-watchdog counters of the two measurements; nil unless the run
+	// options set a memory limit.
+	ECMem  *resource.Stats
+	SimMem *resource.Stats
 }
 
 // RunInstance measures one benchmark pair: first the complete routine alone
@@ -83,27 +93,33 @@ func RunInstance(inst Instance, opts RunOptions) Row {
 	}
 
 	ecRes := ec.Check(inst.G, inst.Gp, ec.Options{
-		Strategy:   opts.ECStrategy,
-		Timeout:    opts.ECTimeout,
-		NodeLimit:  opts.ECNodeLimit,
-		OutputPerm: inst.OutputPerm,
+		Strategy:     opts.ECStrategy,
+		Timeout:      opts.ECTimeout,
+		NodeLimit:    opts.ECNodeLimit,
+		OutputPerm:   inst.OutputPerm,
+		MemSoftLimit: opts.MemSoftLimit,
+		MemHardLimit: opts.MemHardLimit,
 	})
 	row.ECVerdict = ecRes.Verdict
 	row.TEC = ecRes.Runtime
 	row.ECTimedOut = ecRes.Verdict == ec.TimedOut
 	row.ECDD = ecRes.DD
+	row.ECMem = ecRes.Mem
 
 	rep := core.Check(inst.G, inst.Gp, core.Options{
-		R:          opts.R,
-		Seed:       opts.Seed,
-		SkipEC:     true,
-		OutputPerm: inst.OutputPerm,
+		R:            opts.R,
+		Seed:         opts.Seed,
+		SkipEC:       true,
+		OutputPerm:   inst.OutputPerm,
+		MemSoftLimit: opts.MemSoftLimit,
+		MemHardLimit: opts.MemHardLimit,
 	})
 	row.NumSims = rep.NumSims
 	row.TSim = rep.SimTime
 	row.SimDetected = rep.Verdict == core.NotEquivalent
 	row.FlowVerdict = rep.Verdict
 	row.SimDD = rep.DD
+	row.SimMem = rep.Mem
 	return row
 }
 
@@ -126,6 +142,9 @@ func ddFooter(rows []Row) string {
 	if total.ApplyCalls > 0 {
 		line += fmt.Sprintf("; apply kernel: %d direct applies, %.1f%% table hits",
 			total.ApplyCalls, 100*total.ApplyHitRate())
+	}
+	if total.PressureGCs > 0 {
+		line += fmt.Sprintf("; %d collections forced by memory pressure", total.PressureGCs)
 	}
 	return line
 }
@@ -223,11 +242,13 @@ func RunFlow(instances []Instance, opts RunOptions) FlowSummary {
 	var s FlowSummary
 	for _, inst := range instances {
 		rep := core.Check(inst.G, inst.Gp, core.Options{
-			R:          opts.R,
-			Seed:       opts.Seed,
-			ECTimeout:  opts.ECTimeout,
-			Strategy:   opts.ECStrategy,
-			OutputPerm: inst.OutputPerm,
+			R:            opts.R,
+			Seed:         opts.Seed,
+			ECTimeout:    opts.ECTimeout,
+			Strategy:     opts.ECStrategy,
+			OutputPerm:   inst.OutputPerm,
+			MemSoftLimit: opts.MemSoftLimit,
+			MemHardLimit: opts.MemHardLimit,
 		})
 		s.Total++
 		s.TotalTime += rep.TotalTime

@@ -45,10 +45,11 @@ func baseCircuit(n int, gates int, seed int64) *circuit.Circuit {
 // TheoryExperiment measures, for each control count c, the exact fraction of
 // computational basis states that distinguish G from G' = D·G where the
 // difference D is a c-controlled X (applied before G, so that D is exactly
-// the paper's difference operator U†U').
-func TheoryExperiment(n int, seed int64) []TheoryRow {
+// the paper's difference operator U†U').  The qubit count is user input
+// (qectab -theory-n), so a bad range is an error, not a panic.
+func TheoryExperiment(n int, seed int64) ([]TheoryRow, error) {
 	if n < 2 || n > 14 {
-		panic(fmt.Sprintf("harness: theory experiment needs 2..14 qubits, got %d", n))
+		return nil, fmt.Errorf("harness: theory experiment needs 2..14 qubits, got %d", n)
 	}
 	g := baseCircuit(n, 4*n, seed)
 	rows := make([]TheoryRow, 0, n)
@@ -84,7 +85,7 @@ func TheoryExperiment(n int, seed int64) []TheoryRow {
 			Measured:  float64(mismatches) / float64(total),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // PrintTheory renders the Sec. IV-A table.

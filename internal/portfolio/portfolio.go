@@ -21,12 +21,14 @@ package portfolio
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"qcec/internal/circuit"
 	"qcec/internal/dd"
+	"qcec/internal/resource"
 )
 
 // Verdict is a portfolio-level equivalence verdict.  The zero value is
@@ -88,6 +90,13 @@ const (
 	// StopError: could not run on this instance (e.g. the SAT miter on a
 	// non-classical circuit).
 	StopError
+	// StopPanicked: the prover's goroutine panicked and was isolated; the
+	// report's Err carries the *resource.PanicError with the stack.  The
+	// race continues on the surviving provers.
+	StopPanicked
+	// StopMemLimit: stopped by the memory watchdog's hard limit (the
+	// report's Err carries the *resource.MemoryLimitError).
+	StopMemLimit
 )
 
 // String returns the stop-reason name.
@@ -107,6 +116,10 @@ func (s Stop) String() string {
 		return "node-limit"
 	case StopError:
 		return "error"
+	case StopPanicked:
+		return "panicked"
+	case StopMemLimit:
+		return "mem-limit"
 	default:
 		return fmt.Sprintf("stop(%d)", int(s))
 	}
@@ -128,6 +141,9 @@ type Outcome struct {
 	// DD carries the prover's DD-package statistics (nil for provers that do
 	// not build DDs, e.g. sat and zx).
 	DD *dd.Stats
+	// Err is the typed failure behind StopPanicked (*resource.PanicError),
+	// StopMemLimit (*resource.MemoryLimitError) or StopError; nil otherwise.
+	Err error
 	// Detail is a short human-readable note for the report table.
 	Detail string
 }
@@ -138,6 +154,10 @@ type Outcome struct {
 type Prover struct {
 	Name string
 	Run  func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome
+	// Degraded, when non-nil, is a conservative fallback configuration of
+	// the same prover (smaller node budget, kernel and caches disabled).
+	// With Options.RetryCrashed the engine runs it once after Run panics.
+	Degraded func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome
 }
 
 // Report is the engine's per-prover observability record.
@@ -148,8 +168,15 @@ type Report struct {
 	Runtime   time.Duration
 	PeakNodes int
 	// DD is the prover's DD-package telemetry (nil for DD-free provers).
-	DD     *dd.Stats
-	Detail string
+	DD *dd.Stats
+	// Err is the prover's typed failure (see Outcome.Err).  For a retried
+	// prover whose degraded run succeeded, it keeps the first crash on
+	// record.
+	Err error
+	// Retried reports that the prover crashed and was re-run once with its
+	// degraded configuration (Options.RetryCrashed).
+	Retried bool
+	Detail  string
 }
 
 // Options configures a portfolio run.
@@ -157,6 +184,16 @@ type Options struct {
 	// Timeout bounds the whole race; zero means the race only ends when a
 	// prover returns a definitive verdict or all provers give up.
 	Timeout time.Duration
+	// RetryCrashed re-runs a panicked prover once with its Degraded
+	// configuration (if it has one) while the race is still undecided.
+	RetryCrashed bool
+	// MemSoftLimit / MemHardLimit, in bytes, put the whole race under one
+	// shared memory watchdog (internal/resource): the soft limit forces DD
+	// collections and cache flushes in every prover, the hard limit cancels
+	// the race with a *resource.MemoryLimitError cause (reported as
+	// StopMemLimit).  Zero disables the respective bound.
+	MemSoftLimit uint64
+	MemHardLimit uint64
 }
 
 // Result is the outcome of a portfolio run.
@@ -174,6 +211,9 @@ type Result struct {
 	Runtime time.Duration
 	// Reports lists every prover's outcome in the order provers were given.
 	Reports []Report
+	// Mem snapshots the race's memory-watchdog counters when
+	// MemSoftLimit/MemHardLimit started one; nil otherwise.
+	Mem *resource.Stats
 }
 
 // Run races the provers on the pair (g1, g2) and returns the first
@@ -184,6 +224,16 @@ func Run(ctx context.Context, g1, g2 *circuit.Circuit, provers []Prover, opts Op
 	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	// One watchdog guards the whole race: provers discover it through the
+	// context (resource.FromContext) and register their DD packages, so the
+	// per-prover core/ec layers do not start redundant samplers.
+	var watchdog *resource.Watchdog
+	if opts.MemSoftLimit > 0 || opts.MemHardLimit > 0 {
+		watchdog, ctx = resource.Start(ctx, resource.Config{
+			SoftLimit: opts.MemSoftLimit,
+			HardLimit: opts.MemHardLimit,
+		})
 	}
 	var cancel context.CancelFunc
 	if opts.Timeout > 0 {
@@ -204,7 +254,7 @@ func Run(ctx context.Context, g1, g2 *circuit.Circuit, provers []Prover, opts Op
 		go func(i int, p Prover) {
 			defer wg.Done()
 			t0 := time.Now()
-			out := p.Run(ctx, g1, g2)
+			out, retried := runProver(ctx, p, g1, g2, opts)
 			elapsed := time.Since(t0)
 
 			mu.Lock()
@@ -229,6 +279,8 @@ func Run(ctx context.Context, g1, g2 *circuit.Circuit, provers []Prover, opts Op
 				Runtime:   elapsed,
 				PeakNodes: out.PeakNodes,
 				DD:        out.DD,
+				Err:       out.Err,
+				Retried:   retried,
 				Detail:    out.Detail,
 			}
 		}(i, p)
@@ -236,14 +288,63 @@ func Run(ctx context.Context, g1, g2 *circuit.Circuit, provers []Prover, opts Op
 	wg.Wait()
 
 	// With no winner, a prover that observed the context going away was
-	// stopped by the portfolio (or caller) deadline, not by losing a race.
+	// stopped by the portfolio (or caller) deadline — or by the memory
+	// watchdog's hard limit — not by losing a race.
 	if winnerIdx < 0 && ctx.Err() != nil {
+		stop := StopTimeout
+		var mle *resource.MemoryLimitError
+		if errors.As(context.Cause(ctx), &mle) {
+			stop = StopMemLimit
+		}
 		for i := range res.Reports {
 			if res.Reports[i].Stop == StopCancelled {
-				res.Reports[i].Stop = StopTimeout
+				res.Reports[i].Stop = stop
+				if stop == StopMemLimit && res.Reports[i].Err == nil {
+					res.Reports[i].Err = mle
+				}
 			}
 		}
 	}
+	if watchdog != nil {
+		watchdog.Stop()
+		st := watchdog.Stats()
+		res.Mem = &st
+	}
 	res.Runtime = time.Since(start)
 	return res
+}
+
+// runProver executes one prover with panic isolation, optionally retrying a
+// crashed prover once with its degraded configuration.  The second return
+// reports whether a retry ran.
+func runProver(ctx context.Context, p Prover, g1, g2 *circuit.Circuit, opts Options) (Outcome, bool) {
+	out := safeRun(p.Name, p.Run, ctx, g1, g2)
+	if out.Stop != StopPanicked || !opts.RetryCrashed || p.Degraded == nil || ctx.Err() != nil {
+		return out, false
+	}
+	crash := out.Err
+	out = safeRun(p.Name, p.Degraded, ctx, g1, g2)
+	if out.Err == nil {
+		out.Err = crash // keep the first crash on record
+	}
+	if out.Detail != "" {
+		out.Detail += "; "
+	}
+	out.Detail += "retried with degraded config after panic"
+	return out, true
+}
+
+// safeRun invokes a prover function with panic isolation: a panic becomes an
+// Outcome with StopPanicked and a typed *resource.PanicError instead of
+// killing the process.  The zero Verdict (Inconclusive) guarantees a
+// panicking prover can never win the race.
+func safeRun(name string, run func(context.Context, *circuit.Circuit, *circuit.Circuit) Outcome,
+	ctx context.Context, g1, g2 *circuit.Circuit) (out Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr := resource.NewPanicError("prover "+name, r)
+			out = Outcome{Stop: StopPanicked, Err: perr, Detail: perr.Error()}
+		}
+	}()
+	return run(ctx, g1, g2)
 }

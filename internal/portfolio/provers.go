@@ -2,6 +2,7 @@ package portfolio
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"qcec/internal/core"
 	"qcec/internal/ec"
 	"qcec/internal/ecsat"
+	"qcec/internal/resource"
 	"qcec/internal/zx"
 )
 
@@ -46,6 +48,24 @@ type Config struct {
 	DisableApplyKernel bool
 }
 
+// degraded derives the conservative fallback configuration used when a
+// crashed prover is retried (Options.RetryCrashed): sequential simulation,
+// kernel and gate cache disabled (the smallest code paths), and a reduced
+// node budget so the retry cannot repeat a resource blow-up.
+func (c Config) degraded() Config {
+	d := c
+	d.DisableApplyKernel = true
+	d.DisableGateCache = true
+	d.SimParallel = 0
+	switch {
+	case d.ECNodeLimit == 0:
+		d.ECNodeLimit = 1 << 20
+	case d.ECNodeLimit > 4096:
+		d.ECNodeLimit /= 2
+	}
+	return d
+}
+
 // ProverNames lists the selectable standard provers in canonical order.
 var ProverNames = []string{"sim", "dd", "alt", "sat", "zx"}
 
@@ -57,16 +77,21 @@ var ProverNames = []string{"sim", "dd", "alt", "sat", "zx"}
 //	sat — SAT miter (classical reversible netlists only)
 //	zx  — ZX-calculus rewriting (sound, incomplete, up to phase)
 func FromNames(names []string, cfg Config) ([]Prover, error) {
+	dcfg := cfg.degraded()
+	withDegraded := func(p, fallback Prover) Prover {
+		p.Degraded = fallback.Run
+		return p
+	}
 	provers := make([]Prover, 0, len(names))
 	for _, raw := range names {
 		name := strings.TrimSpace(raw)
 		switch name {
 		case "sim":
-			provers = append(provers, SimProver(cfg))
+			provers = append(provers, withDegraded(SimProver(cfg), SimProver(dcfg)))
 		case "dd":
-			provers = append(provers, DDProver(cfg))
+			provers = append(provers, withDegraded(DDProver(cfg), DDProver(dcfg)))
 		case "alt":
-			provers = append(provers, AlternatingProver(cfg))
+			provers = append(provers, withDegraded(AlternatingProver(cfg), AlternatingProver(dcfg)))
 		case "sat":
 			provers = append(provers, SATProver(cfg))
 		case "zx":
@@ -105,6 +130,10 @@ func SimProver(cfg Config) Prover {
 				DisableApplyKernel: cfg.DisableApplyKernel,
 			})
 			ddStats := rep.DD
+			if rep.Err != nil {
+				// Worker panic isolated by core: degraded, not definitive.
+				return Outcome{Stop: StopError, Err: rep.Err, Detail: rep.Err.Error(), DD: &ddStats}
+			}
 			out := Outcome{Detail: fmt.Sprintf("%d sims", rep.NumSims), DD: &ddStats}
 			switch rep.Verdict {
 			case core.NotEquivalent:
@@ -122,6 +151,11 @@ func SimProver(cfg Config) Prover {
 			default: // ProbablyEquivalent: not definitive
 				if rep.Cancelled {
 					out.Stop = StopCancelled
+					var mle *resource.MemoryLimitError
+					if errors.As(rep.CancelCause, &mle) {
+						out.Stop = StopMemLimit
+						out.Err = mle
+					}
 				} else {
 					out.Stop = StopInconclusive
 					out.Detail = fmt.Sprintf("%d sims agreed (not a proof)", rep.NumSims)
@@ -154,6 +188,12 @@ func ecOutcome(res ec.Result) Outcome {
 			out.Stop = StopCancelled
 		case ec.CauseNodeLimit:
 			out.Stop = StopNodeLimit
+		case ec.CauseMemLimit:
+			out.Stop = StopMemLimit
+			out.Err = res.Err
+		case ec.CauseError:
+			out.Stop = StopError
+			out.Err = res.Err
 		default:
 			out.Stop = StopTimeout
 		}
@@ -208,7 +248,7 @@ func SATProver(cfg Config) Prover {
 				Context:        ctx,
 			})
 			if err != nil {
-				return Outcome{Stop: StopError, Detail: err.Error()}
+				return Outcome{Stop: StopError, Err: err, Detail: err.Error()}
 			}
 			out := Outcome{Detail: fmt.Sprintf("%d vars, %d clauses", res.Vars, res.Clauses)}
 			switch res.Verdict {
@@ -241,7 +281,7 @@ func ZXProver(cfg Config) Prover {
 			}
 			res, err := zx.CheckCtx(ctx, g1, g2)
 			if err != nil {
-				return Outcome{Stop: StopError, Detail: err.Error()}
+				return Outcome{Stop: StopError, Err: err, Detail: err.Error()}
 			}
 			out := Outcome{Detail: fmt.Sprintf("spiders %d -> %d", res.SpidersBefore, res.SpidersAfter)}
 			if res.Verdict == zx.EquivalentUpToPhase {

@@ -1,0 +1,186 @@
+package resource
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestHardLimitCancelsWithTypedCause(t *testing.T) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w, ctx := Start(context.Background(), Config{
+		HardLimit: 1, // below any live heap
+		Interval:  time.Millisecond,
+	})
+	defer w.Stop()
+
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("hard limit never tripped")
+	}
+	var mle *MemoryLimitError
+	if !errors.As(context.Cause(ctx), &mle) {
+		t.Fatalf("cause = %v, want *MemoryLimitError", context.Cause(ctx))
+	}
+	if mle.HeapBytes == 0 || mle.LimitBytes != 1 {
+		t.Fatalf("bad error payload: %+v", mle)
+	}
+	st := w.Stats()
+	if st.HardTrips != 1 {
+		t.Fatalf("HardTrips = %d, want 1", st.HardTrips)
+	}
+	if st.Samples == 0 || st.PeakHeapBytes == 0 {
+		t.Fatalf("counters not recorded: %+v", st)
+	}
+}
+
+func TestCauseSurvivesDerivedContexts(t *testing.T) {
+	w, ctx := Start(context.Background(), Config{HardLimit: 1, Interval: time.Millisecond})
+	defer w.Stop()
+	// A child with its own deadline — the shape portfolio/ec produce — must
+	// still report the watchdog's cause.
+	child, cancel := context.WithTimeout(ctx, time.Hour)
+	defer cancel()
+	select {
+	case <-child.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("child never cancelled")
+	}
+	var mle *MemoryLimitError
+	if !errors.As(context.Cause(child), &mle) {
+		t.Fatalf("child cause = %v, want *MemoryLimitError", context.Cause(child))
+	}
+}
+
+func TestSoftLimitBumpsEpochWithoutCancelling(t *testing.T) {
+	w, ctx := Start(context.Background(), Config{
+		SoftLimit: 1, // always exceeded: every eligible sample soft-trips
+		Interval:  time.Millisecond,
+	})
+	defer w.Stop()
+
+	start := w.Epoch()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Epoch() == start && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if w.Epoch() == start {
+		t.Fatal("soft limit never bumped the pressure epoch")
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("soft limit cancelled the context: %v", context.Cause(ctx))
+	}
+	if st := w.Stats(); st.SoftTrips == 0 || st.HardTrips != 0 {
+		t.Fatalf("stats = %+v, want soft trips only", st)
+	}
+}
+
+func TestSoftTripRearmHysteresis(t *testing.T) {
+	w, _ := Start(context.Background(), Config{SoftLimit: 1, Interval: time.Millisecond})
+	time.Sleep(100 * time.Millisecond)
+	w.Stop()
+	st := w.Stats()
+	if st.SoftTrips == 0 {
+		t.Fatal("no soft trips recorded")
+	}
+	// With the re-arm window, trips are bounded by samples/softRearmSamples
+	// (+1 for the initial trip), far below one per sample.
+	max := st.Samples/softRearmSamples + 2
+	if st.SoftTrips > max {
+		t.Fatalf("SoftTrips = %d over %d samples; hysteresis not applied (max %d)",
+			st.SoftTrips, st.Samples, max)
+	}
+}
+
+func TestGaugeFeedsPeakAndError(t *testing.T) {
+	w, ctx := Start(context.Background(), Config{HardLimit: 1, Interval: time.Millisecond})
+	defer w.Stop()
+	remove := w.AddGauge(func() int64 { return 12345 })
+	defer remove()
+	<-ctx.Done()
+	var mle *MemoryLimitError
+	if !errors.As(context.Cause(ctx), &mle) {
+		t.Fatal("no MemoryLimitError cause")
+	}
+	// The gauge may or may not have been registered before the tripping
+	// sample; the peak counter must catch it either way once observed.
+	deadline := time.Now().Add(time.Second)
+	for w.Stats().PeakDDNodes == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// After the hard trip the loop exits, so the gauge may legitimately be
+	// unseen; only assert when it was sampled.
+	if peak := w.Stats().PeakDDNodes; peak != 0 && peak != 12345 {
+		t.Fatalf("PeakDDNodes = %d, want 12345", peak)
+	}
+}
+
+func TestGaugeAddRemove(t *testing.T) {
+	w, _ := Start(context.Background(), Config{SoftLimit: 1 << 60, Interval: time.Millisecond})
+	defer w.Stop()
+	remove1 := w.AddGauge(func() int64 { return 10 })
+	remove2 := w.AddGauge(func() int64 { return 32 })
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Stats().PeakDDNodes < 42 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := w.Stats().PeakDDNodes; got != 42 {
+		t.Fatalf("PeakDDNodes = %d, want 42 (sum of gauges)", got)
+	}
+	remove1()
+	remove1() // double-remove must be safe
+	remove2()
+}
+
+func TestStopIdempotentAndReleasesContext(t *testing.T) {
+	w, ctx := Start(context.Background(), Config{HardLimit: 1 << 60, Interval: time.Millisecond})
+	w.Stop()
+	w.Stop() // second call must not panic or block
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Stop did not release the run context")
+	}
+	if errors.Is(context.Cause(ctx), context.Canceled) == false {
+		// Stop cancels with a nil cause, which context reports as Canceled.
+		t.Fatalf("cause after Stop = %v, want context.Canceled", context.Cause(ctx))
+	}
+}
+
+func TestFromContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on bare context not nil")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) not nil")
+	}
+	w, ctx := Start(context.Background(), Config{HardLimit: 1 << 60})
+	defer w.Stop()
+	if FromContext(ctx) != w {
+		t.Fatal("FromContext did not return the started watchdog")
+	}
+}
+
+func TestPanicErrorUnwrap(t *testing.T) {
+	inner := fmt.Errorf("inner cause")
+	perr := NewPanicError("test op", inner)
+	if !errors.Is(perr, inner) {
+		t.Fatal("PanicError does not unwrap to its error value")
+	}
+	if len(perr.Stack) == 0 {
+		t.Fatal("PanicError captured no stack")
+	}
+	// Non-error panic values unwrap to nil.
+	perr2 := NewPanicError("test op", "a string payload")
+	if perr2.Unwrap() != nil {
+		t.Fatalf("Unwrap of non-error payload = %v, want nil", perr2.Unwrap())
+	}
+	if perr2.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}

@@ -11,6 +11,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"qcec/internal/circuit"
 	"qcec/internal/dd"
@@ -159,6 +160,7 @@ func (s *Simulator) RunFrom(c *circuit.Circuit, state dd.VEdge) dd.VEdge {
 		for _, g := range c.Gates {
 			state = ApplyGateLegacy(s.P, state, g)
 			s.GatesApplied++
+			faultStep(s.GatesApplied)
 			s.P.MaybeGC([]dd.VEdge{state}, nil)
 		}
 		return state
@@ -168,6 +170,7 @@ func (s *Simulator) RunFrom(c *circuit.Circuit, state dd.VEdge) dd.VEdge {
 			state = s.P.ApplyPrepared(pg, state)
 		}
 		s.GatesApplied++
+		faultStep(s.GatesApplied)
 		s.P.MaybeGC([]dd.VEdge{state}, nil)
 	}
 	return state
@@ -182,6 +185,7 @@ func (s *Simulator) RunFromWithPins(c *circuit.Circuit, state dd.VEdge, pins []d
 		for _, g := range c.Gates {
 			state = ApplyGateLegacy(s.P, state, g)
 			s.GatesApplied++
+			faultStep(s.GatesApplied)
 			roots = append(roots[:0], pins...)
 			roots = append(roots, state)
 			s.P.MaybeGC(roots, nil)
@@ -193,11 +197,36 @@ func (s *Simulator) RunFromWithPins(c *circuit.Circuit, state dd.VEdge, pins []d
 			state = s.P.ApplyPrepared(pg, state)
 		}
 		s.GatesApplied++
+		faultStep(s.GatesApplied)
 		roots = append(roots[:0], pins...)
 		roots = append(roots, state)
 		s.P.MaybeGC(roots, nil)
 	}
 	return state
+}
+
+// faultHook, when installed, observes every circuit-gate step of every
+// simulator in the process (internal/faultinject's slow-prover fault).  A
+// pointer-to-func in an atomic.Pointer keeps the production cost at one
+// atomic load per gate.
+var faultHook atomic.Pointer[func(gatesApplied int64)]
+
+// SetFaultHook installs (or with nil removes) a process-wide per-gate hook
+// called with the simulator's running gate count after each circuit gate.
+// It is a fault-injection seam for chaos tests; production code never sets
+// it.  Install it before simulation goroutines start.
+func SetFaultHook(f func(gatesApplied int64)) {
+	if f == nil {
+		faultHook.Store(nil)
+		return
+	}
+	faultHook.Store(&f)
+}
+
+func faultStep(gatesApplied int64) {
+	if h := faultHook.Load(); h != nil {
+		(*h)(gatesApplied)
+	}
 }
 
 // BuildUnitary constructs the complete system matrix DD of a circuit by

@@ -66,11 +66,19 @@ func CheckCtx(ctx context.Context, g1, g2 *circuit.Circuit) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if err := g.Err(); err != nil {
+		return Result{}, err
+	}
 	if ctx != nil {
 		g.SetCancel(func() bool { return ctx.Err() != nil })
 	}
 	res := Result{SpidersBefore: g.NumSpiders()}
 	g.Simplify()
+	if err := g.Err(); err != nil {
+		// A structural violation surfaced mid-rewrite: the diagram is no
+		// longer meaningful, so report the error rather than a verdict.
+		return Result{}, err
+	}
 	res.SpidersAfter = g.NumSpiders()
 	res.Fusions = g.fusions
 	res.LocalComplements = g.lcomps

@@ -62,9 +62,40 @@ type Graph struct {
 	// merely Inconclusive).
 	cancel func() bool
 
+	// err records the first structural violation encountered while building
+	// or rewriting the diagram (e.g. a self-loop on a boundary vertex).  The
+	// rewrite rules bail out once it is set, and CheckCtx surfaces it as a
+	// checker error — recording instead of panicking keeps a malformed input
+	// from crossing the prover boundary as a crash.
+	err error
+
 	// stats
 	fusions, hopfs, lcomps, pivots int
 }
+
+// MalformedError reports a structurally invalid diagram operation, reachable
+// from degenerate circuit input.
+type MalformedError struct {
+	// Vertex is the offending vertex id.
+	Vertex int
+	// Msg describes the violation.
+	Msg string
+}
+
+// Error formats the violation.
+func (e *MalformedError) Error() string {
+	return fmt.Sprintf("zx: %s (vertex %d)", e.Msg, e.Vertex)
+}
+
+// fail records the first structural violation; later ones are dropped.
+func (g *Graph) fail(err error) {
+	if g.err == nil {
+		g.err = err
+	}
+}
+
+// Err returns the first structural violation recorded on the diagram, or nil.
+func (g *Graph) Err() error { return g.err }
 
 // NewGraph returns an empty diagram.
 func NewGraph() *Graph {
@@ -127,7 +158,8 @@ func (g *Graph) NumSpiders() int {
 func (g *Graph) addEdge(u, v int, had bool) {
 	if u == v {
 		if g.kind[u] != kindSpider {
-			panic("zx: self-loop on boundary")
+			g.fail(&MalformedError{Vertex: u, Msg: "self-loop on boundary"})
+			return
 		}
 		if had {
 			g.phase[u] = normPhase(g.phase[u] + math.Pi)
@@ -445,10 +477,13 @@ func (g *Graph) pauliPush(v int) bool {
 // local complementation on interior ±π/2 spiders, pivoting on interior
 // Pauli pairs, and π-pushing for lone interior Pauli spiders on a wire.
 func (g *Graph) Simplify() {
+	if g.err != nil {
+		return
+	}
 	g.fusePlainEdges()
 	budget := 16*len(g.kind) + 1024 // safety net against rule ping-pong
 	for {
-		if budget <= 0 || g.cancelledNow() {
+		if budget <= 0 || g.cancelledNow() || g.err != nil {
 			return
 		}
 		budget--

@@ -1,0 +1,54 @@
+package zx
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSelfLoopOnBoundaryIsTypedError: a structurally invalid diagram
+// operation must record a *MalformedError instead of panicking, and
+// Simplify must refuse to rewrite the poisoned graph.
+func TestSelfLoopOnBoundaryIsTypedError(t *testing.T) {
+	g := NewGraph()
+	b := g.addVertex(kindBoundaryIn, 0, 0)
+	g.addEdge(b, b, false) // self-loop on a boundary vertex
+
+	var merr *MalformedError
+	if !errors.As(g.Err(), &merr) {
+		t.Fatalf("Err() = %v, want *MalformedError", g.Err())
+	}
+	if merr.Vertex != b {
+		t.Fatalf("Vertex = %d, want %d", merr.Vertex, b)
+	}
+
+	// The error is set-once: later violations do not overwrite the first.
+	first := g.Err()
+	g.addEdge(b, b, true)
+	if g.Err() != first {
+		t.Fatal("second violation overwrote the first")
+	}
+
+	// Simplify on a poisoned graph must be a no-op, not a crash.
+	g.Simplify()
+	if g.Err() != first {
+		t.Fatal("Simplify disturbed the recorded error")
+	}
+}
+
+// TestSpiderSelfLoopsStillLegal: the legal self-loop rules (plain vanishes,
+// Hadamard adds π) must not be affected by the boundary guard.
+func TestSpiderSelfLoopsStillLegal(t *testing.T) {
+	g := NewGraph()
+	s := g.addVertex(kindSpider, 0, 0)
+	g.addEdge(s, s, false)
+	if g.Err() != nil {
+		t.Fatalf("plain spider self-loop recorded error: %v", g.Err())
+	}
+	g.addEdge(s, s, true)
+	if g.Err() != nil {
+		t.Fatalf("Hadamard spider self-loop recorded error: %v", g.Err())
+	}
+	if !phaseIs(g.phase[s], 3.14159265358979) {
+		t.Fatalf("Hadamard self-loop did not add π: phase = %v", g.phase[s])
+	}
+}

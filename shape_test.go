@@ -87,7 +87,11 @@ func TestClaimFlowVerdictsSound(t *testing.T) {
 // Claim 4 (Sec. IV-A): detection probability of a c-controlled difference
 // is exactly 2^-c.
 func TestClaimTheoryExact(t *testing.T) {
-	for _, row := range harness.TheoryExperiment(7, 17) {
+	rows, err := harness.TheoryExperiment(7, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
 		if row.Measured != row.Predicted {
 			t.Errorf("c=%d: measured %g, predicted %g", row.Controls, row.Measured, row.Predicted)
 		}
