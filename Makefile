@@ -5,11 +5,11 @@ GO ?= go
 
 # Packages with real concurrency (goroutines + shared cancellation state):
 # these are the ones the race detector must cover.
-RACE_PKGS = ./internal/core/... ./internal/portfolio/... ./internal/dd/... ./internal/ec/... ./internal/resource/... ./internal/faultinject/...
+RACE_PKGS = ./internal/core/... ./internal/portfolio/... ./internal/dd/... ./internal/ec/... ./internal/resource/... ./internal/faultinject/... ./internal/server/...
 
 FUZZTIME ?= 20s
 
-.PHONY: all build test race vet fmt fuzz-smoke chaos bench benchcmp ci
+.PHONY: all build test race vet fmt fuzz-smoke chaos serve-smoke bench benchcmp ci
 
 all: build
 
@@ -65,5 +65,12 @@ fuzz-smoke:
 # crash or a flipped verdict.
 chaos:
 	$(GO) test -race -count=1 ./internal/faultinject/... ./internal/resource/...
+
+# End-to-end smoke of the checking daemon: build the real qcecd binary, run
+# it on a random port, drive it over HTTP with the seed circuits (equivalent
+# and non-equivalent pairs, a concurrent burst), scrape /metrics, then
+# SIGTERM it and require a clean drain + exit 0.
+serve-smoke:
+	QCECD_SMOKE=1 $(GO) test ./internal/server -run '^TestServeSmoke$$' -count=1 -v
 
 ci: build test vet fmt race

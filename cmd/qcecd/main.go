@@ -1,0 +1,114 @@
+// Command qcecd serves quantum-circuit equivalence checking over HTTP.
+//
+//	qcecd -addr :8787 -workers 4 -mem-limit 2048
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/check     synchronous check: {"g": "<qasm>", "gp": "<qasm>", "options": {...}}
+//	POST /v1/jobs      asynchronous check, returns 202 + job id
+//	GET  /v1/jobs/{id} job status / result
+//	GET  /healthz      200 while serving, 503 once draining
+//	GET  /metrics      Prometheus text exposition
+//
+// SIGTERM/SIGINT starts a graceful drain: admission stops (429/503 for new
+// work), admitted jobs run to completion within -drain-timeout, stragglers
+// are cancelled cleanly, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qcec/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":8787", "listen address (host:port; port 0 picks a free port)")
+		addrFile   = flag.String("addr-file", "", "write the bound listen address to this file once serving (for test harnesses)")
+		workers    = flag.Int("workers", 0, "concurrent checking workers (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue-depth", 64, "admitted-but-not-started job bound; beyond it requests get 429")
+		maxBody    = flag.Int64("max-body-bytes", 4<<20, "request-body size bound in bytes")
+		maxQubits  = flag.Int("max-qubits", 0, "reject circuits with more qubits (0 = no bound)")
+		maxGates   = flag.Int("max-gates", 0, "reject circuits with more gates (0 = no bound)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-check deadline when the request sets none")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "largest per-check deadline a request may ask for")
+		memLimit   = flag.Int("mem-limit", 0, "per-job hard heap budget in MiB; the check is cancelled cleanly when exceeded (0 = none)")
+		memSoft    = flag.Int("mem-soft-limit", 0, "per-job soft heap budget in MiB: force DD collections above it (0 = 80% of -mem-limit)")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for running checks")
+		retained   = flag.Int("jobs-retained", 256, "finished async jobs kept for GET /v1/jobs/{id}")
+	)
+	flag.Parse()
+
+	memHardBytes := uint64(*memLimit) << 20
+	memSoftBytes := uint64(*memSoft) << 20
+	if memSoftBytes == 0 && memHardBytes > 0 {
+		memSoftBytes = memHardBytes / 10 * 8
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		MaxBodyBytes:   *maxBody,
+		MaxQubits:      *maxQubits,
+		MaxGates:       *maxGates,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MemSoftLimit:   memSoftBytes,
+		MemHardLimit:   memHardBytes,
+		CompletedJobs:  *retained,
+	})
+
+	// Listen before announcing, so the printed/filed address is bound and a
+	// harness polling -addr-file can connect immediately.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qcecd: %v\n", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("qcecd: listening on http://%s\n", bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "qcecd: write -addr-file: %v\n", err)
+			return 1
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("qcecd: %s, draining (up to %s)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "qcecd: drain deadline hit, checks cancelled: %v\n", err)
+		}
+		// The pool is drained; now close the HTTP side (idle keep-alives).
+		httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer httpCancel()
+		_ = httpSrv.Shutdown(httpCtx)
+		fmt.Println("qcecd: drained, bye")
+		return 0
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "qcecd: serve: %v\n", err)
+		return 1
+	}
+}

@@ -33,7 +33,7 @@ func main() {
 		scaleName = flag.String("scale", "small", "benchmark scale: small|medium|paper")
 		r         = flag.Int("r", 10, "simulation runs per instance (paper: 10)")
 		ecTimeout = flag.Duration("ec-timeout", 10*time.Second, "complete-check timeout per instance (paper: 1h)")
-		nodeLimit = flag.Int("ec-node-limit", 2_000_000, "complete-check DD node budget (0 = none)")
+		nodeLimit = flag.Int("ec-node-limit", harness.DefaultECNodeLimit, "complete-check DD node budget (0 = none)")
 		strategy  = flag.String("ec-strategy", "construction", "complete-check strategy (the paper's baseline constructs and compares both DDs)")
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		theoryN   = flag.Int("theory-n", 8, "register size for the theory experiment")

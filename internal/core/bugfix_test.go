@@ -2,11 +2,13 @@ package core
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"qcec/internal/circuit"
+	"qcec/internal/resource"
 )
 
 // TestAgreementToleranceDerivation pins the mapping from DD weight tolerance
@@ -142,5 +144,100 @@ func TestParallelFastForwardStopsAtFirstFailure(t *testing.T) {
 	}
 	if counts[2] != 1 {
 		t.Fatal("failing stimulus was never evaluated")
+	}
+}
+
+// TestParallelNumSimsExcludesCrashedWorkerGap is the regression for the
+// NumSims over-count under worker crashes: with two workers, worker 0 is
+// crashed (via the eval hook) before evaluating its first stimulus while
+// worker 1 finds the counterexample at index 1.  The old code reported
+// idx+1 = 2 completed simulations even though index 0 was never evaluated;
+// the true count is 1, and the worker error must surface the gap.
+func TestParallelNumSimsExcludesCrashedWorkerGap(t *testing.T) {
+	g1 := circuit.New(3, "id")
+	g1.X(2).X(2)
+	g2 := circuit.New(3, "cx")
+	g2.CX(0, 1) // differs from the identity exactly on inputs with qubit 0 set
+
+	// Index 0 (value 2, agrees) belongs to worker 0, which panics before
+	// evaluating it; index 1 (value 1, differs) belongs to worker 1.
+	stimuli := []uint64{2, 1}
+	evalHook = func(i int) {
+		if i == 0 {
+			panic("injected: worker crashed before its first stimulus")
+		}
+	}
+	defer func() { evalHook = nil }()
+
+	opts := Options{Stimuli: stimuli, Parallel: 2, SkipEC: true}
+	n, ce, stats, _, err := runStimuliParallel(g1, g2, stimuli, opts)
+	if ce == nil || ce.Input != 1 {
+		t.Fatalf("counterexample = %+v, want input 1", ce)
+	}
+	if n != 1 {
+		t.Fatalf("evaluated count = %d, want 1 (index 0 was never evaluated)", n)
+	}
+	if stats.count != 1 {
+		t.Fatalf("fidelity stats over %d stimuli, want 1", stats.count)
+	}
+	if err == nil {
+		t.Fatal("crashed worker left no error")
+	}
+	var perr *resource.PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %v, want a *resource.PanicError in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "left unevaluated") {
+		t.Fatalf("err = %q, want the evaluation gap surfaced", err)
+	}
+
+	// End-to-end: the report's NumSims reflects the true count, and the
+	// counterexample stays definitive despite the crashed worker.
+	evalHook = func(i int) {
+		if i == 0 {
+			panic("injected: worker crashed before its first stimulus")
+		}
+	}
+	rep := Check(g1, g2, opts)
+	if rep.Verdict != NotEquivalent {
+		t.Fatalf("verdict = %v, want not equivalent", rep.Verdict)
+	}
+	if rep.NumSims != 1 {
+		t.Fatalf("Report.NumSims = %d, want 1", rep.NumSims)
+	}
+}
+
+// TestCompareReusedStimulusSurvivesGC guards the single-build stimulus reuse
+// in simRunner.compare: the basis state is now built once and shared by both
+// runs, so it must be pinned across the first run's DD collections.  A tiny
+// GC threshold forces a collection after every gate; with a dangling stimulus
+// edge the second run would produce garbage and the exhaustive equivalence
+// proof below would fail.
+func TestCompareReusedStimulusSurvivesGC(t *testing.T) {
+	g := circuit.New(4, "mix")
+	for q := 0; q < 4; q++ {
+		g.H(q)
+	}
+	g.CX(0, 1).CX(1, 2).CX(2, 3)
+	g.T(0).RZ(0.3, 1).Phase(0.7, 2).S(3)
+	g.CX(2, 3).CX(1, 2).CX(0, 1)
+
+	for _, parallel := range []int{1, 2} {
+		rep := Check(g, g.Clone(), Options{
+			R:           1 << 4, // exhaustive: all 16 basis states
+			Parallel:    parallel,
+			SkipEC:      true,
+			GCThreshold: 1,
+		})
+		if rep.Err != nil {
+			t.Fatalf("parallel=%d: err = %v", parallel, rep.Err)
+		}
+		if rep.Verdict != Equivalent || !rep.Exhaustive {
+			t.Fatalf("parallel=%d: verdict = %v (exhaustive=%v), want exhaustive equivalent",
+				parallel, rep.Verdict, rep.Exhaustive)
+		}
+		if rep.MinFidelity < 1-1e-9 {
+			t.Fatalf("parallel=%d: min fidelity = %g, want 1", parallel, rep.MinFidelity)
+		}
 	}
 }

@@ -78,8 +78,12 @@ func (r *simRunner) close() {
 // and a counterexample if the outputs disagree (under the exact or the
 // approximate criterion), nil otherwise.
 func (r *simRunner) compare(g1, g2 *circuit.Circuit, input uint64) (*Counterexample, float64) {
-	u := r.s.RunFrom(g1, r.p.BasisState(input))
-	v := r.s.RunFromWithPins(g2, r.p.BasisState(input), []dd.VEdge{u})
+	// Build the stimulus once and reuse it for both runs.  It must be pinned
+	// across the first run's garbage collections: the second run starts from
+	// the same edge, so its nodes have to stay interned until then.
+	in := r.p.BasisState(input)
+	u := r.s.RunFromWithPins(g1, in, []dd.VEdge{in})
+	v := r.s.RunFromWithPins(g2, in, []dd.VEdge{u})
 	if r.havePerm {
 		v = r.p.MulMV(r.unperm, v)
 	}
@@ -266,13 +270,22 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 	}
 	stats := newFidStats()
 	if idx := firstFail.Load(); idx < int64(len(stimuli)) {
-		// Deterministic statistics: only the sequential prefix counts.
+		// Deterministic statistics: only the sequential prefix counts.  The
+		// reported simulation count is the number of stimuli actually
+		// evaluated, not idx+1 — a crashed worker may have left indices
+		// before the counterexample unevaluated, and NumSims must never
+		// overstate the work done (harness CSVs and reports trust it).
 		for i := int64(0); i <= idx; i++ {
 			if evaluated[i] {
 				stats.add(fids[i])
 			}
 		}
-		return int(idx) + 1, ces[idx], stats, ddStats, err
+		n := stats.count
+		if gap := int(idx) + 1 - n; gap > 0 && err != nil {
+			err = fmt.Errorf("%w (%d of the %d stimuli before the counterexample left unevaluated)",
+				err, gap, int(idx)+1)
+		}
+		return n, ces[idx], stats, ddStats, err
 	}
 	n := 0
 	for i := range fids {

@@ -107,7 +107,8 @@ type Options struct {
 	// Timeout bounds the wall-clock time of the check; zero means no limit.
 	Timeout time.Duration
 	// NodeLimit aborts the check when the DD package exceeds this many live
-	// nodes; zero means no limit.  Exceeding it yields TimedOut.
+	// nodes; zero (or negative) means no limit.  Exceeding it yields
+	// TimedOut.
 	NodeLimit int
 	// UpToGlobalPhase accepts a unit-magnitude scalar factor between the two
 	// circuits (decompositions routinely introduce one).

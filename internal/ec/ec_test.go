@@ -332,3 +332,29 @@ func TestDeadlineAbortsInsideOperation(t *testing.T) {
 		t.Fatalf("deadline overshoot: check took %v for a 300ms timeout", elapsed)
 	}
 }
+
+// TestNodeLimitZeroUnbounded is the regression companion of
+// TestNodeLimitVerdict: the exact pair that trips NodeLimit 100 must run to
+// completion when the budget is 0 (documented "none") or negative — a
+// 0-limit check must never raise a node-budget abort.
+func TestNodeLimitZeroUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Same construction as TestNodeLimitVerdict but one size down, so the
+	// unbounded runs stay sub-second (peak ~45k nodes, well past any small
+	// budget).
+	g1 := randomCircuit(rng, 6, 100)
+	g2 := randomCircuit(rng, 6, 100)
+	if s := Check(g1, g2, Options{Strategy: Sequential, NodeLimit: 100}); s.Cause != CauseNodeLimit {
+		t.Fatalf("sanity: a 100-node budget did not trip (cause %v)", s.Cause)
+	}
+	for _, limit := range []int{0, -1} {
+		r := Check(g1, g2, Options{Strategy: Sequential, NodeLimit: limit})
+		if r.Cause == CauseNodeLimit {
+			t.Fatalf("NodeLimit %d tripped a node budget: %s", limit, r.Reason)
+		}
+		if r.Verdict == TimedOut {
+			t.Fatalf("NodeLimit %d: verdict = %v (%s), want a definitive verdict",
+				limit, r.Verdict, r.Reason)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"qcec/internal/circuit"
 	"qcec/internal/core"
 	"qcec/internal/ec"
 )
@@ -377,5 +378,49 @@ func TestRouterAblation(t *testing.T) {
 	PrintRouterAblation(&sb, rows)
 	if !strings.Contains(sb.String(), "Router ablation") {
 		t.Error("missing header")
+	}
+}
+
+// TestECNodeLimitZeroDisablesBudget is the regression for the withDefaults
+// clamp that silently forced a 2,000,000-node budget whenever ECNodeLimit
+// was <= 0, contradicting the documented "(0 = none)": a tiny explicit
+// budget must trip, and a zero budget must let the same instance complete.
+func TestECNodeLimitZeroDisablesBudget(t *testing.T) {
+	g := circuit.New(6, "ghz6")
+	g.H(0)
+	for q := 0; q < 5; q++ {
+		g.CX(q, q+1)
+	}
+	inst := Instance{Name: "node-limit", N: 6, G: g, Gp: g.Clone(), WantEquivalent: true}
+
+	tripped := RunInstance(inst, RunOptions{R: 1, ECTimeout: 30 * time.Second, ECNodeLimit: 4})
+	if !tripped.ECTimedOut {
+		t.Fatalf("sanity: a 4-node budget did not trip (verdict %v)", tripped.ECVerdict)
+	}
+
+	free := RunInstance(inst, RunOptions{R: 1, ECTimeout: 30 * time.Second, ECNodeLimit: 0})
+	if free.ECTimedOut {
+		t.Fatalf("ECNodeLimit 0 still bounded the check (verdict %v)", free.ECVerdict)
+	}
+	if free.ECVerdict != ec.Equivalent {
+		t.Fatalf("unbounded check verdict = %v, want equivalent", free.ECVerdict)
+	}
+}
+
+// TestRunOptionsNodeLimitNormalization pins the withDefaults contract: 0 and
+// negative node limits both reach the complete routine as "no limit", and
+// the other defaults still apply.
+func TestRunOptionsNodeLimitNormalization(t *testing.T) {
+	if got := (RunOptions{}).withDefaults().ECNodeLimit; got != 0 {
+		t.Fatalf("zero value normalized to %d, want 0 (no limit)", got)
+	}
+	if got := (RunOptions{ECNodeLimit: -1}).withDefaults().ECNodeLimit; got != 0 {
+		t.Fatalf("-1 normalized to %d, want 0 (no limit)", got)
+	}
+	if got := (RunOptions{ECNodeLimit: 512}).withDefaults().ECNodeLimit; got != 512 {
+		t.Fatalf("explicit budget rewritten to %d, want 512", got)
+	}
+	if got := (RunOptions{}).withDefaults().R; got != core.DefaultR {
+		t.Fatalf("R default = %d, want %d", got, core.DefaultR)
 	}
 }

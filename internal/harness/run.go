@@ -19,7 +19,9 @@ type RunOptions struct {
 	R int
 	// ECTimeout bounds the complete routine per instance (paper: 1 h).
 	ECTimeout time.Duration
-	// ECNodeLimit bounds the complete routine's DD size (0 = none).
+	// ECNodeLimit bounds the complete routine's DD size (0 = none).  CLI
+	// front ends that want a safety net pass DefaultECNodeLimit explicitly;
+	// the zero value genuinely disables the budget, matching ec.Options.
 	ECNodeLimit int
 	// ECStrategy selects the complete routine; the paper's baseline tool
 	// constructs and compares both DDs, i.e. ec.Construction.
@@ -32,7 +34,15 @@ type RunOptions struct {
 	MemHardLimit uint64
 }
 
-// Defaults fills unset fields.
+// DefaultECNodeLimit is the node budget the CLI front ends (cmd/qectab)
+// apply by default.  It is deliberately NOT applied by withDefaults:
+// RunOptions.ECNodeLimit documents 0 as "no limit", and silently forcing a
+// budget here made that impossible to request (the historical bug).
+const DefaultECNodeLimit = 2_000_000
+
+// Defaults fills unset fields.  ECNodeLimit is normalized, not defaulted:
+// zero and negative values both mean "no node budget", consistently with
+// ec.Options.NodeLimit and the qcec/qectab flags.
 func (o RunOptions) withDefaults() RunOptions {
 	if o.R <= 0 {
 		o.R = core.DefaultR
@@ -40,8 +50,8 @@ func (o RunOptions) withDefaults() RunOptions {
 	if o.ECTimeout <= 0 {
 		o.ECTimeout = 10 * time.Second
 	}
-	if o.ECNodeLimit <= 0 {
-		o.ECNodeLimit = 2_000_000
+	if o.ECNodeLimit < 0 {
+		o.ECNodeLimit = 0
 	}
 	return o
 }

@@ -58,7 +58,7 @@ func (c Config) degraded() Config {
 	d.DisableGateCache = true
 	d.SimParallel = 0
 	switch {
-	case d.ECNodeLimit == 0:
+	case d.ECNodeLimit <= 0: // unlimited (0 or the explicit -1): bound the retry
 		d.ECNodeLimit = 1 << 20
 	case d.ECNodeLimit > 4096:
 		d.ECNodeLimit /= 2

@@ -142,6 +142,23 @@ type Stats struct {
 	PeakDDNodes int64
 }
 
+// Add accumulates another snapshot into s: activity counters sum, the peak
+// gauges take the maximum.  Aggregating watchdogs from different runs (the
+// serving layer folds every job's watchdog into its /metrics totals) this
+// yields total activity plus the worst single-run peaks — peaks from
+// disjoint runs must not be summed, the runs never coexisted.
+func (s *Stats) Add(o Stats) {
+	s.Samples += o.Samples
+	s.SoftTrips += o.SoftTrips
+	s.HardTrips += o.HardTrips
+	if o.PeakHeapBytes > s.PeakHeapBytes {
+		s.PeakHeapBytes = o.PeakHeapBytes
+	}
+	if o.PeakDDNodes > s.PeakDDNodes {
+		s.PeakDDNodes = o.PeakDDNodes
+	}
+}
+
 // Watchdog enforces a memory budget over one checking run.  Create it with
 // Start; it samples until Stop is called, its context is cancelled, or the
 // hard limit trips.

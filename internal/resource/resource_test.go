@@ -184,3 +184,14 @@ func TestPanicErrorUnwrap(t *testing.T) {
 		t.Fatal("empty error string")
 	}
 }
+
+// TestStatsAdd pins the aggregation semantics: counters sum, peaks max.
+func TestStatsAdd(t *testing.T) {
+	var total Stats
+	total.Add(Stats{Samples: 10, SoftTrips: 2, HardTrips: 0, PeakHeapBytes: 500, PeakDDNodes: 40})
+	total.Add(Stats{Samples: 5, SoftTrips: 1, HardTrips: 1, PeakHeapBytes: 900, PeakDDNodes: 10})
+	want := Stats{Samples: 15, SoftTrips: 3, HardTrips: 1, PeakHeapBytes: 900, PeakDDNodes: 40}
+	if total != want {
+		t.Fatalf("aggregate = %+v, want %+v", total, want)
+	}
+}

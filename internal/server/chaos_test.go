@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"qcec/internal/core"
+	"qcec/internal/faultinject"
+)
+
+// Chaos tests: injected faults inside the checking engine must surface as a
+// typed verdict:"error" response on the one affected request, while the
+// daemon keeps serving.  faultinject's hooks are process-global, so these
+// tests never run in parallel.
+
+func TestChaosInjectedPanicIsContained(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	deactivate := faultinject.Activate(faultinject.Spec{Class: faultinject.PanicAtApply, Once: true})
+	defer deactivate()
+
+	resp, data := postJSON(t, ts.URL+"/v1/check", checkBody(bellQASM, bellQASM))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (the daemon answers even for a crashed check); body %s",
+			resp.StatusCode, data)
+	}
+	var res CheckResponse
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictError {
+		t.Fatalf("verdict = %q, want %q (body %s)", res.Verdict, VerdictError, data)
+	}
+	if !strings.Contains(res.Error, "panic") {
+		t.Errorf("error = %q, want the recovered panic surfaced", res.Error)
+	}
+
+	// The fault was Once: the next request on the same daemon must succeed.
+	resp, data = postJSON(t, ts.URL+"/v1/check", checkBody(bellQASM, bellQASM))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-fault status = %d; body %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictEquivalent {
+		t.Fatalf("post-fault verdict = %q, want %q", res.Verdict, VerdictEquivalent)
+	}
+}
+
+// TestWorkerPanicIsolation covers the server's own recover barrier: an
+// executor panic that the checking engine did not catch still becomes a
+// typed error response, the worker survives, and the panic is counted.
+func TestWorkerPanicIsolation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	first := true
+	s.exec = func(j *job) core.Report {
+		if first {
+			first = false
+			panic("synthetic executor fault")
+		}
+		return core.Report{}
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/check", checkBody(bellQASM, bellQASM))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; body %s", resp.StatusCode, data)
+	}
+	var res CheckResponse
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictError || !strings.Contains(res.Error, "synthetic executor fault") {
+		t.Fatalf("result = %+v, want verdict error carrying the panic", res)
+	}
+
+	// Same single worker, next request: the pool survived the panic.
+	resp, data = postJSON(t, ts.URL+"/v1/check", checkBody(bellQASM, bellQASM))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic status = %d; body %s", resp.StatusCode, data)
+	}
+
+	_, body := getJSON(t, ts.URL+"/metrics")
+	if !strings.Contains(string(body), "qcecd_panics_recovered_total 1") {
+		t.Errorf("metrics missing qcecd_panics_recovered_total 1")
+	}
+	if !strings.Contains(string(body), `qcecd_checks_total{verdict="error"} 1`) {
+		t.Errorf("metrics missing the error-verdict count")
+	}
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qcec/internal/core"
+)
+
+// newFrontend serves s over HTTP without the automatic drain of
+// newTestServer — these tests drive Shutdown themselves.
+func newFrontend(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestBoundedConcurrency proves the worker pool is the hard bound on
+// in-flight checks: many more requests than workers, yet the observed
+// concurrency never exceeds the pool size, every request completes, and the
+// drain leaves no goroutines behind.
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	const requests = 20
+
+	baseline := runtime.NumGoroutine()
+
+	s := New(Config{Workers: workers, QueueDepth: requests})
+	var cur, peak atomic.Int64
+	s.exec = func(j *job) core.Report {
+		n := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		return core.Report{}
+	}
+	ts := newFrontend(t, s)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/check", "application/json",
+				strings.NewReader(checkBody(bellQASM, bellQASM)))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- resp.Status
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("request failed: %s", e)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency = %d, exceeds the %d-worker pool", p, workers)
+	}
+
+	ctx, cancel := contextWithTimeout(10 * time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	ts.Close()
+
+	// All worker and per-job goroutines must be gone after the drain; allow
+	// the runtime a moment to retire finished goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d now vs %d at start\n%s", n, baseline, buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers: a job that outlives the drain deadline
+// is cancelled with the typed *DrainError cause rather than waited on
+// forever.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	s := New(Config{Workers: 1})
+	jobStarted := make(chan struct{})
+	sawCause := make(chan error, 1)
+	s.exec = func(j *job) core.Report {
+		close(jobStarted)
+		<-j.ctx.Done()
+		sawCause <- context.Cause(j.ctx)
+		return core.Report{Verdict: core.ProbablyEquivalent, Cancelled: true}
+	}
+	ts := newFrontend(t, s)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(ts.URL+"/v1/check", "application/json",
+			strings.NewReader(checkBody(bellQASM, bellQASM)))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-jobStarted
+
+	ctx, cancel := contextWithTimeout(50 * time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatalf("Shutdown returned nil, want the drain-deadline error")
+	}
+	select {
+	case cause := <-sawCause:
+		if _, ok := cause.(*DrainError); !ok {
+			t.Errorf("job cancellation cause = %T (%v), want *DrainError", cause, cause)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never observed the drain cancellation")
+	}
+	<-done
+	ts.Close()
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"runtime"
+	"time"
+)
+
+// Config parameterizes a Server.  The zero value is usable: withDefaults
+// fills every field with a sane production default.
+type Config struct {
+	// Workers is the number of concurrent checking workers — the hard bound
+	// on in-flight checks (default: GOMAXPROCS, at least 1).  Each worker
+	// runs one job at a time; a job's own simulation-stage parallelism is
+	// additionally capped at MaxParallel.
+	Workers int
+	// QueueDepth bounds the number of admitted-but-not-started jobs
+	// (default 64).  A full queue rejects with 429 + Retry-After rather
+	// than queueing unboundedly — the memory a pending job pins (two parsed
+	// circuits) is the server's real admission currency.
+	QueueDepth int
+	// MaxParallel caps a single job's simulation-stage worker count
+	// (default 4).  Requests asking for more are clamped, not rejected.
+	MaxParallel int
+	// MaxBodyBytes bounds the request body (default 4 MiB → 413).
+	MaxBodyBytes int64
+	// MaxQubits / MaxGates reject circuits beyond the deployment's size
+	// envelope with 413 circuit_too_large (0 = no bound).
+	MaxQubits int
+	MaxGates  int
+	// DefaultTimeout bounds a check when the request sets none (default
+	// 30s); MaxTimeout caps what a request may ask for (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MemSoftLimit / MemHardLimit, in bytes, put every job under a
+	// per-job resource.Watchdog (0 = no memory budget).
+	MemSoftLimit uint64
+	MemHardLimit uint64
+	// RetryAfter is the hint returned with 429 responses (default 1s,
+	// rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// CompletedJobs bounds how many finished async jobs are retained for
+	// GET /v1/jobs/{id} before the oldest are evicted (default 256).
+	CompletedJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxParallel <= 0 {
+		c.MaxParallel = 4
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CompletedJobs <= 0 {
+		c.CompletedJobs = 256
+	}
+	return c
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"qcec/internal/circuit"
+	"qcec/internal/core"
+	"qcec/internal/resource"
+)
+
+// This file implements the worker pool: a bounded job queue with admission
+// control, per-job deadlines and memory budgets, panic isolation, and a
+// graceful drain protocol.
+//
+// Admission is the load-shedding point.  A job is accepted only if the queue
+// channel has room right now (select with default); otherwise the caller
+// gets errQueueFull and the handler turns it into 429 + Retry-After.  The
+// queue bounds memory (each pending job pins two parsed circuits), the
+// worker count bounds CPU, and nothing in the daemon waits unboundedly.
+//
+// Drain: Shutdown flips the draining flag under the admission lock (so no
+// submit can race past it), closes the queue channel, and waits for the
+// workers to finish the jobs already admitted.  If the drain context expires
+// first, the base context is cancelled with a typed *DrainError cause — every
+// running check observes it at its next cooperative cancellation point and
+// returns an inconclusive-but-clean verdict, exactly like a client deadline.
+
+// DrainError is the cancellation cause installed when a shutdown's drain
+// deadline expires while checks are still running.
+type DrainError struct {
+	// Waited is how long the drain waited before giving up.
+	Waited time.Duration
+}
+
+// Error formats the drain timeout.
+func (e *DrainError) Error() string {
+	return fmt.Sprintf("server: drain deadline exceeded after %s", e.Waited)
+}
+
+// errQueueFull is returned by submit when the queue has no room.
+var errQueueFull = errors.New("server: job queue full")
+
+// errDraining is returned by submit once Shutdown has begun.
+var errDraining = errors.New("server: draining")
+
+// job is one admitted equivalence check.
+type job struct {
+	id  string
+	req CheckRequest
+	g1  *circuit.Circuit
+	g2  *circuit.Circuit
+
+	enqueued time.Time
+	started  time.Time
+
+	// status is one of StatusQueued/StatusRunning/StatusDone, stored as an
+	// index into jobStatuses.
+	status atomic.Int32
+
+	// ctx governs the job's whole execution; cancel releases it.  The sync
+	// handler additionally ties it to the HTTP request context so a client
+	// disconnect stops the check.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	// done closes when the job has finished and result is set.
+	done   chan struct{}
+	result *CheckResponse
+}
+
+var jobStatuses = [...]string{StatusQueued, StatusRunning, StatusDone}
+
+func (j *job) statusString() string { return jobStatuses[j.status.Load()] }
+
+const (
+	jobQueued int32 = iota
+	jobRunning
+	jobDone
+)
+
+// submit admits a job to the queue, or rejects it with errQueueFull /
+// errDraining.  It never blocks.
+func (s *Server) submit(j *job) error {
+	// The admission read-lock pairs with Shutdown's write-lock: a submit
+	// that sees draining==false is guaranteed to finish its channel send
+	// before Shutdown closes the channel.
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		return errDraining
+	}
+	select {
+	case s.jobs <- j:
+		s.metrics.submittedJob()
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// worker drains the job queue until it is closed.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one admitted job with panic isolation and records its
+// result and telemetry.
+func (s *Server) runJob(j *job) {
+	j.started = time.Now()
+	j.status.Store(jobRunning)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	rep, panicErr := s.executeIsolated(j)
+	res := s.buildResponse(j, rep, panicErr)
+
+	queued := j.started.Sub(j.enqueued)
+	ran := time.Since(j.started)
+	res.Timings.QueueMS = float64(queued.Microseconds()) / 1e3
+	res.Timings.TotalMS = float64(ran.Microseconds()) / 1e3
+
+	ddStats := rep.DD
+	if rep.EC != nil {
+		ddStats.Add(rep.EC.DD)
+	}
+	s.metrics.finishedJob(res, queued, ran, ddStats, rep.Mem, panicErr != nil)
+
+	j.result = res
+	j.status.Store(jobDone)
+	j.cancel(nil)
+	close(j.done)
+	s.retireJob(j)
+}
+
+// executeIsolated runs the check behind a recover barrier, so a panicking
+// job is converted into a typed error response and the daemon lives on.
+// Checker-internal panic isolation (simulation workers, provers) already
+// catches most faults; this is the last line of defense for the paths that
+// have no recover of their own (parser-adjacent code, the flow itself).
+func (s *Server) executeIsolated(j *job) (rep core.Report, panicErr *resource.PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicErr = resource.NewPanicError("server: job "+j.id, r)
+		}
+	}()
+	rep = s.exec(j)
+	return rep, nil
+}
+
+// runCheck is the default job executor (Server.exec): it translates the wire
+// options into core.Options under the server's clamps and runs the flow.
+func (s *Server) runCheck(j *job) core.Report {
+	o := j.req.Options
+	timeout := s.cfg.DefaultTimeout
+	if o.TimeoutMS > 0 {
+		timeout = time.Duration(o.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(j.ctx, timeout)
+	defer cancel()
+
+	parallel := o.Parallel
+	if parallel > s.cfg.MaxParallel {
+		parallel = s.cfg.MaxParallel
+	}
+	strategy, _ := parseStrategy(o.Strategy) // validated at admission
+	nodeLimit := o.NodeLimit
+	if nodeLimit < 0 {
+		nodeLimit = 0
+	}
+
+	return core.Check(j.g1, j.g2, core.Options{
+		Context:           ctx,
+		R:                 o.R,
+		Seed:              o.Seed,
+		Parallel:          parallel,
+		SkipEC:            o.SimOnly,
+		Strategy:          strategy,
+		ECTimeout:         timeout,
+		ECNodeLimit:       nodeLimit,
+		UpToGlobalPhase:   o.UpToGlobalPhase,
+		FidelityThreshold: o.FidelityThreshold,
+		MemSoftLimit:      s.cfg.MemSoftLimit,
+		MemHardLimit:      s.cfg.MemHardLimit,
+	})
+}
+
+// buildResponse converts a flow report (or an isolated panic) into the wire
+// response.
+func (s *Server) buildResponse(j *job, rep core.Report, panicErr *resource.PanicError) *CheckResponse {
+	res := &CheckResponse{JobID: j.id}
+	switch {
+	case panicErr != nil:
+		res.Verdict = VerdictError
+		res.Error = panicErr.Error()
+	case rep.Err != nil:
+		res.Verdict = VerdictError
+		res.Error = rep.Err.Error()
+	default:
+		res.Verdict = wireVerdict(rep.Verdict)
+	}
+	res.NumSims = rep.NumSims
+	res.Exhaustive = rep.Exhaustive
+	res.MinFidelity = rep.MinFidelity
+	res.Cancelled = rep.Cancelled
+	if rep.CancelCause != nil {
+		res.CancelCause = rep.CancelCause.Error()
+	}
+	if ce := rep.Counterexample; ce != nil {
+		res.Counterexample = &Counterexample{
+			Input:    ce.Input,
+			Fidelity: ce.Fidelity,
+			StateG:   ce.StateG,
+			StateGp:  ce.StateGp,
+		}
+	}
+	if rep.EC != nil {
+		res.ECVerdict = rep.EC.Verdict.String()
+		res.Timings.ECMS = float64(rep.EC.Runtime.Microseconds()) / 1e3
+	}
+	res.Timings.SimMS = float64(rep.SimTime.Microseconds()) / 1e3
+	ddStats := rep.DD
+	if rep.EC != nil {
+		ddStats.Add(rep.EC.DD)
+	}
+	res.DD = wireDD(ddStats)
+	res.Mem = wireMem(rep.Mem)
+	return res
+}
+
+// retireJob records a finished async job for GET /v1/jobs/{id}, evicting the
+// oldest finished jobs beyond the retention bound.
+func (s *Server) retireJob(j *job) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if _, tracked := s.byID[j.id]; !tracked {
+		return // sync job: never registered for async lookup
+	}
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.cfg.CompletedJobs {
+		evict := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		delete(s.byID, evict)
+	}
+}
+
+// Shutdown drains the server: admission stops immediately (submit returns
+// errDraining), queued and running jobs are given until ctx expires to
+// finish, then the base context is cancelled with a *DrainError cause and
+// the remaining checks stop at their next cooperative cancellation point.
+// Shutdown returns nil on a clean drain and ctx.Err() when the deadline
+// forced cancellation; it is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.admitMu.Lock()
+		s.draining = true
+		close(s.jobs)
+		s.admitMu.Unlock()
+	})
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	start := time.Now()
+	select {
+	case <-done:
+		s.baseCancel(nil)
+		return nil
+	case <-ctx.Done():
+		s.baseCancel(&DrainError{Waited: time.Since(start)})
+		<-done // workers observe the cancellation and finish promptly
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,305 @@
+// Package server implements qcecd, a long-running HTTP/JSON equivalence-
+// checking service over the repo's simulation-first flow (internal/core).
+//
+// The daemon turns the library into infrastructure: compiler CI posts a pair
+// of QASM circuits and gets back a verdict, a counterexample stimulus when
+// the pair differs, per-stage timings, and the DD-engine telemetry — without
+// linking the checker or paying a process start per query (the gate-DD cache
+// and interned-weight tables amortize across requests within a worker).
+//
+// The serving core is a bounded worker pool over a bounded queue:
+//
+//   - Admission control: a full queue rejects with 429 + Retry-After instead
+//     of queueing unboundedly.  Checks are memory-hungry (a DD blow-up is a
+//     heap blow-up), so backpressure must happen before work starts.
+//   - Per-job budgets: every check runs under a deadline (request-supplied,
+//     clamped to the server max) and, when configured, a per-job
+//     resource.Watchdog memory budget.
+//   - Panic isolation: a panicking check becomes a verdict:"error" response
+//     (resource.PanicError), never a daemon crash.
+//   - Graceful drain: Shutdown stops admission, finishes admitted jobs, and
+//     cancels stragglers with a typed *DrainError cause at the deadline.
+//
+// Endpoints: POST /v1/check (synchronous), POST /v1/jobs + GET /v1/jobs/{id}
+// (asynchronous batch), GET /healthz, GET /metrics (Prometheus text).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qcec/internal/circuit"
+	"qcec/internal/core"
+	"qcec/internal/ec"
+	"qcec/internal/qasm"
+)
+
+// Server is the checking service.  Create it with New, serve s.Handler(),
+// and stop it with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+
+	// baseCtx parents every job context; baseCancel carries the drain cause.
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+
+	jobs     chan *job
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+	nextID   atomic.Uint64
+
+	admitMu   sync.RWMutex
+	draining  bool
+	drainOnce sync.Once
+
+	jobsMu    sync.Mutex
+	byID      map[string]*job // async jobs only
+	doneOrder []string        // finished async jobs, oldest first
+
+	// exec runs one admitted job; tests swap it to control timing and
+	// failure modes without real circuits.
+	exec func(*job) core.Report
+}
+
+// New builds a server under cfg and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		metrics:    newMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(chan *job, cfg.QueueDepth),
+		byID:       make(map[string]*job),
+	}
+	s.exec = s.runCheck
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/check", s.handleCheck)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// newJob parses and validates a request body into an admissible job.
+func (s *Server) newJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req CheckRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		} else {
+			s.fail(w, http.StatusBadRequest, CodeBadRequest, "invalid JSON: "+err.Error())
+		}
+		return nil, false
+	}
+	if req.G == "" || req.Gp == "" {
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, `both "g" and "gp" circuits are required`)
+		return nil, false
+	}
+	g1, ok := s.parseCircuit(w, "g", req.G)
+	if !ok {
+		return nil, false
+	}
+	g2, ok := s.parseCircuit(w, "gp", req.Gp)
+	if !ok {
+		return nil, false
+	}
+	if _, err := parseStrategy(req.Options.Strategy); err != nil {
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return nil, false
+	}
+	j := &job{
+		id:       fmt.Sprintf("j%08d", s.nextID.Add(1)),
+		req:      req,
+		g1:       g1,
+		g2:       g2,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	j.ctx, j.cancel = context.WithCancelCause(s.baseCtx)
+	return j, true
+}
+
+// parseCircuit parses one QASM source and enforces the size envelope.
+func (s *Server) parseCircuit(w http.ResponseWriter, field, src string) (*circuit.Circuit, bool) {
+	prog, err := qasm.Parse(src)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, CodeBadQASM,
+			fmt.Sprintf("circuit %q: %v", field, err))
+		return nil, false
+	}
+	c := prog.Circuit
+	if s.cfg.MaxQubits > 0 && c.N > s.cfg.MaxQubits {
+		s.fail(w, http.StatusRequestEntityTooLarge, CodeCircuitTooLarge,
+			fmt.Sprintf("circuit %q has %d qubits (limit %d)", field, c.N, s.cfg.MaxQubits))
+		return nil, false
+	}
+	if s.cfg.MaxGates > 0 && len(c.Gates) > s.cfg.MaxGates {
+		s.fail(w, http.StatusRequestEntityTooLarge, CodeCircuitTooLarge,
+			fmt.Sprintf("circuit %q has %d gates (limit %d)", field, len(c.Gates), s.cfg.MaxGates))
+		return nil, false
+	}
+	return c, true
+}
+
+// admit submits the job, translating rejections to HTTP responses.
+func (s *Server) admit(w http.ResponseWriter, j *job) bool {
+	switch err := s.submit(j); {
+	case err == nil:
+		return true
+	case errors.Is(err, errDraining):
+		j.cancel(nil)
+		s.metrics.rejectedJob("draining")
+		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is shutting down")
+	default:
+		j.cancel(nil)
+		s.metrics.rejectedJob("queue_full")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		s.fail(w, http.StatusTooManyRequests, CodeQueueFull,
+			fmt.Sprintf("job queue full (%d pending)", s.cfg.QueueDepth))
+	}
+	return false
+}
+
+// handleCheck is POST /v1/check: admit, wait for the result, respond.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.newJob(w, r)
+	if !ok {
+		return
+	}
+	// A client disconnect cancels the running check; a finished job's
+	// cancel(nil) makes this a no-op.
+	stop := context.AfterFunc(r.Context(), func() {
+		j.cancel(context.Cause(r.Context()))
+	})
+	defer stop()
+	if !s.admit(w, j) {
+		return
+	}
+	<-j.done
+	writeJSON(w, http.StatusOK, j.result)
+}
+
+// handleSubmitJob is POST /v1/jobs: admit and return 202 immediately.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.newJob(w, r)
+	if !ok {
+		return
+	}
+	// Register before admission so a fast worker cannot finish the job
+	// before it is visible to GET /v1/jobs/{id}.
+	s.jobsMu.Lock()
+	s.byID[j.id] = j
+	s.jobsMu.Unlock()
+	if !s.admit(w, j) {
+		s.jobsMu.Lock()
+		delete(s.byID, j.id)
+		s.jobsMu.Unlock()
+		return
+	}
+	writeJSON(w, http.StatusAccepted, JobResponse{JobID: j.id, Status: j.statusString()})
+}
+
+// handleGetJob is GET /v1/jobs/{id}.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.jobsMu.Lock()
+	j := s.byID[id]
+	s.jobsMu.Unlock()
+	if j == nil {
+		s.fail(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown job %q", id))
+		return
+	}
+	resp := JobResponse{JobID: j.id, Status: j.statusString()}
+	if resp.Status == StatusDone {
+		resp.Result = j.result
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, len(s.jobs), s.cfg.QueueDepth, int(s.inflight.Load()),
+		s.cfg.Workers, draining)
+}
+
+// fail writes a typed JSON error body and counts it.
+func (s *Server) fail(w http.ResponseWriter, status int, code, msg string) {
+	if status < http.StatusInternalServerError && status != http.StatusTooManyRequests &&
+		status != http.StatusServiceUnavailable {
+		s.metrics.badRequest()
+	}
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// parseStrategy maps a wire strategy name to the complete routine's scheme.
+// The empty string selects the paper's default, Proportional.
+func parseStrategy(name string) (ec.Strategy, error) {
+	switch name {
+	case "", "proportional":
+		return ec.Proportional, nil
+	case "construction":
+		return ec.Construction, nil
+	case "sequential":
+		return ec.Sequential, nil
+	case "lookahead":
+		return ec.Lookahead, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want construction|sequential|proportional|lookahead)", name)
+	}
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end service check used by `make serve-smoke`:
+// build the real qcecd binary, run it on a random port, drive it over real
+// HTTP with seed circuits, scrape /metrics, then SIGTERM it and require a
+// clean exit.  Gated behind QCECD_SMOKE=1 because it compiles a binary.
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("QCECD_SMOKE") == "" {
+		t.Skip("set QCECD_SMOKE=1 to run the daemon smoke test")
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "qcecd")
+	build := exec.Command("go", "build", "-o", bin, "qcec/cmd/qcecd")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build qcecd: %v\n%s", err, out)
+	}
+
+	ghz5, err := os.ReadFile("../../circuits/ghz5.qasm")
+	if err != nil {
+		t.Fatalf("read seed circuit: %v", err)
+	}
+	equivalentPair := checkBody(string(ghz5), string(ghz5))
+	differingPair := checkBody(string(ghz5), string(ghz5)+"x q[0];\n")
+
+	addrFile := filepath.Join(tmp, "addr")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-workers", "2",
+		"-drain-timeout", "20s",
+	)
+	var output syncBuffer
+	cmd.Stdout = &output
+	cmd.Stderr = &output
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start qcecd: %v", err)
+	}
+	// exited is closed after the wait result is delivered, so every receive
+	// after the first returns immediately (the cleanup below must not hang
+	// when the test body already consumed the result).
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait(); close(exited) }()
+	defer func() {
+		select {
+		case <-exited:
+		default:
+			_ = cmd.Process.Kill()
+			<-exited
+		}
+	}()
+
+	// The daemon binds before announcing, so the address file appearing
+	// means connects will succeed.
+	var base string
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base = "http://" + string(b)
+			break
+		}
+		select {
+		case err := <-exited:
+			t.Fatalf("qcecd exited before serving: %v\n%s", err, output.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("address file never appeared\n%s", output.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	post := func(body string) CheckResponse {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/check", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /v1/check: %v", err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("check status = %d; body %s", resp.StatusCode, data)
+		}
+		var res CheckResponse
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		return res
+	}
+
+	if res := post(equivalentPair); res.Verdict != VerdictEquivalent {
+		t.Fatalf("ghz5 vs ghz5 verdict = %q, want equivalent", res.Verdict)
+	} else if res.ECVerdict == "" {
+		// 2^5 basis states > DefaultR stimuli: the complete routine must
+		// have produced the proof.
+		t.Errorf("equivalent verdict without a complete-routine run: %+v", res)
+	}
+	if res := post(differingPair); res.Verdict != VerdictNotEquivalent {
+		t.Fatalf("ghz5 vs ghz5+X verdict = %q, want not_equivalent", res.Verdict)
+	} else if res.Counterexample == nil {
+		t.Errorf("not_equivalent without a counterexample")
+	}
+
+	// A concurrent burst: all succeed, none crash the daemon.
+	var wg sync.WaitGroup
+	verdicts := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		body := equivalentPair
+		if i%2 == 1 {
+			body = differingPair
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			verdicts <- post(body).Verdict
+		}()
+	}
+	wg.Wait()
+	close(verdicts)
+	for v := range verdicts {
+		if v != VerdictEquivalent && v != VerdictNotEquivalent {
+			t.Errorf("burst verdict = %q", v)
+		}
+	}
+
+	// Health and metrics reflect the traffic.
+	hr, err := http.Get(base + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v (status %v)", err, hr)
+	}
+	hr.Body.Close()
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	mtext, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	for _, want := range []string{
+		`qcecd_checks_total{verdict="equivalent"} 5`,
+		`qcecd_checks_total{verdict="not_equivalent"} 5`,
+		"qcecd_jobs_completed_total 10",
+		"qcecd_dd_apply_calls_total",
+		"qcecd_check_duration_seconds_count 10",
+	} {
+		if !strings.Contains(string(mtext), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// SIGTERM: graceful drain, exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("qcecd exit = %v, want 0\n%s", err, output.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("qcecd did not exit after SIGTERM\n%s", output.String())
+	}
+	if !strings.Contains(output.String(), "drained") {
+		t.Errorf("daemon output missing the drain confirmation:\n%s", output.String())
+	}
+	t.Logf("daemon output:\n%s", output.String())
+}
+
+// syncBuffer collects the daemon's output; the exec copy goroutine writes it
+// while failure paths read it, so access is locked.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
