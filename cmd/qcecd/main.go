@@ -5,6 +5,7 @@
 // Endpoints (see internal/server):
 //
 //	POST /v1/check     synchronous check: {"g": "<qasm>", "gp": "<qasm>", "options": {...}}
+//	POST /v1/batch     up to -max-batch-items pairs in one request, per-item results
 //	POST /v1/jobs      asynchronous check, returns 202 + job id
 //	GET  /v1/jobs/{id} job status / result
 //	GET  /healthz      200 while serving, 503 once draining
@@ -48,6 +49,9 @@ func run() int {
 		memSoft    = flag.Int("mem-soft-limit", 0, "per-job soft heap budget in MiB: force DD collections above it (0 = 80% of -mem-limit)")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for running checks")
 		retained   = flag.Int("jobs-retained", 256, "finished async jobs kept for GET /v1/jobs/{id}")
+		batchItems = flag.Int("max-batch-items", 128, "largest POST /v1/batch item count")
+		cacheSize  = flag.Int("cache-entries", 1024, "verdict memoization cache bound (-1 disables)")
+		poolSize   = flag.Int("pool-packages", 0, "warm DD packages kept per (qubits, tolerance) bucket (0 = worker count, -1 disables)")
 	)
 	flag.Parse()
 
@@ -68,6 +72,9 @@ func run() int {
 		MemSoftLimit:   memSoftBytes,
 		MemHardLimit:   memHardBytes,
 		CompletedJobs:  *retained,
+		MaxBatchItems:  *batchItems,
+		CacheEntries:   *cacheSize,
+		PoolPackages:   *poolSize,
 	})
 
 	// Listen before announcing, so the printed/filed address is bound and a

@@ -113,6 +113,11 @@ func (t *Table) Size() int { return int(t.nextID) }
 // existing entry.
 func (t *Table) Stats() (lookups, hits int64) { return t.lookups, t.hits }
 
+// ResetStats zeroes the lookup counters without touching the interned
+// values; a pooled DD package calls it between jobs so each job's snapshot
+// reports only its own interning activity.
+func (t *Table) ResetStats() { t.lookups, t.hits = 0, 0 }
+
 func (t *Table) key(c complex128) bucketKey {
 	return bucketKey{
 		re: int64(math.Floor(real(c) / t.tol)),

@@ -153,6 +153,14 @@ type Options struct {
 	// all-agree outcome reports ProbablyEquivalent with the observed
 	// fidelity statistics in the report.
 	FidelityThreshold float64
+	// Pool, when non-nil, supplies warm DD packages for the simulation
+	// workers and the complete routine instead of building fresh ones
+	// (dd.New) per check.  A pooled package keeps its interned weights,
+	// grown compute tables and gate-DD cache across jobs, which is the
+	// serving layer's amortization lever; packages are returned reset on
+	// clean completion and dropped after genuine panics (their internal
+	// state is no longer trustworthy).  Verdicts are identical either way.
+	Pool *dd.Pool
 }
 
 // Counterexample records a distinguishing stimulus found by simulation.
@@ -380,6 +388,7 @@ func check(g1, g2 *circuit.Circuit, opts Options) Report {
 		Tolerance:          opts.Tolerance,
 		DisableGateCache:   opts.DisableGateCache,
 		DisableApplyKernel: opts.DisableApplyKernel,
+		Pool:               opts.Pool,
 	})
 	report.EC = &res
 	switch res.Verdict {

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"qcec/internal/circuit"
+	"qcec/internal/dd"
+)
+
+// TestPooledParity runs the same checks with and without a warm package pool
+// and requires identical verdicts, counterexamples and simulation counts —
+// pooling is an amortization, never a behaviour change.
+func TestPooledParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g1 := randomCircuit(rng, 4, 30)
+	cases := map[string]*circuit.Circuit{
+		"equivalent": g1.Clone(),
+		"broken":     g1.Clone().X(2),
+	}
+
+	pool := dd.NewPool(4)
+	for name, g2 := range cases {
+		fresh := Check(g1, g2, Options{Seed: 9, R: 4})
+		pooled := Check(g1, g2, Options{Seed: 9, R: 4, Pool: pool})
+		if fresh.Verdict != pooled.Verdict {
+			t.Errorf("%s: verdict %v fresh vs %v pooled", name, fresh.Verdict, pooled.Verdict)
+		}
+		if fresh.NumSims != pooled.NumSims {
+			t.Errorf("%s: NumSims %d fresh vs %d pooled", name, fresh.NumSims, pooled.NumSims)
+		}
+		if (fresh.Counterexample == nil) != (pooled.Counterexample == nil) {
+			t.Errorf("%s: counterexample presence differs", name)
+		}
+		if fresh.Counterexample != nil && pooled.Counterexample != nil &&
+			fresh.Counterexample.Input != pooled.Counterexample.Input {
+			t.Errorf("%s: counterexample input %d fresh vs %d pooled",
+				name, fresh.Counterexample.Input, pooled.Counterexample.Input)
+		}
+	}
+
+	st := pool.Stats()
+	if st.Gets == 0 || st.Puts == 0 {
+		t.Fatalf("pool was not exercised: %+v", st)
+	}
+	if st.Reuses == 0 {
+		t.Errorf("no package was reused across the checks: %+v", st)
+	}
+	if st.Gets != st.Puts+st.Forgotten {
+		t.Errorf("package leak: %d gets vs %d puts + %d forgotten", st.Gets, st.Puts, st.Forgotten)
+	}
+
+	// A second pooled run of the same pair must reuse warm packages for every
+	// worker it spawns.
+	before := pool.Stats()
+	rep := Check(g1, cases["equivalent"], Options{Seed: 9, R: 4, Pool: pool})
+	if rep.Verdict != Equivalent {
+		t.Fatalf("warm rerun verdict = %v", rep.Verdict)
+	}
+	after := pool.Stats()
+	if gets, reuses := after.Gets-before.Gets, after.Reuses-before.Reuses; reuses != gets {
+		t.Errorf("warm rerun: %d of %d gets were reuses", reuses, gets)
+	}
+}
+
+// TestPooledParityParallel covers the multi-worker stimulus loop, where each
+// worker draws its own package from the shared pool.
+func TestPooledParityParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g1 := randomCircuit(rng, 5, 40)
+	g2 := g1.Clone().X(1)
+
+	pool := dd.NewPool(4)
+	fresh := Check(g1, g2, Options{Seed: 3, R: 8, Parallel: 4})
+	pooled := Check(g1, g2, Options{Seed: 3, R: 8, Parallel: 4, Pool: pool})
+	if fresh.Verdict != pooled.Verdict {
+		t.Errorf("verdict %v fresh vs %v pooled", fresh.Verdict, pooled.Verdict)
+	}
+	if (fresh.Counterexample == nil) != (pooled.Counterexample == nil) {
+		t.Fatalf("counterexample presence differs")
+	}
+	if fresh.Counterexample != nil &&
+		fresh.Counterexample.Input != pooled.Counterexample.Input {
+		t.Errorf("counterexample input %d fresh vs %d pooled",
+			fresh.Counterexample.Input, pooled.Counterexample.Input)
+	}
+	if st := pool.Stats(); st.Gets != st.Puts+st.Forgotten {
+		t.Errorf("package leak: %+v", st)
+	}
+}

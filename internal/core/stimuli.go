@@ -26,6 +26,10 @@ type simRunner struct {
 	// removeGauge unregisters this runner's occupancy gauge from the memory
 	// watchdog; nil when the flow runs without one.
 	removeGauge func()
+
+	// pool, when non-nil, is where the package came from and where release
+	// returns it.
+	pool *dd.Pool
 }
 
 func newSimRunner(n int, opts Options) *simRunner {
@@ -33,8 +37,18 @@ func newSimRunner(n int, opts Options) *simRunner {
 	if tol == 0 {
 		tol = 1e-10
 	}
+	var p *dd.Package
+	if opts.Pool != nil {
+		// A pooled package arrives reset (Pool.Put resets before re-listing),
+		// so the per-job configuration below starts from the same defaults a
+		// fresh package would.
+		p = opts.Pool.Get(n, tol)
+	} else {
+		p = dd.New(n, tol)
+	}
 	r := &simRunner{
-		p:         dd.New(n, tol),
+		p:         p,
+		pool:      opts.Pool,
 		havePerm:  opts.OutputPerm != nil,
 		upToPhase: opts.UpToGlobalPhase,
 		agreeTol:  agreementTolerance(tol),
@@ -66,12 +80,28 @@ func newSimRunner(n int, opts Options) *simRunner {
 	return r
 }
 
-// close unregisters the runner from the watchdog (if any); the package must
-// not be sampled after its owning goroutine exits.
-func (r *simRunner) close() {
+// close unregisters the runner from the watchdog (if any) and hands the
+// package back to the pool; the package must not be sampled after its owning
+// goroutine exits.  *errp distinguishes the exit path: a runner that died on
+// a genuine panic (recoverWorker stored a *resource.PanicError) must not
+// recycle its package — injected chaos may have corrupted internal state the
+// reset cannot undo (e.g. a non-finite weight interned into the shared
+// table).  Absorbed cancellations (err == nil) recycle normally.  Callers
+// must defer close BEFORE deferring recoverWorker so the error is already
+// recorded when close runs, and BEFORE the Snapshot defer so statistics are
+// read before the reset zeroes them.
+func (r *simRunner) close(errp *error) {
 	if r.removeGauge != nil {
 		r.removeGauge()
 	}
+	if r.pool == nil {
+		return
+	}
+	if errp != nil && *errp != nil {
+		r.pool.Forget()
+		return
+	}
+	r.pool.Put(r.p)
 }
 
 // compare simulates both circuits on |input>, returning the output fidelity
@@ -177,7 +207,7 @@ var (
 // the progress made before the fault.
 func runStimuliSequential(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (n int, ce *Counterexample, stats fidStats, ddStats dd.Stats, err error) {
 	r := newSimRunner(g1.N, opts)
-	defer r.close()
+	defer r.close(&err)
 	stats = newFidStats()
 	defer func() { ddStats = r.p.Snapshot() }()
 	defer recoverWorker("core.sim", &err)
@@ -221,7 +251,7 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 		go func(w int) {
 			defer wg.Done()
 			r := newSimRunner(g1.N, opts)
-			defer r.close()
+			defer r.close(&workerErr[w])
 			defer func() { workerDD[w] = r.p.Snapshot() }()
 			defer recoverWorker(fmt.Sprintf("core.sim worker %d", w), &workerErr[w])
 			for i := w; i < len(stimuli); i += workers {

@@ -124,7 +124,13 @@ type Package struct {
 
 	vUnique map[vKey]*VNode
 	mUnique map[mKey]*MNode
-	nextID  uint64
+	// nextID hands out node ids and is monotonic for the lifetime of the
+	// package — Reset does not rewind it, because surviving gate-cache nodes
+	// keep their ids and compute tables order commutative operands by id.
+	// nodesCreated is the per-job counter behind Stats.NodesCreated; Reset
+	// zeroes it so a pooled package reports only its current job's work.
+	nextID       uint64
+	nodesCreated uint64
 
 	idents []MEdge // idents[k] = identity on the k lowest levels
 
@@ -438,7 +444,7 @@ func (p *Package) Snapshot() Stats {
 		MatrixNodes:   len(p.mUnique),
 		WeightsStored: p.CN.Size(),
 		GateCacheSize: len(p.gateCache),
-		NodesCreated:  p.nextID,
+		NodesCreated:  p.nodesCreated,
 		GCRuns:        p.gcRuns,
 		GCReclaimed:   p.gcReclaimed,
 		CacheHits:     p.cacheHits,
@@ -656,6 +662,7 @@ func (p *Package) makeMNode(v int, e [4]MEdge) MEdge {
 
 func (p *Package) newID() uint64 {
 	p.nextID++
+	p.nodesCreated++
 	return p.nextID
 }
 

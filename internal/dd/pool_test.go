@@ -1,0 +1,257 @@
+package dd
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ghzJob runs a small GHZ-construction workload on p and sanity-checks the
+// result, returning the final state.
+func ghzJob(t *testing.T, p *Package) VEdge {
+	t.Helper()
+	st := p.ZeroState()
+	st = p.ApplyGateV(hMat, 0, nil, st)
+	for q := 1; q < p.Qubits(); q++ {
+		st = p.ApplyGateV(xMat, q, []Control{{Qubit: q - 1}}, st)
+	}
+	want := 1 / math.Sqrt2
+	if got := p.Amplitude(st, 0); math.Abs(real(got)-want) > 1e-9 {
+		t.Fatalf("GHZ amplitude(0...0) = %v, want %v", got, want)
+	}
+	return st
+}
+
+type recordingInjector struct{ calls int }
+
+func (r *recordingInjector) BeforeApply(*Package, uint64) { r.calls++ }
+
+type panicInjector struct{ at uint64 }
+
+func (pi *panicInjector) BeforeApply(_ *Package, nth uint64) {
+	if nth == pi.at {
+		panic("injected fault")
+	}
+}
+
+func TestResetClearsPerJobState(t *testing.T) {
+	p := New(4, 1e-10)
+	inj := &recordingInjector{}
+	p.SetFaultInjector(inj)
+	p.SetNodeLimit(1 << 20)
+	p.SetDeadline(time.Now().Add(time.Hour))
+	p.SetCancel(func() bool { return false })
+	p.SetPressure(func() uint64 { return 7 })
+	p.SetGCThreshold(123)
+	p.SetGateCacheLimit(5)
+	p.SetGateCacheEnabled(false)
+	ghzJob(t, p)
+	if inj.calls == 0 {
+		t.Fatalf("injector never fired; test exercises nothing")
+	}
+
+	p.Reset()
+
+	if p.nodeLimit != 0 || !p.deadline.IsZero() || p.cancel != nil {
+		t.Errorf("limit/deadline/cancel survived Reset")
+	}
+	if p.pressure != nil || p.pressureSeen != 0 {
+		t.Errorf("pressure hook state survived Reset")
+	}
+	if p.faults != nil {
+		t.Errorf("per-package fault injector survived Reset")
+	}
+	if !p.GateCacheEnabled() || p.gateCacheLimit != DefaultGateCacheLimit || p.gcThreshold != DefaultGCThreshold {
+		t.Errorf("cache configuration not restored to defaults")
+	}
+	s := p.Snapshot()
+	if s.NodesCreated != 0 || s.CacheHits != 0 || s.CacheMisses != 0 ||
+		s.UniqueLookups != 0 || s.UniqueHits != 0 ||
+		s.GateHits != 0 || s.GateMisses != 0 ||
+		s.ApplyCalls != 0 || s.ApplyHits != 0 || s.ApplyMisses != 0 ||
+		s.WeightLookups != 0 || s.WeightHits != 0 ||
+		s.GCRuns != 0 || s.GCReclaimed != 0 || s.PressureGCs != 0 ||
+		s.FaultEvents != 0 {
+		t.Errorf("counters survived Reset: %+v", s)
+	}
+
+	// The package must be fully usable for a fresh job afterwards.
+	ghzJob(t, p)
+	if got := p.Snapshot().FaultEvents; got != 0 {
+		t.Errorf("fault events on the clean job after Reset: %d", got)
+	}
+}
+
+// warmGates builds the GHZ alphabet's full-register gate DDs (the apply
+// kernel used by ghzJob bypasses the gate-DD cache, so warm it directly).
+func warmGates(p *Package) {
+	p.GateDD(hMat, 0, nil)
+	for q := 1; q < p.Qubits(); q++ {
+		p.GateDD(xMat, q, []Control{{Qubit: q - 1}})
+	}
+}
+
+func TestResetKeepsWarmState(t *testing.T) {
+	p := New(4, 1e-10)
+	ghzJob(t, p)
+	warmGates(p)
+	before := p.Snapshot()
+	if before.GateCacheSize == 0 {
+		t.Fatalf("job built no cached gates; warmth cannot be observed")
+	}
+	weights := before.WeightsStored
+	idBefore := p.nextID
+
+	p.Reset()
+
+	after := p.Snapshot()
+	if after.GateCacheSize != before.GateCacheSize {
+		t.Errorf("gate cache size %d after Reset, want %d (kept warm)",
+			after.GateCacheSize, before.GateCacheSize)
+	}
+	if after.WeightsStored != weights {
+		t.Errorf("interned weights %d after Reset, want %d", after.WeightsStored, weights)
+	}
+	if p.nextID < idBefore {
+		t.Errorf("nextID rewound from %d to %d; ids must stay monotonic", idBefore, p.nextID)
+	}
+
+	// The second, identical job must be answered entirely by the warm gate
+	// cache: zero misses (a fresh package pays one build per distinct gate).
+	ghzJob(t, p)
+	warmGates(p)
+	s := p.Snapshot()
+	if s.GateMisses != 0 {
+		t.Errorf("warm package rebuilt %d gate DDs", s.GateMisses)
+	}
+	if s.GateHits == 0 {
+		t.Errorf("warm package recorded no gate-cache hits")
+	}
+}
+
+func TestPoolReuseBoundsAndBuckets(t *testing.T) {
+	pl := NewPool(1)
+	p1 := pl.Get(3, 1e-10)
+	ghzJob(t, p1)
+	pl.Put(p1)
+	if p2 := pl.Get(3, 1e-10); p2 != p1 {
+		t.Errorf("pool did not hand back the idle package")
+	} else {
+		pl.Put(p2)
+	}
+
+	// A different register size or tolerance is a different bucket.
+	if q := pl.Get(4, 1e-10); q == p1 {
+		t.Errorf("pool reused a 3-qubit package for a 4-qubit job")
+	} else if q.Qubits() != 4 {
+		t.Errorf("fresh package has %d qubits, want 4", q.Qubits())
+	}
+	if q := pl.Get(3, 1e-6); q == p1 {
+		t.Errorf("pool reused a package across tolerances")
+	}
+
+	// Bucket bound: with perBucket == 1 and one idle package, a second Put
+	// into the same bucket is discarded.
+	extra := New(3, 1e-10)
+	pl.Put(extra)
+	pl.Forget()
+	st := pl.Stats()
+	if st.Discards != 1 {
+		t.Errorf("Discards = %d, want 1", st.Discards)
+	}
+	if st.Idle != 1 {
+		t.Errorf("Idle = %d, want 1", st.Idle)
+	}
+	if st.Gets != 4 || st.Reuses != 1 || st.Puts != 3 || st.Forgotten != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestPoolConcurrent hammers one pool from many goroutines; run under
+// -race (RACE_PKGS covers internal/dd) it proves Get/Put/Stats are safe
+// while each package stays single-owner between handovers.
+func TestPoolConcurrent(t *testing.T) {
+	pl := NewPool(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p := pl.Get(3, 1e-10)
+				ghzJob(t, p)
+				pl.Put(p)
+				pl.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	st := pl.Stats()
+	if st.Gets != 160 || st.Puts != 160 {
+		t.Errorf("stats = %+v, want 160 gets and puts", st)
+	}
+	if st.Idle > 4 {
+		t.Errorf("pool retains %d idle packages, bound is 4", st.Idle)
+	}
+}
+
+// TestPooledFaultedThenCleanJob is the regression test for pooled reuse
+// leaking fault-injection or watchdog state: a job that installed an
+// injector and a pressure hook and then died mid-circuit is returned to the
+// pool, and the next job on the same package must observe neither.
+func TestPooledFaultedThenCleanJob(t *testing.T) {
+	pl := NewPool(1)
+	p := pl.Get(3, 1e-10)
+
+	// Faulted job: injector panics partway through, watchdog hook installed.
+	p.SetFaultInjector(&panicInjector{at: 2})
+	epoch := uint64(0)
+	p.SetPressure(func() uint64 { epoch++; return epoch })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("injected fault did not fire")
+			}
+		}()
+		ghzJob(t, p)
+	}()
+	if p.Snapshot().FaultEvents == 0 {
+		t.Fatalf("faulted job recorded no fault events")
+	}
+	pl.Put(p)
+
+	// Clean job on the recycled package: same pointer, no injector, no
+	// pressure hook, correct result, zero fault events.
+	q := pl.Get(3, 1e-10)
+	if q != p {
+		t.Fatalf("pool handed out a different package; regression not exercised")
+	}
+	if q.faults != nil || q.pressure != nil || q.pressureSeen != 0 {
+		t.Fatalf("faulted job's hooks leaked into the pooled package")
+	}
+	ghzJob(t, q)
+	if s := q.Snapshot(); s.FaultEvents != 0 {
+		t.Errorf("clean job on pooled package saw %d fault events", s.FaultEvents)
+	}
+}
+
+// TestResetWithDefaultInjector: Reset re-arms the process-wide default
+// injector (mirroring New), so chaos runs keep their injector across pooled
+// reuse even though per-package overrides are dropped.
+func TestResetWithDefaultInjector(t *testing.T) {
+	inj := &recordingInjector{}
+	SetDefaultFaultInjector(inj)
+	defer SetDefaultFaultInjector(nil)
+
+	p := New(3, 1e-10)
+	p.SetFaultInjector(nil) // per-job override: injector off
+	p.Reset()
+	if p.faults == nil {
+		t.Fatalf("Reset did not restore the default injector")
+	}
+	ghzJob(t, p)
+	if inj.calls == 0 {
+		t.Errorf("default injector not firing after Reset")
+	}
+}

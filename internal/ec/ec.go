@@ -137,6 +137,11 @@ type Options struct {
 	// disables the respective bound.
 	MemSoftLimit uint64
 	MemHardLimit uint64
+	// Pool, when non-nil, supplies a warm DD package (dd.Pool.Get) instead
+	// of a fresh dd.New, and receives it back reset when the check ends
+	// cleanly.  Packages that survived a genuine panic are dropped, not
+	// returned.  Verdicts are identical either way.
+	Pool *dd.Pool
 }
 
 // StopCause identifies the resource bound that ended an inconclusive check.
@@ -275,7 +280,13 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Result {
 		})
 		ownWatchdog = true
 	}
-	p := dd.New(g1.N, tol)
+	var p *dd.Package
+	if opts.Pool != nil {
+		p = opts.Pool.Get(g1.N, tol)
+	} else {
+		p = dd.New(g1.N, tol)
+	}
+	genuineFault := false
 	c := &checker{p: p, opts: opts}
 	c.result.Strategy = opts.Strategy
 	if opts.Timeout > 0 {
@@ -328,6 +339,7 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Result {
 			// chaos, or a bug): isolate it as a typed error instead of
 			// crossing the prover boundary as a crash.
 			perr := resource.NewPanicError("ec "+c.opts.Strategy.String(), r)
+			genuineFault = true
 			c.result.Verdict = TimedOut
 			c.result.Cause = CauseError
 			c.result.Err = perr
@@ -353,6 +365,16 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Result {
 		w.Stop()
 		st := w.Stats()
 		c.result.Mem = &st
+	}
+	if opts.Pool != nil {
+		// Recycle only after the snapshot above — Put resets the package and
+		// zeroes its counters.  A package that survived a genuine panic may
+		// hold corrupted internal state the reset cannot undo; drop it.
+		if genuineFault {
+			opts.Pool.Forget()
+		} else {
+			opts.Pool.Put(p)
+		}
 	}
 	return c.result
 }

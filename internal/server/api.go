@@ -34,6 +34,10 @@ type CheckOptions struct {
 	SimOnly bool `json:"sim_only,omitempty"`
 	// FidelityThreshold enables approximate checking (see core.Options).
 	FidelityThreshold float64 `json:"fidelity_threshold,omitempty"`
+	// Tolerance overrides the DD weight tolerance (0 = server default,
+	// 1e-10).  It parameterizes the equivalence relation, so it is part of
+	// the verdict-cache key.
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 // CheckRequest is the body of POST /v1/check and POST /v1/jobs.
@@ -122,6 +126,10 @@ type CheckResponse struct {
 	Timings Timings        `json:"timings"`
 	DD      *DDStats       `json:"dd,omitempty"`
 	Mem     *WatchdogStats `json:"mem,omitempty"`
+	// Cached marks a verdict served from the memoization cache (or, inside
+	// a batch, deduplicated onto another item's execution) instead of a
+	// fresh check; cached responses carry no DD or memory telemetry.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Job status wire strings.
@@ -148,7 +156,36 @@ const (
 	CodeQueueFull       = "queue_full"
 	CodeDraining        = "draining"
 	CodeNotFound        = "not_found"
+	CodeBatchTooLarge   = "batch_too_large"
+	CodeCancelled       = "cancelled"
 )
+
+// BatchRequest is the body of POST /v1/batch: up to Config.MaxBatchItems
+// independent check requests answered in one round trip.
+type BatchRequest struct {
+	Items []CheckRequest `json:"items"`
+}
+
+// BatchItemResult is the outcome of one batch item: exactly one of Result
+// and Error is set.  Invalid items (bad QASM, oversized circuit) fail
+// item-locally with the same typed codes the single-check endpoint uses as
+// HTTP statuses; they never fail the whole batch.
+type BatchItemResult struct {
+	Index  int            `json:"index"`
+	Result *CheckResponse `json:"result,omitempty"`
+	Error  *ErrorDetail   `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a POST /v1/batch response.  Items are in
+// request order.  Deduplicated reports how many items shared another item's
+// fingerprint and were answered by its execution.
+type BatchResponse struct {
+	Items        []BatchItemResult `json:"items"`
+	Checked      int               `json:"checked"`
+	Deduplicated int               `json:"deduplicated"`
+	CacheHits    int               `json:"cache_hits"`
+	Failed       int               `json:"failed"`
+}
 
 // ErrorBody is the JSON shape of every non-2xx response.
 type ErrorBody struct {

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func postBatch(t *testing.T, baseURL string, req BatchRequest) (*http.Response, BatchResponse, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, data := postJSON(t, baseURL+"/v1/batch", string(body))
+	var br BatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &br); err != nil {
+			t.Fatalf("unmarshal batch response: %v (%s)", err, data)
+		}
+	}
+	return resp, br, data
+}
+
+func TestBatchMixedVerdictsAndErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := BatchRequest{Items: []CheckRequest{
+		{G: bellQASM, Gp: bellQASM},          // equivalent
+		{G: bellQASM, Gp: bellFlippedQASM},   // not equivalent
+		{G: "not qasm at all", Gp: bellQASM}, // bad_qasm, item-local
+		{G: bellQASM, Gp: ""},                // bad_request, item-local
+		{G: bellQASM, Gp: bellQASM},          // duplicate of item 0
+	}}
+	resp, br, data := postBatch(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; body %s", resp.StatusCode, data)
+	}
+	if len(br.Items) != 5 {
+		t.Fatalf("items = %d, want 5", len(br.Items))
+	}
+	for i, item := range br.Items {
+		if item.Index != i {
+			t.Errorf("item %d carries index %d", i, item.Index)
+		}
+	}
+	if v := br.Items[0].Result.Verdict; v != VerdictEquivalent {
+		t.Errorf("item 0 verdict = %q", v)
+	}
+	if v := br.Items[1].Result.Verdict; v != VerdictNotEquivalent {
+		t.Errorf("item 1 verdict = %q", v)
+	}
+	if br.Items[1].Result.Counterexample == nil {
+		t.Errorf("item 1 lost its counterexample")
+	}
+	if e := br.Items[2].Error; e == nil || e.Code != CodeBadQASM {
+		t.Errorf("item 2 error = %+v, want bad_qasm", e)
+	}
+	if e := br.Items[3].Error; e == nil || e.Code != CodeBadRequest {
+		t.Errorf("item 3 error = %+v, want bad_request", e)
+	}
+	if r := br.Items[4].Result; r == nil || !r.Cached {
+		t.Errorf("duplicate item 4 not deduplicated: %+v", r)
+	} else if r.Verdict != VerdictEquivalent {
+		t.Errorf("duplicate item 4 verdict = %q", r.Verdict)
+	}
+	if br.Checked != 2 || br.Deduplicated != 1 || br.Failed != 2 {
+		t.Errorf("counts = checked %d dedup %d failed %d, want 2/1/2",
+			br.Checked, br.Deduplicated, br.Failed)
+	}
+}
+
+// TestBatchLargerThanQueue proves the blocking submit: a batch with more
+// unique items than QueueDepth completes instead of failing with queue_full.
+func TestBatchLargerThanQueue(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 2})
+	items := make([]CheckRequest, 12)
+	for i := range items {
+		// Distinct pairs (distinct fingerprints): no dedup, all must run.
+		items[i] = CheckRequest{G: rotQASM(i), Gp: rotQASM(i)}
+	}
+	resp, br, data := postBatch(t, ts.URL, BatchRequest{Items: items})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; body %s", resp.StatusCode, data)
+	}
+	if br.Checked != len(items) || br.Failed != 0 {
+		t.Fatalf("checked %d failed %d, want %d/0 (body %s)", br.Checked, br.Failed, len(items), data)
+	}
+	for i, item := range br.Items {
+		if item.Result == nil || item.Result.Verdict != VerdictEquivalent {
+			t.Errorf("item %d: %+v", i, item)
+		}
+	}
+}
+
+func TestBatchUsesVerdictCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	// Seed the cache through the single-check endpoint.
+	doCheck(t, ts.URL, checkBody(bellQASM, bellQASM))
+	_, br, _ := postBatch(t, ts.URL, BatchRequest{Items: []CheckRequest{
+		{G: bellQASM, Gp: bellQASM},
+	}})
+	if br.CacheHits != 1 || br.Checked != 0 {
+		t.Errorf("cache hits %d checked %d, want 1/0", br.CacheHits, br.Checked)
+	}
+	if r := br.Items[0].Result; r == nil || !r.Cached {
+		t.Errorf("item not served from cache: %+v", r)
+	}
+}
+
+func TestBatchSizeValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBatchItems: 2})
+	resp, _, data := postBatch(t, ts.URL, BatchRequest{Items: []CheckRequest{
+		{G: bellQASM, Gp: bellQASM},
+		{G: bellQASM, Gp: bellQASM},
+		{G: bellQASM, Gp: bellQASM},
+	}})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status = %d, want 413 (%s)", resp.StatusCode, data)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/batch", `{"items": []}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBatchMatchesIndividualChecks: per-item batch verdicts must agree with
+// the single-check endpoint on the same pairs.
+func TestBatchMatchesIndividualChecks(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, CacheEntries: -1}) // no cache: all real runs
+	pairs := [][2]string{
+		{bellQASM, bellQASM},
+		{bellQASM, bellFlippedQASM},
+		{ghzQASM(3), ghzQASM(3)},
+	}
+	items := make([]CheckRequest, len(pairs))
+	for i, p := range pairs {
+		items[i] = CheckRequest{G: p[0], Gp: p[1]}
+	}
+	_, br, _ := postBatch(t, ts.URL, BatchRequest{Items: items})
+	for i, p := range pairs {
+		individual := doCheck(t, ts.URL, checkBody(p[0], p[1]))
+		got := br.Items[i].Result
+		if got == nil || got.Verdict != individual.Verdict {
+			t.Errorf("pair %d: batch %+v vs individual %q", i, got, individual.Verdict)
+		}
+	}
+}
+
+// rotQASM builds a distinct single-qubit circuit per index.
+func rotQASM(i int) string {
+	return fmt.Sprintf("OPENQASM 2.0;\nqreg q[1];\nrz(0.%02d) q[0];\n", i+1)
+}

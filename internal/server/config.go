@@ -41,6 +41,17 @@ type Config struct {
 	// CompletedJobs bounds how many finished async jobs are retained for
 	// GET /v1/jobs/{id} before the oldest are evicted (default 256).
 	CompletedJobs int
+	// MaxBatchItems bounds the number of pairs POST /v1/batch accepts in
+	// one request (default 128; larger batches are rejected with 413).
+	MaxBatchItems int
+	// CacheEntries bounds the verdict memoization cache (default 1024
+	// entries; negative disables caching).  Only definitive verdicts are
+	// stored, so cache size trades repeat-check latency against memory.
+	CacheEntries int
+	// PoolPackages bounds how many warm DD packages are retained per
+	// (qubits, tolerance) bucket for reuse across jobs (default: the worker
+	// count; negative disables pooling and every job builds fresh tables).
+	PoolPackages int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +81,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompletedJobs <= 0 {
 		c.CompletedJobs = 256
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 128
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.PoolPackages == 0 {
+		c.PoolPackages = c.Workers
 	}
 	return c
 }

@@ -27,6 +27,14 @@ type metrics struct {
 	cancelled uint64            // jobs stopped by deadline/disconnect/drain
 	memTrips  uint64            // jobs stopped by the memory watchdog
 
+	cacheHits   uint64 // verdicts served from the memoization cache
+	cacheMisses uint64 // cache lookups that fell through to a real check
+
+	batches     uint64 // POST /v1/batch requests accepted
+	batchItems  uint64 // items across all accepted batches
+	batchDedup  uint64 // items answered by another item's execution
+	batchFailed uint64 // items that failed with an item-local typed error
+
 	checkSeconds histogram // end-to-end check duration (excl. queueing)
 	queueSeconds histogram // admission → worker pickup
 
@@ -84,6 +92,27 @@ func (m *metrics) badRequest() {
 	m.mu.Unlock()
 }
 
+func (m *metrics) cacheHit() {
+	m.mu.Lock()
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) cacheMiss() {
+	m.mu.Lock()
+	m.cacheMisses++
+	m.mu.Unlock()
+}
+
+func (m *metrics) batchRequest(items, dedup, failed int) {
+	m.mu.Lock()
+	m.batches++
+	m.batchItems += uint64(items)
+	m.batchDedup += uint64(dedup)
+	m.batchFailed += uint64(failed)
+	m.mu.Unlock()
+}
+
 // finishedJob folds one completed job into the aggregates.
 func (m *metrics) finishedJob(res *CheckResponse, queued, ran time.Duration, ddStats dd.Stats, mem *resource.Stats, panicked bool) {
 	m.mu.Lock()
@@ -107,9 +136,12 @@ func (m *metrics) finishedJob(res *CheckResponse, queued, ran time.Duration, ddS
 	}
 }
 
-// write emits the exposition text.  The caller supplies the live gauges the
-// registry does not own (queue occupancy, in-flight workers, drain state).
-func (m *metrics) write(w io.Writer, queueDepth, queueCap, inflight, workers int, draining bool) {
+// write emits the exposition text.  The caller supplies the live gauges and
+// externally-owned counters the registry does not track itself (queue
+// occupancy, in-flight workers, drain state, verdict-cache population and
+// evictions, DD-pool activity).
+func (m *metrics) write(w io.Writer, queueDepth, queueCap, inflight, workers int, draining bool,
+	cacheSize int, cacheEvictions uint64, pool dd.PoolStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -141,6 +173,22 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, inflight, workers int
 	for _, r := range sortedKeys(m.rejected) {
 		fmt.Fprintf(w, "qcecd_rejected_total{reason=%q} %d\n", r, m.rejected[r])
 	}
+
+	counter("qcecd_cache_hits_total", "Checks answered from the verdict cache.", m.cacheHits)
+	counter("qcecd_cache_misses_total", "Cache lookups that required a real check.", m.cacheMisses)
+	counter("qcecd_cache_evictions_total", "Verdicts evicted by the LRU bound.", cacheEvictions)
+	gauge("qcecd_cache_size", "Verdicts currently cached.", cacheSize)
+
+	counter("qcecd_batches_total", "Batch requests accepted.", m.batches)
+	counter("qcecd_batch_items_total", "Items across all accepted batches.", m.batchItems)
+	counter("qcecd_batch_dedup_total", "Batch items answered by another item's execution.", m.batchDedup)
+	counter("qcecd_batch_item_errors_total", "Batch items failed with an item-local error.", m.batchFailed)
+
+	counter("qcecd_dd_pool_gets_total", "DD packages handed to jobs.", pool.Gets)
+	counter("qcecd_dd_pool_reuses_total", "Of those, warm packages served from the pool.", pool.Reuses)
+	counter("qcecd_dd_pool_discards_total", "Returned packages dropped by the per-bucket bound.", pool.Discards)
+	counter("qcecd_dd_pool_forgotten_total", "Suspect packages dropped after recovered panics.", pool.Forgotten)
+	gauge("qcecd_dd_pool_idle", "Warm packages currently pooled.", pool.Idle)
 
 	counter("qcecd_bad_requests_total", "Requests failed before admission (parse, size, QASM).", m.badReqs)
 	counter("qcecd_panics_recovered_total", "Job panics recovered by worker isolation.", m.panics)

@@ -70,6 +70,12 @@ type job struct {
 	// done closes when the job has finished and result is set.
 	done   chan struct{}
 	result *CheckResponse
+
+	// ckey is the job's verdict-cache key (pair fingerprint + the options
+	// that parameterize the equivalence relation); cacheOK gates both cache
+	// lookup and insertion (false for approximate-mode jobs).
+	ckey    cacheKey
+	cacheOK bool
 }
 
 var jobStatuses = [...]string{StatusQueued, StatusRunning, StatusDone}
@@ -99,6 +105,28 @@ func (s *Server) submit(j *job) error {
 		return nil
 	default:
 		return errQueueFull
+	}
+}
+
+// submitWait admits a job, blocking while the queue is full instead of
+// rejecting — the batch handler's backpressure, so a batch larger than the
+// queue trickles in as workers drain it.  The send happens under the same
+// admission read-lock as submit: Shutdown's write-lock waits for any send in
+// flight, so the channel cannot be closed under it.  ctx (the batch
+// request's context) bounds the wait; a disconnected client stops feeding
+// the queue.
+func (s *Server) submitWait(ctx context.Context, j *job) error {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		return errDraining
+	}
+	select {
+	case s.jobs <- j:
+		s.metrics.submittedJob()
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
 	}
 }
 
@@ -132,6 +160,9 @@ func (s *Server) runJob(j *job) {
 	}
 	s.metrics.finishedJob(res, queued, ran, ddStats, rep.Mem, panicErr != nil)
 
+	if s.cache != nil && j.cacheOK && cacheable(res) {
+		s.cache.put(j.ckey, *res)
+	}
 	j.result = res
 	j.status.Store(jobDone)
 	j.cancel(nil)
@@ -189,8 +220,10 @@ func (s *Server) runCheck(j *job) core.Report {
 		ECNodeLimit:       nodeLimit,
 		UpToGlobalPhase:   o.UpToGlobalPhase,
 		FidelityThreshold: o.FidelityThreshold,
+		Tolerance:         o.Tolerance,
 		MemSoftLimit:      s.cfg.MemSoftLimit,
 		MemHardLimit:      s.cfg.MemHardLimit,
+		Pool:              s.ddPool,
 	})
 }
 

@@ -37,7 +37,9 @@ import (
 
 	"qcec/internal/circuit"
 	"qcec/internal/core"
+	"qcec/internal/dd"
 	"qcec/internal/ec"
+	"qcec/internal/fingerprint"
 	"qcec/internal/qasm"
 )
 
@@ -64,6 +66,11 @@ type Server struct {
 	byID      map[string]*job // async jobs only
 	doneOrder []string        // finished async jobs, oldest first
 
+	// cache memoizes definitive verdicts across requests (nil = disabled).
+	cache *verdictCache
+	// ddPool recycles warm DD packages across jobs (nil = disabled).
+	ddPool *dd.Pool
+
 	// exec runs one admitted job; tests swap it to control timing and
 	// failure modes without real circuits.
 	exec func(*job) core.Report
@@ -80,6 +87,10 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		jobs:       make(chan *job, cfg.QueueDepth),
 		byID:       make(map[string]*job),
+		cache:      newVerdictCache(cfg.CacheEntries),
+	}
+	if cfg.PoolPackages > 0 {
+		s.ddPool = dd.NewPool(cfg.PoolPackages)
 	}
 	s.exec = s.runCheck
 	s.wg.Add(cfg.Workers)
@@ -93,6 +104,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/check", s.handleCheck)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -100,35 +112,30 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// newJob parses and validates a request body into an admissible job.
-func (s *Server) newJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var req CheckRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			s.fail(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
-				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
-		} else {
-			s.fail(w, http.StatusBadRequest, CodeBadRequest, "invalid JSON: "+err.Error())
-		}
-		return nil, false
-	}
+// apiError is a typed request failure carried between buildJob and the
+// handlers: the single-request endpoints map status to the HTTP response
+// code, the batch endpoint embeds code+message item-locally and keeps 200.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+// buildJob parses and validates one check request into an admissible job.
+func (s *Server) buildJob(req CheckRequest) (*job, *apiError) {
 	if req.G == "" || req.Gp == "" {
-		s.fail(w, http.StatusBadRequest, CodeBadRequest, `both "g" and "gp" circuits are required`)
-		return nil, false
+		return nil, &apiError{http.StatusBadRequest, CodeBadRequest, `both "g" and "gp" circuits are required`}
 	}
-	g1, ok := s.parseCircuit(w, "g", req.G)
-	if !ok {
-		return nil, false
+	g1, apiErr := s.parseCircuit("g", req.G)
+	if apiErr != nil {
+		return nil, apiErr
 	}
-	g2, ok := s.parseCircuit(w, "gp", req.Gp)
-	if !ok {
-		return nil, false
+	g2, apiErr := s.parseCircuit("gp", req.Gp)
+	if apiErr != nil {
+		return nil, apiErr
 	}
 	if _, err := parseStrategy(req.Options.Strategy); err != nil {
-		s.fail(w, http.StatusBadRequest, CodeBadRequest, err.Error())
-		return nil, false
+		return nil, &apiError{http.StatusBadRequest, CodeBadRequest, err.Error()}
 	}
 	j := &job{
 		id:       fmt.Sprintf("j%08d", s.nextID.Add(1)),
@@ -138,30 +145,89 @@ func (s *Server) newJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
 		enqueued: time.Now(),
 		done:     make(chan struct{}),
 	}
+	j.ckey = cacheKey{
+		pair:      fingerprint.Pair(g1, g2),
+		strategy:  normalizeStrategy(req.Options.Strategy),
+		tolerance: normalizeTolerance(req.Options.Tolerance),
+		upToPhase: req.Options.UpToGlobalPhase,
+	}
+	// Approximate checking redefines the equivalence criterion per request;
+	// those verdicts are neither served from nor inserted into the cache.
+	j.cacheOK = req.Options.FidelityThreshold == 0
 	j.ctx, j.cancel = context.WithCancelCause(s.baseCtx)
+	return j, nil
+}
+
+// newJob decodes a single-check body and builds its job, writing the HTTP
+// error response on failure.
+func (s *Server) newJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req CheckRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failDecode(w, err)
+		return nil, false
+	}
+	j, apiErr := s.buildJob(req)
+	if apiErr != nil {
+		s.fail(w, apiErr.status, apiErr.code, apiErr.msg)
+		return nil, false
+	}
 	return j, true
 }
 
+// failDecode maps a request-body decoding error to its HTTP response.
+func (s *Server) failDecode(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		s.fail(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		return
+	}
+	s.fail(w, http.StatusBadRequest, CodeBadRequest, "invalid JSON: "+err.Error())
+}
+
 // parseCircuit parses one QASM source and enforces the size envelope.
-func (s *Server) parseCircuit(w http.ResponseWriter, field, src string) (*circuit.Circuit, bool) {
+func (s *Server) parseCircuit(field, src string) (*circuit.Circuit, *apiError) {
 	prog, err := qasm.Parse(src)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, CodeBadQASM,
-			fmt.Sprintf("circuit %q: %v", field, err))
-		return nil, false
+		return nil, &apiError{http.StatusBadRequest, CodeBadQASM,
+			fmt.Sprintf("circuit %q: %v", field, err)}
 	}
 	c := prog.Circuit
 	if s.cfg.MaxQubits > 0 && c.N > s.cfg.MaxQubits {
-		s.fail(w, http.StatusRequestEntityTooLarge, CodeCircuitTooLarge,
-			fmt.Sprintf("circuit %q has %d qubits (limit %d)", field, c.N, s.cfg.MaxQubits))
-		return nil, false
+		return nil, &apiError{http.StatusRequestEntityTooLarge, CodeCircuitTooLarge,
+			fmt.Sprintf("circuit %q has %d qubits (limit %d)", field, c.N, s.cfg.MaxQubits)}
 	}
 	if s.cfg.MaxGates > 0 && len(c.Gates) > s.cfg.MaxGates {
-		s.fail(w, http.StatusRequestEntityTooLarge, CodeCircuitTooLarge,
-			fmt.Sprintf("circuit %q has %d gates (limit %d)", field, len(c.Gates), s.cfg.MaxGates))
+		return nil, &apiError{http.StatusRequestEntityTooLarge, CodeCircuitTooLarge,
+			fmt.Sprintf("circuit %q has %d gates (limit %d)", field, len(c.Gates), s.cfg.MaxGates)}
+	}
+	return c, nil
+}
+
+// cachedResponse answers j from the verdict cache when possible, stamping
+// the hit with this job's id.
+func (s *Server) cachedResponse(j *job) (*CheckResponse, bool) {
+	if s.cache == nil || !j.cacheOK {
 		return nil, false
 	}
-	return c, true
+	// A draining server rejects everything uniformly — even questions it
+	// could answer from memory — so clients fail over promptly instead of
+	// hammering a half-alive instance for the subset of answers it still has.
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	if draining {
+		return nil, false
+	}
+	res, ok := s.cache.get(j.ckey)
+	if !ok {
+		s.metrics.cacheMiss()
+		return nil, false
+	}
+	s.metrics.cacheHit()
+	res.JobID = j.id
+	return &res, true
 }
 
 // admit submits the job, translating rejections to HTTP responses.
@@ -189,6 +255,11 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if res, hit := s.cachedResponse(j); hit {
+		j.cancel(nil)
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
 	// A client disconnect cancels the running check; a finished job's
 	// cancel(nil) makes this a no-op.
 	stop := context.AfterFunc(r.Context(), func() {
@@ -206,6 +277,20 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.newJob(w, r)
 	if !ok {
+		return
+	}
+	if res, hit := s.cachedResponse(j); hit {
+		// The job never runs: record it as already done so GET /v1/jobs/{id}
+		// works exactly as for an executed job.
+		j.result = res
+		j.status.Store(jobDone)
+		j.cancel(nil)
+		close(j.done)
+		s.jobsMu.Lock()
+		s.byID[j.id] = j
+		s.jobsMu.Unlock()
+		s.retireJob(j)
+		writeJSON(w, http.StatusAccepted, JobResponse{JobID: j.id, Status: j.statusString(), Result: res})
 		return
 	}
 	// Register before admission so a fast worker cannot finish the job
@@ -258,8 +343,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.admitMu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var cacheSize int
+	var cacheEvictions uint64
+	if s.cache != nil {
+		cacheSize, cacheEvictions = s.cache.stats()
+	}
+	var pool dd.PoolStats
+	if s.ddPool != nil {
+		pool = s.ddPool.Stats()
+	}
 	s.metrics.write(w, len(s.jobs), s.cfg.QueueDepth, int(s.inflight.Load()),
-		s.cfg.Workers, draining)
+		s.cfg.Workers, draining, cacheSize, cacheEvictions, pool)
 }
 
 // fail writes a typed JSON error body and counts it.
@@ -285,6 +379,24 @@ func retryAfterSeconds(d time.Duration) int {
 		secs = 1
 	}
 	return secs
+}
+
+// normalizeStrategy folds the wire strategy's default alias so the cache key
+// cannot split "" and "proportional" into two entries.
+func normalizeStrategy(name string) string {
+	if name == "" {
+		return "proportional"
+	}
+	return name
+}
+
+// normalizeTolerance folds the wire tolerance's zero default to the value
+// core.Check actually uses, for the same reason.
+func normalizeTolerance(tol float64) float64 {
+	if tol == 0 {
+		return 1e-10
+	}
+	return tol
 }
 
 // parseStrategy maps a wire strategy name to the complete routine's scheme.

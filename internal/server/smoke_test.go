@@ -1,7 +1,9 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -102,12 +104,25 @@ func TestServeSmoke(t *testing.T) {
 		return res
 	}
 
+	scrape := func() string {
+		t.Helper()
+		mr, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("metrics: %v", err)
+		}
+		defer mr.Body.Close()
+		mtext, _ := io.ReadAll(mr.Body)
+		return string(mtext)
+	}
+
 	if res := post(equivalentPair); res.Verdict != VerdictEquivalent {
 		t.Fatalf("ghz5 vs ghz5 verdict = %q, want equivalent", res.Verdict)
 	} else if res.ECVerdict == "" {
 		// 2^5 basis states > DefaultR stimuli: the complete routine must
 		// have produced the proof.
 		t.Errorf("equivalent verdict without a complete-routine run: %+v", res)
+	} else if res.Cached {
+		t.Errorf("first check of the pair claims cached")
 	}
 	if res := post(differingPair); res.Verdict != VerdictNotEquivalent {
 		t.Fatalf("ghz5 vs ghz5+X verdict = %q, want not_equivalent", res.Verdict)
@@ -115,18 +130,45 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("not_equivalent without a counterexample")
 	}
 
-	// A concurrent burst: all succeed, none crash the daemon.
+	// A second, identical check must be answered from the verdict cache: the
+	// response says so, the hit counter moves, and the DD engine does no new
+	// work (the apply-call counter only advances when a job executes).
+	before := scrape()
+	if res := post(equivalentPair); !res.Cached {
+		t.Errorf("identical repeat not served from cache: %+v", res)
+	} else if res.Verdict != VerdictEquivalent {
+		t.Errorf("cached verdict = %q", res.Verdict)
+	} else if res.DD != nil {
+		t.Errorf("cached response carries DD telemetry: %+v", res.DD)
+	}
+	after := scrape()
+	if b, a := metricValue(t, before, "qcecd_dd_apply_calls_total"), metricValue(t, after, "qcecd_dd_apply_calls_total"); a != b {
+		t.Errorf("cached repeat did DD work: apply calls %s -> %s", b, a)
+	}
+	if b, a := metricValue(t, before, "qcecd_cache_hits_total"), metricValue(t, after, "qcecd_cache_hits_total"); b != "0" || a != "1" {
+		t.Errorf("cache hits %s -> %s, want 0 -> 1", b, a)
+	}
+
+	// A concurrent burst of distinct pairs (distinct fingerprints, so every
+	// one really executes): all succeed, none crash the daemon.
 	var wg sync.WaitGroup
 	verdicts := make(chan string, 8)
 	for i := 0; i < 8; i++ {
-		body := equivalentPair
+		variant := string(ghz5) + fmt.Sprintf("rz(0.%d) q[0];\n", i+1)
+		body := checkBody(variant, variant)
+		want := VerdictEquivalent
 		if i%2 == 1 {
-			body = differingPair
+			body = checkBody(variant, variant+"x q[0];\n")
+			want = VerdictNotEquivalent
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			verdicts <- post(body).Verdict
+			if res := post(body); res.Verdict == want {
+				verdicts <- res.Verdict
+			} else {
+				verdicts <- fmt.Sprintf("%s (want %s)", res.Verdict, want)
+			}
 		}()
 	}
 	wg.Wait()
@@ -161,6 +203,83 @@ func TestServeSmoke(t *testing.T) {
 		}
 	}
 
+	// A 100-pair batch over 10 unique questions: per-item verdicts, in-batch
+	// deduplication, and agreement with the single-check endpoint.
+	circ := func(q int) string {
+		return fmt.Sprintf("OPENQASM 2.0;\nqreg q[1];\nrz(0.9%02d) q[0];\n", q)
+	}
+	wantVerdict := func(q int) string {
+		if q < 5 {
+			return VerdictEquivalent
+		}
+		return VerdictNotEquivalent
+	}
+	var batch BatchRequest
+	for i := 0; i < 100; i++ {
+		q := i % 10
+		item := CheckRequest{G: circ(q), Gp: circ(q)}
+		if q >= 5 {
+			item.Gp = circ(q) + "x q[0];\n"
+		}
+		batch.Items = append(batch.Items, item)
+	}
+	batchBody, _ := json.Marshal(batch)
+	bresp, err := http.Post(base+"/v1/batch", "application/json", bytes.NewReader(batchBody))
+	if err != nil {
+		t.Fatalf("POST /v1/batch: %v", err)
+	}
+	bdata, _ := io.ReadAll(bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d; body %s", bresp.StatusCode, bdata)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(bdata, &br); err != nil {
+		t.Fatalf("unmarshal batch response: %v", err)
+	}
+	if len(br.Items) != 100 {
+		t.Fatalf("batch items = %d, want 100", len(br.Items))
+	}
+	if br.Checked != 10 || br.Deduplicated != 90 || br.Failed != 0 {
+		t.Errorf("batch counts = checked %d dedup %d failed %d, want 10/90/0",
+			br.Checked, br.Deduplicated, br.Failed)
+	}
+	for i, item := range br.Items {
+		q := i % 10
+		if item.Result == nil {
+			t.Fatalf("batch item %d has no result: %+v", i, item.Error)
+		}
+		if item.Result.Verdict != wantVerdict(q) {
+			t.Errorf("batch item %d verdict = %q, want %q", i, item.Result.Verdict, wantVerdict(q))
+		}
+		if i >= 10 && !item.Result.Cached {
+			t.Errorf("batch item %d (duplicate of %d) not deduplicated", i, q)
+		}
+	}
+	// The single-check endpoint agrees with every batch verdict.
+	for q := 0; q < 10; q++ {
+		gp := circ(q)
+		if q >= 5 {
+			gp += "x q[0];\n"
+		}
+		if res := post(checkBody(circ(q), gp)); res.Verdict != br.Items[q].Result.Verdict {
+			t.Errorf("question %d: individual %q vs batch %q", q, res.Verdict, br.Items[q].Result.Verdict)
+		}
+	}
+	final := scrape()
+	if v := metricValue(t, final, "qcecd_batches_total"); v != "1" {
+		t.Errorf("qcecd_batches_total = %s, want 1", v)
+	}
+	if v := metricValue(t, final, "qcecd_batch_items_total"); v != "100" {
+		t.Errorf("qcecd_batch_items_total = %s, want 100", v)
+	}
+	if v := metricValue(t, final, "qcecd_batch_dedup_total"); v != "90" {
+		t.Errorf("qcecd_batch_dedup_total = %s, want 90", v)
+	}
+	if v := metricValue(t, final, "qcecd_dd_pool_reuses_total"); v == "0" {
+		t.Errorf("warm DD-package pool never reused a package")
+	}
+
 	// SIGTERM: graceful drain, exit 0.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatalf("SIGTERM: %v", err)
@@ -177,6 +296,19 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("daemon output missing the drain confirmation:\n%s", output.String())
 	}
 	t.Logf("daemon output:\n%s", output.String())
+}
+
+// metricValue extracts a metric's rendered value from Prometheus text
+// exposition, failing the test when the metric is absent.
+func metricValue(t *testing.T, text, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return rest
+		}
+	}
+	t.Fatalf("metric %q not found in:\n%s", name, text)
+	return ""
 }
 
 // syncBuffer collects the daemon's output; the exec copy goroutine writes it
