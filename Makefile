@@ -5,7 +5,7 @@ GO ?= go
 
 # Packages with real concurrency (goroutines + shared cancellation state):
 # these are the ones the race detector must cover.
-RACE_PKGS = ./internal/core/... ./internal/portfolio/... ./internal/dd/... ./internal/ec/... ./internal/resource/... ./internal/faultinject/... ./internal/server/...
+RACE_PKGS = ./internal/core/... ./internal/portfolio/... ./internal/dd/... ./internal/ec/... ./internal/resource/... ./internal/faultinject/... ./internal/server/... ./internal/sim/...
 
 FUZZTIME ?= 20s
 
@@ -44,16 +44,27 @@ staticcheck:
 
 # Simulation benchmark over the seed circuits: writes BENCH_sim.json
 # comparing the apply kernel, the cached legacy path and the uncached legacy
-# path (gate-application rates plus verdict parity).  -r 32 amortizes the
-# per-check setup cost that otherwise dominates the sub-millisecond seed
-# circuits.  The -min-* gates make the run fail below the advertised
-# speedups; CI runs it non-blocking and archives the artifact instead.
+# path (gate-application rates plus verdict parity), plus a multi-worker
+# scaling curve (1/2/4/NumCPU stimulus workers over one shared prepared
+# program set) per equivalent pair.  -r 32 amortizes the per-check setup
+# cost that otherwise dominates the sub-millisecond seed circuits.  The
+# -min-* gates make the run fail below the advertised speedups; the scaling
+# floor (0.5 efficiency at 4 workers = a 2x speedup) is only enforced on
+# machines with at least 4 CPUs.  CI runs it non-blocking and archives the
+# artifact instead.
+# The kernel floor is 1.3 rather than the 1.5 it once was: the arena node
+# storage sped up the *denominator* (the cached legacy path is dominated by
+# matrix-DD traffic, which benefits most from slab storage), compressing the
+# kernel's relative advantage while its absolute throughput is unchanged
+# (benchcmp and the parity tests watch that side).
 BENCH_R ?= 32
 BENCH_MIN_SPEEDUP ?= 1.5
-BENCH_MIN_KERNEL_SPEEDUP ?= 1.5
+BENCH_MIN_KERNEL_SPEEDUP ?= 1.3
+BENCH_MIN_SCALING_EFF ?= 0.5
 bench:
 	$(GO) run ./cmd/qbench -out BENCH_sim.json -r $(BENCH_R) \
-		-min-speedup $(BENCH_MIN_SPEEDUP) -min-kernel-speedup $(BENCH_MIN_KERNEL_SPEEDUP)
+		-min-speedup $(BENCH_MIN_SPEEDUP) -min-kernel-speedup $(BENCH_MIN_KERNEL_SPEEDUP) \
+		-min-scaling-eff $(BENCH_MIN_SCALING_EFF)
 
 # Fresh benchmark run diffed against the committed BENCH_sim.json, without
 # overwriting it: per-pair and geomean gate-apps/s deltas.  The gates are

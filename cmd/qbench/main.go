@@ -19,6 +19,13 @@
 // exist to demonstrate verdict parity, and their speedups are reported but
 // not aggregated.
 //
+// Each equivalent pair is additionally swept over stimulus worker counts
+// (1, 2, 4, NumCPU) on the kernel path — the same check driven through one
+// shared prepared program set — and the resulting scaling curve
+// (gate-apps/s, speedup, parallel efficiency per worker count) is recorded
+// in the artifact.  -min-scaling-eff turns the 4-worker efficiency into a
+// gate on machines with at least 4 CPUs.
+//
 // With -compare, a previously committed artifact is read before the run and
 // the per-pair and geomean gate-application-rate deltas against it are
 // printed (the benchcmp workflow).
@@ -94,21 +101,50 @@ type result struct {
 	VerdictsMatch bool        `json:"verdicts_match"`
 }
 
+// scalingPoint is one multi-worker measurement of the simulation stage: the
+// same check driven by Workers parallel stimulus workers over one shared
+// prepared program set, timed by stage wall clock.  Speedup is relative to
+// the curve's 1-worker point; Efficiency divides the speedup by the worker
+// count the hardware can actually run concurrently, min(Workers, NumCPU),
+// so oversubscribed points on small machines are not judged as scaling
+// failures.
+type scalingPoint struct {
+	Workers        int     `json:"workers"`
+	Seconds        float64 `json:"seconds"`
+	GateApps       int     `json:"gate_apps"`
+	GateAppsPerSec float64 `json:"gate_apps_per_sec"`
+	Verdict        string  `json:"verdict"`
+	Speedup        float64 `json:"speedup"`
+	Efficiency     float64 `json:"efficiency"`
+}
+
+// scalingCurve is one pair's worker-count sweep.
+type scalingCurve struct {
+	Name          string         `json:"name"`
+	Points        []scalingPoint `json:"points"`
+	VerdictsMatch bool           `json:"verdicts_match"`
+}
+
 type summary struct {
 	GeomeanSpeedupEquiv       float64 `json:"geomean_speedup_equiv"`
 	MinSpeedupEquiv           float64 `json:"min_speedup_equiv"`
 	GeomeanKernelSpeedupEquiv float64 `json:"geomean_kernel_speedup_equiv"`
 	MinKernelSpeedupEquiv     float64 `json:"min_kernel_speedup_equiv"`
 	AllVerdictsMatch          bool    `json:"all_verdicts_match"`
+	// Scaling aggregates over the equivalent pairs' 4-worker points.
+	GeomeanScalingSpeedup4 float64 `json:"geomean_scaling_speedup_4w,omitempty"`
+	MinScalingEfficiency4  float64 `json:"min_scaling_efficiency_4w,omitempty"`
 }
 
 type artifact struct {
-	Generated string   `json:"generated"`
-	R         int      `json:"r"`
-	Seed      int64    `json:"seed"`
-	Reps      int      `json:"reps"`
-	Results   []result `json:"results"`
-	Summary   summary  `json:"summary"`
+	Generated string         `json:"generated"`
+	R         int            `json:"r"`
+	Seed      int64          `json:"seed"`
+	Reps      int            `json:"reps"`
+	NumCPU    int            `json:"num_cpu"`
+	Results   []result       `json:"results"`
+	Scaling   []scalingCurve `json:"scaling,omitempty"`
+	Summary   summary        `json:"summary"`
 }
 
 // simConfig selects one of the three measured configurations.
@@ -207,6 +243,80 @@ func measureAll(g1, g2 *circuit.Circuit, r int, seed int64, reps int) [3]measure
 	return best
 }
 
+// scalingWorkerCounts returns the deduplicated, sorted worker counts the
+// scaling sweep measures: 1, 2, 4, and NumCPU.
+func scalingWorkerCounts() []int {
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	sort.Ints(counts)
+	out := counts[:0]
+	for _, c := range counts {
+		if len(out) == 0 || out[len(out)-1] != c {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// measureScaling sweeps the simulation stage over worker counts on the
+// kernel path, batching and keeping the fastest repetition exactly like
+// measureAll.  All points run the same stimuli from the same seed, so every
+// verdict must agree; the curve records parity explicitly.
+func measureScaling(g1, g2 *circuit.Circuit, r int, seed int64, reps int) []scalingPoint {
+	workers := scalingWorkerCounts()
+	points := make([]scalingPoint, len(workers))
+	for wi, w := range workers {
+		var best scalingPoint
+		for rep := -1; rep < reps; rep++ {
+			var batch scalingPoint
+			batch.Workers = w
+			for iter := 0; iter < maxBatchIters; iter++ {
+				repRes := core.Check(g1, g2, core.Options{
+					R:        r,
+					Seed:     seed,
+					SkipEC:   true,
+					Parallel: w,
+				})
+				batch.Seconds += repRes.SimTime.Seconds()
+				batch.GateApps += repRes.NumSims * (g1.NumGates() + g2.NumGates())
+				if iter == 0 {
+					batch.Verdict = repRes.Verdict.String()
+				} else if batch.Verdict != repRes.Verdict.String() {
+					fmt.Fprintf(os.Stderr, "qbench: scaling verdict changed across runs (%s vs %s)\n",
+						batch.Verdict, repRes.Verdict)
+					os.Exit(1)
+				}
+				if batch.Seconds >= minBatchTime.Seconds() {
+					break
+				}
+			}
+			if rep < 0 {
+				continue // warm-up
+			}
+			if batch.Seconds > 0 {
+				batch.GateAppsPerSec = float64(batch.GateApps) / batch.Seconds
+			}
+			if rep == 0 || batch.GateAppsPerSec > best.GateAppsPerSec {
+				best = batch
+			}
+		}
+		points[wi] = best
+	}
+	base := points[0].GateAppsPerSec
+	for i := range points {
+		if base > 0 {
+			points[i].Speedup = points[i].GateAppsPerSec / base
+		}
+		hw := points[i].Workers
+		if n := runtime.NumCPU(); hw > n {
+			hw = n
+		}
+		if hw > 0 {
+			points[i].Efficiency = points[i].Speedup / float64(hw)
+		}
+	}
+	return points
+}
+
 func ceEqual(a, b *uint64) bool {
 	if (a == nil) != (b == nil) {
 		return false
@@ -280,6 +390,8 @@ func run() int {
 		reps       = flag.Int("reps", 7, "timed repetitions per configuration (fastest kept)")
 		minSpeed   = flag.Float64("min-speedup", 0, "fail unless the equiv-pair geomean gate-cache speedup reaches this (0 = record only)")
 		minKernel  = flag.Float64("min-kernel-speedup", 0, "fail unless the equiv-pair geomean kernel speedup over the cached legacy path reaches this (0 = record only)")
+		minScalEff = flag.Float64("min-scaling-eff", 0, "fail unless every equiv pair's 4-worker parallel efficiency reaches this; only enforced when NumCPU >= 4 (0 = record only)")
+		scalReps   = flag.Int("scaling-reps", 3, "timed repetitions per scaling point (fastest kept); 0 disables the scaling sweep")
 		comparePth = flag.String("compare", "", "read a committed artifact and print per-pair and geomean gate-apps/s deltas against it")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -346,9 +458,12 @@ func run() int {
 		R:         *r,
 		Seed:      *seed,
 		Reps:      *reps,
+		NumCPU:    runtime.NumCPU(),
 	}
 	cacheLogSum, kernelLogSum, logCount := 0.0, 0.0, 0
 	minEquiv, minKernelEquiv := math.Inf(1), math.Inf(1)
+	scalLogSum, scalCount := 0.0, 0
+	minScalEff4 := math.Inf(1)
 	allMatch := true
 	for _, name := range files {
 		g, err := loadCircuit(filepath.Join(*circDir, name))
@@ -404,7 +519,40 @@ func run() int {
 			fmt.Printf("%-22s %8.0f apps/s kernel  %8.0f cached  %8.0f uncached  kernel %5.2fx  cache %5.2fx  parity %v\n",
 				v.name, res.Kernel.GateAppsPerSec, res.Cached.GateAppsPerSec, res.Uncached.GateAppsPerSec,
 				res.KernelSpeedup, res.Speedup, res.VerdictsMatch)
+
+			// Scaling sweep: equivalent pairs only (error-injected pairs stop
+			// at the first failing stimulus, so worker counts change nothing).
+			if !v.equiv || *scalReps <= 0 {
+				continue
+			}
+			points := measureScaling(g, v.gp, *r, *seed, *scalReps)
+			curve := scalingCurve{Name: v.name, Points: points, VerdictsMatch: true}
+			for _, pt := range points {
+				// Sequential (1 worker) == parallel == the kernel measurement
+				// above: the full three-way parity the artifact asserts.
+				if pt.Verdict != res.Kernel.Verdict {
+					curve.VerdictsMatch = false
+					allMatch = false
+				}
+				if pt.Workers == 4 {
+					if pt.Speedup > 0 {
+						scalLogSum += math.Log(pt.Speedup)
+						scalCount++
+					}
+					minScalEff4 = math.Min(minScalEff4, pt.Efficiency)
+				}
+			}
+			art.Scaling = append(art.Scaling, curve)
+			var cells []string
+			for _, pt := range points {
+				cells = append(cells, fmt.Sprintf("%dw %.0f (%.2fx)", pt.Workers, pt.GateAppsPerSec, pt.Speedup))
+			}
+			fmt.Printf("%-22s scaling: %s\n", v.name, strings.Join(cells, "  "))
 		}
+	}
+	if scalCount > 0 {
+		art.Summary.GeomeanScalingSpeedup4 = math.Exp(scalLogSum / float64(scalCount))
+		art.Summary.MinScalingEfficiency4 = minScalEff4
 	}
 	if logCount > 0 {
 		art.Summary.GeomeanSpeedupEquiv = math.Exp(cacheLogSum / float64(logCount))
@@ -453,6 +601,19 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "qbench: geomean kernel speedup %.2fx below required %.2fx\n",
 			art.Summary.GeomeanKernelSpeedupEquiv, *minKernel)
 		return 1
+	}
+	if *minScalEff > 0 && len(art.Scaling) > 0 {
+		// The efficiency floor only means something when the hardware can run
+		// 4 workers concurrently; on smaller machines the curve is recorded
+		// for the artifact but cannot demonstrate scaling.
+		if runtime.NumCPU() < 4 {
+			fmt.Printf("qbench: scaling-efficiency floor %.2f not enforced on %d CPU(s); curve recorded only\n",
+				*minScalEff, runtime.NumCPU())
+		} else if art.Summary.MinScalingEfficiency4 < *minScalEff {
+			fmt.Fprintf(os.Stderr, "qbench: 4-worker parallel efficiency %.2f below required %.2f\n",
+				art.Summary.MinScalingEfficiency4, *minScalEff)
+			return 1
+		}
 	}
 	return 0
 }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"qcec/internal/circuit"
+	"qcec/internal/dd"
+	"qcec/internal/errinject"
+)
+
+// TestArenaCheckParity checks that the arena node storage is invisible to
+// end-to-end results across every slot-recycling regime.  For each seed
+// circuit, both for an equivalent pair and an error-injected one, a fresh
+// package, a pooled package on its second (recycled-slab) job, and a run
+// under constant GC pressure — where freed slots are reallocated to new
+// nodes mid-simulation many times over — must agree bit-for-bit: same
+// verdict, same simulation count, same counterexample, and the exact same
+// fidelities (the computation is deterministic; any drift means a stale ref
+// read a recycled slot).
+func TestArenaCheckParity(t *testing.T) {
+	const r = 6
+	for _, path := range seedCircuitFiles(t) {
+		g := loadSeedCircuit(t, path)
+		type pair struct {
+			name string
+			gp   *circuit.Circuit
+		}
+		pairs := []pair{{name: filepath.Base(path), gp: g.Clone()}}
+		if bad, inj, err := errinject.InjectAny(g, 1); err == nil {
+			pairs = append(pairs, pair{name: filepath.Base(path) + "+" + inj.String(), gp: bad})
+		}
+		for _, pr := range pairs {
+			pr := pr
+			t.Run(pr.name, func(t *testing.T) {
+				base := Options{R: r, Seed: 1, SkipEC: true}
+				ref := Check(g, pr.gp, base)
+				if ref.Err != nil {
+					t.Fatalf("reference run failed: %v", ref.Err)
+				}
+
+				// Pooled: the first job grows the arenas, the second runs
+				// entirely on recycled slots of the same slabs.
+				pool := dd.NewPool(2)
+				pooled := base
+				pooled.Pool = pool
+				if warm := Check(g, pr.gp, pooled); warm.Err != nil {
+					t.Fatalf("pool warm-up run failed: %v", warm.Err)
+				}
+				if st := pool.Stats(); st.Idle == 0 {
+					t.Fatalf("warm-up returned nothing to the pool: %+v", st)
+				}
+				recycled := Check(g, pr.gp, pooled)
+				if st := pool.Stats(); st.Reuses == 0 {
+					t.Fatalf("second run did not reuse the pooled package: %+v", st)
+				}
+
+				// GC pressure: collect after nearly every allocation, so the
+				// run continuously frees and reallocates arena slots.
+				press := base
+				press.GCThreshold = 32
+				pressed := Check(g, pr.gp, press)
+
+				for _, alt := range []struct {
+					name string
+					got  Report
+				}{
+					{"pooled-recycled", recycled},
+					{"gc-pressure", pressed},
+				} {
+					got := alt.got
+					if got.Err != nil {
+						t.Errorf("%s: run failed: %v", alt.name, got.Err)
+						continue
+					}
+					if got.Verdict != ref.Verdict {
+						t.Errorf("%s: verdict %v, fresh run said %v", alt.name, got.Verdict, ref.Verdict)
+					}
+					if got.NumSims != ref.NumSims {
+						t.Errorf("%s: %d sims, fresh run used %d", alt.name, got.NumSims, ref.NumSims)
+					}
+					if got.MinFidelity != ref.MinFidelity || got.AvgFidelity != ref.AvgFidelity {
+						t.Errorf("%s: fidelities (%g, %g), fresh run (%g, %g) — not bit-identical",
+							alt.name, got.MinFidelity, got.AvgFidelity, ref.MinFidelity, ref.AvgFidelity)
+					}
+					switch {
+					case (got.Counterexample == nil) != (ref.Counterexample == nil):
+						t.Errorf("%s: counterexample presence mismatch (%v vs %v)",
+							alt.name, got.Counterexample, ref.Counterexample)
+					case got.Counterexample != nil:
+						if got.Counterexample.Input != ref.Counterexample.Input {
+							t.Errorf("%s: counterexample |%b>, fresh run found |%b>",
+								alt.name, got.Counterexample.Input, ref.Counterexample.Input)
+						}
+						if got.Counterexample.Fidelity != ref.Counterexample.Fidelity {
+							t.Errorf("%s: counterexample fidelity %g, fresh run %g",
+								alt.name, got.Counterexample.Fidelity, ref.Counterexample.Fidelity)
+						}
+					}
+				}
+			})
+		}
+	}
+}

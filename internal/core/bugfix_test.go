@@ -4,11 +4,14 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"qcec/internal/circuit"
+	"qcec/internal/dd"
 	"qcec/internal/resource"
+	"qcec/internal/sim"
 )
 
 // TestAgreementToleranceDerivation pins the mapping from DD weight tolerance
@@ -239,5 +242,77 @@ func TestCompareReusedStimulusSurvivesGC(t *testing.T) {
 		if rep.MinFidelity < 1-1e-9 {
 			t.Fatalf("parallel=%d: min fidelity = %g, want 1", parallel, rep.MinFidelity)
 		}
+	}
+}
+
+// TestNumSimsExcludesCancelledInFlight pins the stimulus accounting under a
+// mid-compare cancellation: when the SetCancel hook's *dd.LimitError panic is
+// absorbed between two stimuli's comparisons, NumSims must count only the
+// comparisons that actually finished — never the in-flight one.  The old loop
+// published the loop index instead of a completed counter, so an absorbed
+// cancellation during stimulus k reported k+1 simulations to the harness
+// CSVs.  The fault hook stands in for the cancellation deterministically:
+// ghz(3) applies 6 gates per stimulus (3 per circuit), so gate 8 is mid-way
+// through the second stimulus's first circuit.
+func TestNumSimsExcludesCancelledInFlight(t *testing.T) {
+	g := ghz(3)
+	var fired atomic.Bool
+	sim.SetFaultHook(func(gatesApplied int64) {
+		if gatesApplied == 8 && fired.CompareAndSwap(false, true) {
+			panic(&dd.LimitError{Cancelled: true})
+		}
+	})
+	defer sim.SetFaultHook(nil)
+
+	rep := Check(g, g.Clone(), Options{Stimuli: []uint64{0, 1, 2, 3}, SkipEC: true})
+	if !fired.Load() {
+		t.Fatalf("cancellation never fired; test exercises nothing")
+	}
+	if rep.Err != nil {
+		t.Fatalf("absorbed cancellation surfaced as an error: %v", rep.Err)
+	}
+	if rep.NumSims != 1 {
+		t.Fatalf("NumSims = %d after cancellation mid-second-stimulus, want 1", rep.NumSims)
+	}
+	if rep.Verdict != ProbablyEquivalent || rep.Counterexample != nil {
+		t.Fatalf("verdict = %v (ce %v), want inconclusive probably-equivalent",
+			rep.Verdict, rep.Counterexample)
+	}
+}
+
+// TestParallelStatsGaugesArePeaks is the multi-worker regression for
+// Stats.Add's gauge semantics: every parallel worker owns a package with its
+// own identity chain and unique tables, and the aggregated report must take
+// the per-worker peak of those populations, not their sum.  Summing reported
+// a node footprint no package ever had, growing linearly with the worker
+// count.
+func TestParallelStatsGaugesArePeaks(t *testing.T) {
+	g := ghz(6)
+	opts := Options{R: 16, Seed: 1, SkipEC: true}
+	seq := Check(g, g.Clone(), opts)
+	if seq.Err != nil || seq.DD.VectorNodes == 0 {
+		t.Fatalf("sequential run unusable: err=%v stats=%+v", seq.Err, seq.DD)
+	}
+
+	opts.Parallel = 8
+	par := Check(g, g.Clone(), opts)
+	if par.Err != nil {
+		t.Fatalf("parallel run failed: %v", par.Err)
+	}
+	// Each worker simulates a subset of the 16 stimuli, so no worker's table
+	// can outgrow the sequential run's; the eight-way sum would.
+	if par.DD.VectorNodes > seq.DD.VectorNodes {
+		t.Errorf("parallel VectorNodes gauge %d exceeds sequential %d (summed, not peaked?)",
+			par.DD.VectorNodes, seq.DD.VectorNodes)
+	}
+	if par.DD.MatrixNodes > seq.DD.MatrixNodes {
+		t.Errorf("parallel MatrixNodes gauge %d exceeds sequential %d (summed, not peaked?)",
+			par.DD.MatrixNodes, seq.DD.MatrixNodes)
+	}
+	// The counters, by contrast, really do sum: the parallel run performed
+	// at least as many node creations in aggregate.
+	if par.DD.NodesCreated == 0 || par.DD.NodesCreated < seq.DD.NodesCreated {
+		t.Errorf("parallel NodesCreated %d < sequential %d; counters must aggregate",
+			par.DD.NodesCreated, seq.DD.NodesCreated)
 	}
 }

@@ -104,16 +104,41 @@ func (r *simRunner) close(errp *error) {
 	r.pool.Put(r.p)
 }
 
+// sharedProgs holds the one read-only compilation of the circuit pair that
+// every stimulus worker drives.  The programs are immutable after
+// prepareShared returns; each worker binds them to its private package
+// (sim.Simulator keeps the binding per package), so nothing here is ever
+// written concurrently.  Zero-valued programs select the legacy
+// circuit-walking path.
+type sharedProgs struct {
+	g1, g2 *sim.Program
+}
+
+// prepareShared compiles the pair once for all workers.  The legacy path
+// (DisableApplyKernel) builds matrix DDs per gate and has no program form.
+func prepareShared(g1, g2 *circuit.Circuit, opts Options) sharedProgs {
+	if opts.DisableApplyKernel {
+		return sharedProgs{}
+	}
+	return sharedProgs{g1: sim.Prepare(g1), g2: sim.Prepare(g2)}
+}
+
 // compare simulates both circuits on |input>, returning the output fidelity
 // and a counterexample if the outputs disagree (under the exact or the
 // approximate criterion), nil otherwise.
-func (r *simRunner) compare(g1, g2 *circuit.Circuit, input uint64) (*Counterexample, float64) {
+func (r *simRunner) compare(g1, g2 *circuit.Circuit, progs sharedProgs, input uint64) (*Counterexample, float64) {
 	// Build the stimulus once and reuse it for both runs.  It must be pinned
 	// across the first run's garbage collections: the second run starts from
 	// the same edge, so its nodes have to stay interned until then.
 	in := r.p.BasisState(input)
-	u := r.s.RunFromWithPins(g1, in, []dd.VEdge{in})
-	v := r.s.RunFromWithPins(g2, in, []dd.VEdge{u})
+	var u, v dd.VEdge
+	if progs.g1 != nil {
+		u = r.s.RunProgramWithPins(progs.g1, in, []dd.VEdge{in})
+		v = r.s.RunProgramWithPins(progs.g2, in, []dd.VEdge{u})
+	} else {
+		u = r.s.RunFromWithPins(g1, in, []dd.VEdge{in})
+		v = r.s.RunFromWithPins(g2, in, []dd.VEdge{u})
+	}
 	if r.havePerm {
 		v = r.p.MulMV(r.unperm, v)
 	}
@@ -210,33 +235,44 @@ func runStimuliSequential(g1, g2 *circuit.Circuit, stimuli []uint64, opts Option
 	defer r.close(&err)
 	stats = newFidStats()
 	defer func() { ddStats = r.p.Snapshot() }()
+	// completed counts fully compared stimuli, and the deferred assignment —
+	// not the loop body — publishes it into n.  When a cancellation is
+	// absorbed mid-compare (recoverWorker swallows the *dd.LimitError panic
+	// raised by the SetCancel hook), NumSims therefore reports only the
+	// stimuli whose comparison actually finished, never the in-flight one.
+	completed := 0
+	defer func() { n = completed }()
 	defer recoverWorker("core.sim", &err)
-	for i, input := range stimuli {
-		n = i // sims completed so far, reported if compare is cancelled mid-run
+	progs := prepareShared(g1, g2, opts)
+	for _, input := range stimuli {
 		if cancelled(opts) {
-			return i, nil, stats, ddStats, nil
+			return completed, nil, stats, ddStats, nil
 		}
-		ce, fid := r.compare(g1, g2, input)
+		ce, fid := r.compare(g1, g2, progs, input)
 		stats.add(fid)
+		completed++
 		if ce != nil {
-			return i + 1, ce, stats, ddStats, nil
+			return completed, ce, stats, ddStats, nil
 		}
 		r.gcBetween()
 	}
-	return len(stimuli), nil, stats, ddStats, nil
+	return completed, nil, stats, ddStats, nil
 }
 
 // runStimuliParallel distributes the stimuli round-robin over
-// opts.Parallel workers, each with a private DD package.  The result is
-// bit-identical to the sequential run: the first distinguishing stimulus in
-// stimulus order is reported, and every stimulus before it has been
-// checked.  Workers fast-forward past indices beyond the current best
+// opts.Parallel workers, each with a private DD package.  The circuit pair
+// is compiled once (prepareShared) and the read-only programs are driven by
+// every worker, so per-worker setup is just a package and a binding.  The
+// result is bit-identical to the sequential run: the first distinguishing
+// stimulus in stimulus order is reported, and every stimulus before it has
+// been checked.  Workers fast-forward past indices beyond the current best
 // counterexample, so the early-exit behaviour parallelizes too.
 func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options) (int, *Counterexample, fidStats, dd.Stats, error) {
 	workers := opts.Parallel
 	if workers > len(stimuli) {
 		workers = len(stimuli)
 	}
+	progs := prepareShared(g1, g2, opts)
 	ces := make([]*Counterexample, len(stimuli))
 	fids := make([]float64, len(stimuli))
 	evaluated := make([]bool, len(stimuli))
@@ -264,7 +300,7 @@ func runStimuliParallel(g1, g2 *circuit.Circuit, stimuli []uint64, opts Options)
 				if evalHook != nil {
 					evalHook(i)
 				}
-				ce, fid := r.compare(g1, g2, stimuli[i])
+				ce, fid := r.compare(g1, g2, progs, stimuli[i])
 				fids[i] = fid
 				evaluated[i] = true
 				if ce != nil {

@@ -58,7 +58,7 @@ const (
 
 // apEntry is one apply-compute-table slot.
 type apEntry struct {
-	x   *VNode
+	x   VRef
 	gid uint32
 	op  uint8
 	res VEdge
@@ -72,7 +72,7 @@ type apEntry struct {
 // operand pairs that differ only by a common factor — the typical state
 // recurrence in phase-heavy circuits — therefore share one entry.
 type apbEntry struct {
-	x, y  *VNode
+	x, y  VRef
 	ratio *cn.Value
 	gid   uint32
 	op    uint8
@@ -91,8 +91,8 @@ type applySpec struct {
 	gid                uint32
 }
 
-func apHash(gid uint32, op uint8, n *VNode) uint64 {
-	return mix(mix(0xD6E8FEB86659FD93, uint64(gid)<<3|uint64(op)), n.id)
+func apHash(gid uint32, op uint8, n VRef) uint64 {
+	return mix(mix(0xD6E8FEB86659FD93, uint64(gid)<<3|uint64(op)), uint64(n))
 }
 
 // applyID returns the stable small id for a gate key, assigning the next
@@ -203,6 +203,27 @@ func (p *Package) PrepareGate(u [2][2]complex128, target int, controls []Control
 	return &PreparedGate{spec: p.buildApplySpec(u, target, controls), epoch: p.apEpoch}
 }
 
+// GateSpec is a package-independent, immutable gate description: the raw
+// 2×2 matrix plus placement, with none of the per-package translation
+// (weight interning, control masks, memo ids) applied yet.  A GateSpec can
+// be built once — paying any trigonometry of parameterized matrices a single
+// time — and then shared read-only across any number of packages and
+// goroutines; each package binds it locally with PrepareSpec.  Neither the
+// spec nor its Controls slice may be mutated after it is shared.
+type GateSpec struct {
+	U        [2][2]complex128
+	Target   int
+	Controls []Control
+}
+
+// PrepareSpec binds a shared GateSpec to this package, producing the
+// package-local prepared form (see PrepareGate).  The binding reads the spec
+// without retaining it, so many packages may bind the same spec concurrently
+// as long as each call runs on its own package's goroutine.
+func (p *Package) PrepareSpec(g GateSpec) *PreparedGate {
+	return &PreparedGate{spec: p.buildApplySpec(g.U, g.Target, g.Controls), epoch: p.apEpoch}
+}
+
 // ApplyPrepared applies a prepared gate to the state DD x (see ApplyGateV
 // for semantics).
 func (p *Package) ApplyPrepared(g *PreparedGate, x VEdge) VEdge {
@@ -232,7 +253,7 @@ func (p *Package) applyRec(s *applySpec, x VEdge) VEdge {
 		return p.VZero()
 	}
 	n := x.N
-	if n == nil {
+	if n == 0 {
 		panic("dd: ApplyGateV state below the gate's levels")
 	}
 	h := apHash(s.gid, apOpApply, n)
@@ -241,7 +262,8 @@ func (p *Package) applyRec(s *applySpec, x VEdge) VEdge {
 		return p.scaleV(ent.res, x.W)
 	}
 	p.applyMisses++
-	v := n.v
+	v := p.vLv(n)
+	e0, e1 := p.vE(n, 0), p.vE(n, 1)
 	var res VEdge
 	switch {
 	case v == s.target:
@@ -249,23 +271,23 @@ func (p *Package) applyRec(s *applySpec, x VEdge) VEdge {
 	case s.ctl>>uint(v)&1 == 1:
 		// Control above the target: only the firing cofactor recurses.
 		if s.neg>>uint(v)&1 == 1 {
-			if r0 := p.applyRec(s, n.e[0]); r0 != n.e[0] {
-				res = p.makeVNode(v, r0, n.e[1])
+			if r0 := p.applyRec(s, e0); r0 != e0 {
+				res = p.makeVNode(v, r0, e1)
 			} else {
 				res = VEdge{W: p.CN.One, N: n} // subtree unchanged
 			}
 		} else {
-			if r1 := p.applyRec(s, n.e[1]); r1 != n.e[1] {
-				res = p.makeVNode(v, n.e[0], r1)
+			if r1 := p.applyRec(s, e1); r1 != e1 {
+				res = p.makeVNode(v, e0, r1)
 			} else {
 				res = VEdge{W: p.CN.One, N: n}
 			}
 		}
 	default:
 		// Identity level: descend both cofactors.
-		r0 := p.applyRec(s, n.e[0])
-		r1 := p.applyRec(s, n.e[1])
-		if r0 == n.e[0] && r1 == n.e[1] {
+		r0 := p.applyRec(s, e0)
+		r1 := p.applyRec(s, e1)
+		if r0 == e0 && r1 == e1 {
 			res = VEdge{W: p.CN.One, N: n} // subtree unchanged
 		} else {
 			res = p.makeVNode(v, r0, r1)
@@ -276,9 +298,9 @@ func (p *Package) applyRec(s *applySpec, x VEdge) VEdge {
 }
 
 // applyTarget combines the target-level cofactors of n under the 2×2 matrix.
-func (p *Package) applyTarget(s *applySpec, n *VNode) VEdge {
+func (p *Package) applyTarget(s *applySpec, n VRef) VEdge {
 	t := s.target
-	e0, e1 := n.e[0], n.e[1]
+	e0, e1 := p.vE(n, 0), p.vE(n, 1)
 	if s.lowCtl == 0 {
 		switch s.class {
 		case applyDiagonal:
@@ -314,11 +336,11 @@ func (p *Package) applyTarget(s *applySpec, n *VNode) VEdge {
 
 // remCtl returns the low controls at or below the root of x (0 for
 // zero/terminal edges, which sit below every remaining control).
-func (s *applySpec) remCtl(n *VNode) uint64 {
-	if n == nil {
+func (s *applySpec) remCtl(p *Package, n VRef) uint64 {
+	if n == 0 {
 		return 0
 	}
-	return s.lowCtl & (uint64(2)<<uint(n.v) - 1)
+	return s.lowCtl & (uint64(2)<<uint(p.vA.lv[n]) - 1)
 }
 
 // proj projects x onto the subspace where all remaining low controls fire
@@ -329,7 +351,7 @@ func (p *Package) proj(s *applySpec, x VEdge, bar bool) VEdge {
 		return p.VZero()
 	}
 	n := x.N
-	if s.remCtl(n) == 0 {
+	if s.remCtl(p, n) == 0 {
 		// Below every remaining control: the whole sub-state fires.
 		if bar {
 			return p.VZero()
@@ -346,17 +368,17 @@ func (p *Package) proj(s *applySpec, x VEdge, bar bool) VEdge {
 		return p.scaleV(ent.res, x.W)
 	}
 	p.applyMisses++
-	v := n.v
+	v := p.vLv(n)
 	var res VEdge
 	if s.ctl>>uint(v)&1 == 1 {
 		fire := 1
 		if s.neg>>uint(v)&1 == 1 {
 			fire = 0
 		}
-		pr := p.proj(s, n.e[fire], bar)
+		pr := p.proj(s, p.vE(n, fire), bar)
 		other := p.VZero()
 		if bar {
-			other = n.e[1-fire] // a failed control keeps the whole branch
+			other = p.vE(n, 1-fire) // a failed control keeps the whole branch
 		}
 		if fire == 0 {
 			res = p.makeVNode(v, pr, other)
@@ -364,7 +386,7 @@ func (p *Package) proj(s *applySpec, x VEdge, bar bool) VEdge {
 			res = p.makeVNode(v, other, pr)
 		}
 	} else {
-		res = p.makeVNode(v, p.proj(s, n.e[0], bar), p.proj(s, n.e[1], bar))
+		res = p.makeVNode(v, p.proj(s, p.vE(n, 0), bar), p.proj(s, p.vE(n, 1), bar))
 	}
 	p.ap.put(h, apEntry{x: n, gid: s.gid, op: op, res: res, ok: true})
 	return p.scaleV(res, x.W)
@@ -384,29 +406,29 @@ func (p *Package) mixFire(s *applySpec, a, b VEdge, op uint8) VEdge {
 	if b.W == zero {
 		return p.proj(s, a, true)
 	}
-	if s.remCtl(a.N) == 0 {
+	if s.remCtl(p, a.N) == 0 {
 		return b // no controls remain: P is the identity, Pbar vanishes
 	}
 	// Factor a.W out of both operands: entries are stored for a weight-One
 	// first operand and a ratio-weighted second, and rescaled on hit.
 	ratio := p.CN.Div(b.W, a.W)
 	n, m := a.N, b.N
-	h := mix(mix(mix(mix(0x8A91A6D40BF42040, uint64(s.gid)<<3|uint64(op)), n.id), m.id), ratio.ID())
+	h := mix(mix(mix(mix(0x8A91A6D40BF42040, uint64(s.gid)<<3|uint64(op)), uint64(n)), uint64(m)), ratio.ID())
 	if ent := p.apb.slot(h); ent != nil && ent.ok && ent.x == n && ent.y == m &&
 		ent.ratio == ratio && ent.gid == s.gid && ent.op == op {
 		p.applyHits++
 		return p.scaleV(ent.res, a.W)
 	}
 	p.applyMisses++
-	v := n.v
+	v := p.vLv(n)
 	var res VEdge
 	if s.ctl>>uint(v)&1 == 1 {
 		fire := 1
 		if s.neg>>uint(v)&1 == 1 {
 			fire = 0
 		}
-		pr := p.mixFire(s, n.e[fire], p.scaleV(m.e[fire], ratio), op)
-		other := n.e[1-fire] // a failed control keeps a's branch
+		pr := p.mixFire(s, p.vE(n, fire), p.scaleV(p.vE(m, fire), ratio), op)
+		other := p.vE(n, 1-fire) // a failed control keeps a's branch
 		if fire == 0 {
 			res = p.makeVNode(v, pr, other)
 		} else {
@@ -414,8 +436,8 @@ func (p *Package) mixFire(s *applySpec, a, b VEdge, op uint8) VEdge {
 		}
 	} else {
 		res = p.makeVNode(v,
-			p.mixFire(s, n.e[0], p.scaleV(m.e[0], ratio), op),
-			p.mixFire(s, n.e[1], p.scaleV(m.e[1], ratio), op))
+			p.mixFire(s, p.vE(n, 0), p.scaleV(p.vE(m, 0), ratio), op),
+			p.mixFire(s, p.vE(n, 1), p.scaleV(p.vE(m, 1), ratio), op))
 	}
 	p.apb.put(h, apbEntry{x: n, y: m, ratio: ratio, gid: s.gid, op: op, res: res, ok: true})
 	return p.scaleV(res, a.W)
@@ -433,7 +455,7 @@ func (p *Package) ctlScale(s *applySpec, x VEdge, w *cn.Value, op uint8) VEdge {
 		return x // scaling the firing subspace by 1 is the identity
 	}
 	n := x.N
-	if s.remCtl(n) == 0 {
+	if s.remCtl(p, n) == 0 {
 		return p.scaleV(x, w)
 	}
 	h := apHash(s.gid, op, n)
@@ -442,18 +464,19 @@ func (p *Package) ctlScale(s *applySpec, x VEdge, w *cn.Value, op uint8) VEdge {
 		return p.scaleV(ent.res, x.W)
 	}
 	p.applyMisses++
-	v := n.v
+	v := p.vLv(n)
+	e0, e1 := p.vE(n, 0), p.vE(n, 1)
 	var res VEdge
 	if s.ctl>>uint(v)&1 == 1 {
 		if s.neg>>uint(v)&1 == 1 {
-			res = p.makeVNode(v, p.ctlScale(s, n.e[0], w, op), n.e[1])
+			res = p.makeVNode(v, p.ctlScale(s, e0, w, op), e1)
 		} else {
-			res = p.makeVNode(v, n.e[0], p.ctlScale(s, n.e[1], w, op))
+			res = p.makeVNode(v, e0, p.ctlScale(s, e1, w, op))
 		}
 	} else {
-		r0 := p.ctlScale(s, n.e[0], w, op)
-		r1 := p.ctlScale(s, n.e[1], w, op)
-		if r0 == n.e[0] && r1 == n.e[1] {
+		r0 := p.ctlScale(s, e0, w, op)
+		r1 := p.ctlScale(s, e1, w, op)
+		if r0 == e0 && r1 == e1 {
 			res = VEdge{W: p.CN.One, N: n}
 		} else {
 			res = p.makeVNode(v, r0, r1)

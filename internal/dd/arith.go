@@ -70,48 +70,49 @@ func mix(h, x uint64) uint64 {
 }
 
 type addVEntry struct {
-	aN, bN *VNode
+	aN, bN VRef
 	aW, bW *cn.Value
 	res    VEdge
 	ok     bool
 }
 
 type addMEntry struct {
-	aN, bN *MNode
+	aN, bN MRef
 	aW, bW *cn.Value
 	res    MEdge
 	ok     bool
 }
 
 type mvEntry struct {
-	m   *MNode
-	x   *VNode
+	m   MRef
+	x   VRef
 	res VEdge
 	ok  bool
 }
 
 type mmEntry struct {
-	a, b *MNode
+	a, b MRef
 	res  MEdge
 	ok   bool
 }
 
 type ipEntry struct {
-	a, b *VNode
+	a, b VRef
 	res  complex128
 	ok   bool
 }
 
 type ctEntry struct {
-	m   *MNode
+	m   MRef
 	res MEdge
 	ok  bool
 }
 
 type krEntry struct {
-	aM, bM *MNode
-	aV, bV *VNode
+	aM, bM MRef
+	aV, bV VRef
 	shift  int
+	isV    bool // distinguishes KronV entries from KronM entries
 	resM   MEdge
 	resV   VEdge
 	ok     bool
@@ -139,10 +140,10 @@ func (p *Package) AddV(a, b VEdge) VEdge {
 	if b.W == zero {
 		return a
 	}
-	if a.N == nil && b.N == nil {
-		return VEdge{W: p.CN.Add(a.W, b.W), N: nil}
+	if a.N == 0 && b.N == 0 {
+		return VEdge{W: p.CN.Add(a.W, b.W)}
 	}
-	if a.N == nil || b.N == nil || a.N.v != b.N.v {
+	if a.N == 0 || b.N == 0 || p.vLv(a.N) != p.vLv(b.N) {
 		panic("dd: AddV level mismatch")
 	}
 	if a.N == b.N { // same function: weights add directly
@@ -152,18 +153,18 @@ func (p *Package) AddV(a, b VEdge) VEdge {
 		}
 		return VEdge{W: w, N: a.N}
 	}
-	if b.N.id < a.N.id { // commutative: canonical operand order
+	if b.N < a.N { // commutative: canonical operand order
 		a, b = b, a
 	}
-	h := mix(mix(mix(mix(14695981039346656037, a.N.id), a.W.ID()), b.N.id), b.W.ID())
+	h := mix(mix(mix(mix(14695981039346656037, uint64(a.N)), a.W.ID()), uint64(b.N)), b.W.ID())
 	if ent := p.addV.slot(h); ent != nil && ent.ok && ent.aN == a.N && ent.bN == b.N && ent.aW == a.W && ent.bW == b.W {
 		p.cacheHits++
 		return ent.res
 	}
 	p.cacheMisses++
-	v := a.N.v
-	r0 := p.AddV(p.scaleV(a.N.e[0], a.W), p.scaleV(b.N.e[0], b.W))
-	r1 := p.AddV(p.scaleV(a.N.e[1], a.W), p.scaleV(b.N.e[1], b.W))
+	v := p.vLv(a.N)
+	r0 := p.AddV(p.scaleV(p.vE(a.N, 0), a.W), p.scaleV(p.vE(b.N, 0), b.W))
+	r1 := p.AddV(p.scaleV(p.vE(a.N, 1), a.W), p.scaleV(p.vE(b.N, 1), b.W))
 	res := p.makeVNode(v, r0, r1)
 	p.addV.put(h, addVEntry{aN: a.N, bN: b.N, aW: a.W, bW: b.W, res: res, ok: true})
 	return res
@@ -178,10 +179,10 @@ func (p *Package) AddM(a, b MEdge) MEdge {
 	if b.W == zero {
 		return a
 	}
-	if a.N == nil && b.N == nil {
-		return MEdge{W: p.CN.Add(a.W, b.W), N: nil}
+	if a.N == 0 && b.N == 0 {
+		return MEdge{W: p.CN.Add(a.W, b.W)}
 	}
-	if a.N == nil || b.N == nil || a.N.v != b.N.v {
+	if a.N == 0 || b.N == 0 || p.mLv(a.N) != p.mLv(b.N) {
 		panic("dd: AddM level mismatch")
 	}
 	if a.N == b.N {
@@ -191,19 +192,19 @@ func (p *Package) AddM(a, b MEdge) MEdge {
 		}
 		return MEdge{W: w, N: a.N}
 	}
-	if b.N.id < a.N.id {
+	if b.N < a.N {
 		a, b = b, a
 	}
-	h := mix(mix(mix(mix(1099511628211, a.N.id), a.W.ID()), b.N.id), b.W.ID())
+	h := mix(mix(mix(mix(1099511628211, uint64(a.N)), a.W.ID()), uint64(b.N)), b.W.ID())
 	if ent := p.addM.slot(h); ent != nil && ent.ok && ent.aN == a.N && ent.bN == b.N && ent.aW == a.W && ent.bW == b.W {
 		p.cacheHits++
 		return ent.res
 	}
 	p.cacheMisses++
-	v := a.N.v
+	v := p.mLv(a.N)
 	var r [4]MEdge
 	for i := 0; i < 4; i++ {
-		r[i] = p.AddM(p.scaleM(a.N.e[i], a.W), p.scaleM(b.N.e[i], b.W))
+		r[i] = p.AddM(p.scaleM(p.mE(a.N, i), a.W), p.scaleM(p.mE(b.N, i), b.W))
 	}
 	res := p.makeMNode(v, r)
 	p.addM.put(h, addMEntry{aN: a.N, bN: b.N, aW: a.W, bW: b.W, res: res, ok: true})
@@ -217,25 +218,26 @@ func (p *Package) MulMV(m MEdge, x VEdge) VEdge {
 		return p.VZero()
 	}
 	w := p.CN.Mul(m.W, x.W)
-	if m.N == nil && x.N == nil {
-		return VEdge{W: w, N: nil}
+	if m.N == 0 && x.N == 0 {
+		return VEdge{W: w}
 	}
-	if m.N == nil || x.N == nil || m.N.v != x.N.v {
+	if m.N == 0 || x.N == 0 || p.mLv(m.N) != p.vLv(x.N) {
 		panic("dd: MulMV level mismatch")
 	}
 	// Identity fast path: applying I(v+1 levels) is a no-op.
-	if v := m.N.v; v+1 < len(p.idents) && p.idents[v+1].N == m.N {
+	if v := p.mLv(m.N); v+1 < len(p.idents) && p.idents[v+1].N == m.N {
 		return p.scaleV(VEdge{W: p.CN.One, N: x.N}, w)
 	}
-	h := mix(mix(0x51ed270b, m.N.id), x.N.id)
+	h := mix(mix(0x51ed270b, uint64(m.N)), uint64(x.N))
 	if ent := p.mv.slot(h); ent != nil && ent.ok && ent.m == m.N && ent.x == x.N {
 		p.cacheHits++
 		return p.scaleV(ent.res, w)
 	}
 	p.cacheMisses++
-	v := m.N.v
-	r0 := p.AddV(p.MulMV(m.N.e[0], x.N.e[0]), p.MulMV(m.N.e[1], x.N.e[1]))
-	r1 := p.AddV(p.MulMV(m.N.e[2], x.N.e[0]), p.MulMV(m.N.e[3], x.N.e[1]))
+	v := p.mLv(m.N)
+	x0, x1 := p.vE(x.N, 0), p.vE(x.N, 1)
+	r0 := p.AddV(p.MulMV(p.mE(m.N, 0), x0), p.MulMV(p.mE(m.N, 1), x1))
+	r1 := p.AddV(p.MulMV(p.mE(m.N, 2), x0), p.MulMV(p.mE(m.N, 3), x1))
 	res := p.makeVNode(v, r0, r1)
 	p.mv.put(h, mvEntry{m: m.N, x: x.N, res: res, ok: true})
 	return p.scaleV(res, w)
@@ -248,13 +250,13 @@ func (p *Package) MulMM(a, b MEdge) MEdge {
 		return p.MZero()
 	}
 	w := p.CN.Mul(a.W, b.W)
-	if a.N == nil && b.N == nil {
-		return MEdge{W: w, N: nil}
+	if a.N == 0 && b.N == 0 {
+		return MEdge{W: w}
 	}
-	if a.N == nil || b.N == nil || a.N.v != b.N.v {
+	if a.N == 0 || b.N == 0 || p.mLv(a.N) != p.mLv(b.N) {
 		panic("dd: MulMM level mismatch")
 	}
-	if v := a.N.v; v+1 < len(p.idents) {
+	if v := p.mLv(a.N); v+1 < len(p.idents) {
 		if p.idents[v+1].N == a.N {
 			return p.scaleM(MEdge{W: p.CN.One, N: b.N}, w)
 		}
@@ -262,19 +264,19 @@ func (p *Package) MulMM(a, b MEdge) MEdge {
 			return p.scaleM(MEdge{W: p.CN.One, N: a.N}, w)
 		}
 	}
-	h := mix(mix(0x2545F4914F6CDD1D, a.N.id), b.N.id)
+	h := mix(mix(0x2545F4914F6CDD1D, uint64(a.N)), uint64(b.N))
 	if ent := p.mm.slot(h); ent != nil && ent.ok && ent.a == a.N && ent.b == b.N {
 		p.cacheHits++
 		return p.scaleM(ent.res, w)
 	}
 	p.cacheMisses++
-	v := a.N.v
+	v := p.mLv(a.N)
 	var r [4]MEdge
 	for row := 0; row < 2; row++ {
 		for col := 0; col < 2; col++ {
 			r[row*2+col] = p.AddM(
-				p.MulMM(a.N.e[row*2], b.N.e[col]),
-				p.MulMM(a.N.e[row*2+1], b.N.e[2+col]),
+				p.MulMM(p.mE(a.N, row*2), p.mE(b.N, col)),
+				p.MulMM(p.mE(a.N, row*2+1), p.mE(b.N, 2+col)),
 			)
 		}
 	}
@@ -291,19 +293,19 @@ func (p *Package) InnerProduct(a, b VEdge) complex128 {
 		return 0
 	}
 	w := cmplx.Conj(a.W.Complex()) * b.W.Complex()
-	if a.N == nil && b.N == nil {
+	if a.N == 0 && b.N == 0 {
 		return w
 	}
-	if a.N == nil || b.N == nil || a.N.v != b.N.v {
+	if a.N == 0 || b.N == 0 || p.vLv(a.N) != p.vLv(b.N) {
 		panic("dd: InnerProduct level mismatch")
 	}
-	h := mix(mix(0x9E3779B1, a.N.id), b.N.id)
+	h := mix(mix(0x9E3779B1, uint64(a.N)), uint64(b.N))
 	if ent := p.ip.slot(h); ent != nil && ent.ok && ent.a == a.N && ent.b == b.N {
 		p.cacheHits++
 		return w * ent.res
 	}
 	p.cacheMisses++
-	f := p.InnerProduct(a.N.e[0], b.N.e[0]) + p.InnerProduct(a.N.e[1], b.N.e[1])
+	f := p.InnerProduct(p.vE(a.N, 0), p.vE(b.N, 0)) + p.InnerProduct(p.vE(a.N, 1), p.vE(b.N, 1))
 	p.ip.put(h, ipEntry{a: a.N, b: b.N, res: f, ok: true})
 	return w * f
 }
@@ -330,20 +332,20 @@ func (p *Package) ConjugateTranspose(m MEdge) MEdge {
 		return p.MZero()
 	}
 	wc := p.CN.Conj(m.W)
-	if m.N == nil {
-		return MEdge{W: wc, N: nil}
+	if m.N == 0 {
+		return MEdge{W: wc}
 	}
-	h := mix(0xC6A4A7935BD1E995, m.N.id)
+	h := mix(0xC6A4A7935BD1E995, uint64(m.N))
 	if ent := p.ct.slot(h); ent != nil && ent.ok && ent.m == m.N {
 		p.cacheHits++
 		return p.scaleM(ent.res, wc)
 	}
 	p.cacheMisses++
-	res := p.makeMNode(m.N.v, [4]MEdge{
-		p.ConjugateTranspose(m.N.e[0]),
-		p.ConjugateTranspose(m.N.e[2]),
-		p.ConjugateTranspose(m.N.e[1]),
-		p.ConjugateTranspose(m.N.e[3]),
+	res := p.makeMNode(p.mLv(m.N), [4]MEdge{
+		p.ConjugateTranspose(p.mE(m.N, 0)),
+		p.ConjugateTranspose(p.mE(m.N, 2)),
+		p.ConjugateTranspose(p.mE(m.N, 1)),
+		p.ConjugateTranspose(p.mE(m.N, 3)),
 	})
 	p.ct.put(h, ctEntry{m: m.N, res: res, ok: true})
 	return p.scaleM(res, wc)
@@ -356,27 +358,23 @@ func (p *Package) KronM(a, b MEdge, bLevels int) MEdge {
 	if a.W == p.CN.Zero || b.W == p.CN.Zero {
 		return p.MZero()
 	}
-	if a.N == nil {
+	if a.N == 0 {
 		return p.scaleM(b, a.W)
 	}
-	if a.N.v+bLevels >= p.n {
-		panic(fmt.Sprintf("dd: KronM level overflow (a level %d, shift %d)", a.N.v, bLevels))
+	if p.mLv(a.N)+bLevels >= p.n {
+		panic(fmt.Sprintf("dd: KronM level overflow (a level %d, shift %d)", p.mLv(a.N), bLevels))
 	}
-	var bID uint64
-	if b.N != nil {
-		bID = b.N.id
-	}
-	h := mix(mix(mix(0xA0761D6478BD642F, a.N.id), bID), uint64(bLevels))
-	if ent := p.kr.slot(h); ent != nil && ent.ok && ent.aM == a.N && ent.bM == b.N && ent.shift == bLevels && ent.aV == nil {
+	h := mix(mix(mix(0xA0761D6478BD642F, uint64(a.N)), uint64(b.N)), uint64(bLevels))
+	if ent := p.kr.slot(h); ent != nil && ent.ok && ent.aM == a.N && ent.bM == b.N && ent.shift == bLevels && !ent.isV {
 		p.cacheHits++
 		return p.scaleM(ent.resM, a.W)
 	}
 	p.cacheMisses++
 	var r [4]MEdge
 	for i := 0; i < 4; i++ {
-		r[i] = p.KronM(a.N.e[i], b, bLevels)
+		r[i] = p.KronM(p.mE(a.N, i), b, bLevels)
 	}
-	res := p.makeMNode(a.N.v+bLevels, r)
+	res := p.makeMNode(p.mLv(a.N)+bLevels, r)
 	p.kr.put(h, krEntry{aM: a.N, bM: b.N, shift: bLevels, resM: res, ok: true})
 	return p.scaleM(res, a.W)
 }
@@ -387,25 +385,21 @@ func (p *Package) KronV(a, b VEdge, bLevels int) VEdge {
 	if a.W == p.CN.Zero || b.W == p.CN.Zero {
 		return p.VZero()
 	}
-	if a.N == nil {
+	if a.N == 0 {
 		return p.scaleV(b, a.W)
 	}
-	if a.N.v+bLevels >= p.n {
-		panic(fmt.Sprintf("dd: KronV level overflow (a level %d, shift %d)", a.N.v, bLevels))
+	if p.vLv(a.N)+bLevels >= p.n {
+		panic(fmt.Sprintf("dd: KronV level overflow (a level %d, shift %d)", p.vLv(a.N), bLevels))
 	}
-	var bID uint64
-	if b.N != nil {
-		bID = b.N.id
-	}
-	h := mix(mix(mix(0xE7037ED1A0B428DB, a.N.id), bID), uint64(bLevels))
-	if ent := p.kr.slot(h); ent != nil && ent.ok && ent.aV == a.N && ent.bV == b.N && ent.shift == bLevels && ent.aM == nil {
+	h := mix(mix(mix(0xE7037ED1A0B428DB, uint64(a.N)), uint64(b.N)), uint64(bLevels))
+	if ent := p.kr.slot(h); ent != nil && ent.ok && ent.aV == a.N && ent.bV == b.N && ent.shift == bLevels && ent.isV {
 		p.cacheHits++
 		return p.scaleV(ent.resV, a.W)
 	}
 	p.cacheMisses++
-	r0 := p.KronV(a.N.e[0], b, bLevels)
-	r1 := p.KronV(a.N.e[1], b, bLevels)
-	res := p.makeVNode(a.N.v+bLevels, r0, r1)
-	p.kr.put(h, krEntry{aV: a.N, bV: b.N, shift: bLevels, resV: res, ok: true})
+	r0 := p.KronV(p.vE(a.N, 0), b, bLevels)
+	r1 := p.KronV(p.vE(a.N, 1), b, bLevels)
+	res := p.makeVNode(p.vLv(a.N)+bLevels, r0, r1)
+	p.kr.put(h, krEntry{aV: a.N, bV: b.N, shift: bLevels, isV: true, resV: res, ok: true})
 	return p.scaleV(res, a.W)
 }

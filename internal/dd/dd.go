@@ -11,11 +11,13 @@
 //
 //   - Edge weights are interned in a cn.Table, so numerically equal weights
 //     are identical pointers.
-//   - Nodes live in per-kind unique tables and are normalized with the
-//     largest-magnitude rule (magnitudes tied within the weight tolerance
-//     break towards the lowest edge index), so two DDs represent the same
-//     function if and only if their root edges compare equal as
-//     (node pointer, weight pointer) pairs.
+//   - Nodes live in per-package arenas (growable struct-of-arrays slabs, see
+//     arena.go) and are addressed by 32-bit indices; the per-kind unique
+//     tables map node signatures to indices, and nodes are normalized with
+//     the largest-magnitude rule (magnitudes tied within the weight
+//     tolerance break towards the lowest edge index), so two DDs represent
+//     the same function if and only if their root edges compare equal as
+//     (node index, weight pointer) pairs.
 //   - All non-zero paths visit a node at every level ("full chains"); only
 //     zero edges shortcut directly to the terminal.  This keeps every binary
 //     operation strictly level-synchronized.
@@ -44,44 +46,19 @@ import (
 	"qcec/internal/cn"
 )
 
-// VNode is a vector-DD node with two successors (qubit value 0 and 1).
-type VNode struct {
-	id uint64
-	v  int // qubit level; 0 is the least-significant qubit
-	e  [2]VEdge
-}
-
-// Level returns the qubit level of the node.
-func (n *VNode) Level() int { return n.v }
-
-// Edge returns the i-th successor edge (i in 0..1).
-func (n *VNode) Edge(i int) VEdge { return n.e[i] }
-
-// MNode is a matrix-DD node with four successors indexed row*2+col.
-type MNode struct {
-	id uint64
-	v  int
-	e  [4]MEdge
-}
-
-// Level returns the qubit level of the node.
-func (n *MNode) Level() int { return n.v }
-
-// Edge returns the i-th successor edge (i = row*2 + col).
-func (n *MNode) Edge(i int) MEdge { return n.e[i] }
-
-// VEdge is a weighted edge into a vector DD.  A nil node denotes the
-// terminal; VEdge{W: <zero>, N: nil} is the canonical zero vector.
+// VEdge is a weighted edge into a vector DD.  N is an arena index (see
+// arena.go); N == 0 denotes the terminal, and VEdge{W: <zero>, N: 0} is the
+// canonical zero vector.
 type VEdge struct {
 	W *cn.Value
-	N *VNode
+	N VRef
 }
 
-// MEdge is a weighted edge into a matrix DD.  A nil node denotes the
-// terminal; MEdge{W: <zero>, N: nil} is the canonical zero matrix.
+// MEdge is a weighted edge into a matrix DD.  N == 0 denotes the terminal;
+// MEdge{W: <zero>, N: 0} is the canonical zero matrix.
 type MEdge struct {
 	W *cn.Value
-	N *MNode
+	N MRef
 }
 
 // Control describes a control qubit of a quantum operation.  When Neg is
@@ -95,13 +72,13 @@ type Control struct {
 type vKey struct {
 	v      int
 	w0, w1 *cn.Value
-	n0, n1 *VNode
+	n0, n1 VRef
 }
 
 type mKey struct {
 	v              int
 	w0, w1, w2, w3 *cn.Value
-	n0, n1, n2, n3 *MNode
+	n0, n1, n2, n3 MRef
 }
 
 // gateKey identifies a full-register gate DD: the four interned entries of
@@ -122,14 +99,18 @@ type Package struct {
 	n  int
 	CN *cn.Table
 
-	vUnique map[vKey]*VNode
-	mUnique map[mKey]*MNode
-	// nextID hands out node ids and is monotonic for the lifetime of the
-	// package — Reset does not rewind it, because surviving gate-cache nodes
-	// keep their ids and compute tables order commutative operands by id.
+	// vA and mA are the node arenas (see arena.go); the unique tables map
+	// node signatures to arena indices.  An index doubles as the node's id
+	// for compute-table hashing and commutative operand ordering: it is a
+	// stable total order over live nodes, and index reuse after a sweep can
+	// never alias a cached entry because every collection clears the compute
+	// tables before slots return to the free list.
+	vA      vArena
+	mA      mArena
+	vUnique map[vKey]VRef
+	mUnique map[mKey]MRef
 	// nodesCreated is the per-job counter behind Stats.NodesCreated; Reset
 	// zeroes it so a pooled package reports only its current job's work.
-	nextID       uint64
 	nodesCreated uint64
 
 	idents []MEdge // idents[k] = identity on the k lowest levels
@@ -162,9 +143,15 @@ type Package struct {
 	applyMisses    uint64
 
 	// gcThreshold is the unique-table population that triggers a garbage
-	// collection in MaybeGC; it doubles after every collection that fails
-	// to reclaim at least a quarter of the nodes.
+	// collection in MaybeGC.  It doubles after a collection that fails to
+	// reclaim at least a quarter of the nodes — but never beyond
+	// gcGrowthCap times gcBase — and re-arms back towards gcBase once
+	// collections reclaim well again (see MaybeGC), so a long-lived package
+	// that survives one node-heavy stimulus resumes collecting instead of
+	// creeping towards the watchdog's hard limit.  gcBase is the configured
+	// trigger (DefaultGCThreshold, or SetGCThreshold's override).
 	gcThreshold int
+	gcBase      int
 	gcRuns      int
 
 	// nodeLimit, when positive, makes node creation panic with a
@@ -374,18 +361,21 @@ func New(n int, tol float64) *Package {
 	p := &Package{
 		n:           n,
 		CN:          cn.NewTable(tol),
-		vUnique:     make(map[vKey]*VNode, 1024),
-		mUnique:     make(map[mKey]*MNode, 1024),
+		vUnique:     make(map[vKey]VRef, 1024),
+		mUnique:     make(map[mKey]MRef, 1024),
 		gcThreshold: DefaultGCThreshold,
+		gcBase:      DefaultGCThreshold,
 
 		gateCache:      make(map[gateKey]MEdge, 64),
 		gateCacheOn:    true,
 		gateCacheLimit: DefaultGateCacheLimit,
 	}
+	p.vA.init()
+	p.mA.init()
 	if box, ok := defaultInjector.Load().(injectorBox); ok {
 		p.faults = box.fi
 	}
-	p.idents = []MEdge{{W: p.CN.One, N: nil}}
+	p.idents = []MEdge{{W: p.CN.One, N: 0}}
 	return p
 }
 
@@ -467,15 +457,19 @@ func (p *Package) Snapshot() Stats {
 	}
 }
 
-// Add accumulates another snapshot into s.  Counters sum exactly; the gauges
-// (node, weight and cache populations) also sum, which for snapshots taken
-// from disjoint packages — e.g. the per-worker packages of a parallel
-// simulation stage — yields the total footprint across workers.
+// Add accumulates another snapshot into s.  Counters sum exactly; the
+// gauges (the point-in-time node, weight and cache populations) take the
+// maximum instead, mirroring resource.Stats.Add's peak semantics.  Summing
+// gauges across the per-worker packages of a parallel simulation stage — or
+// across the batch items of a serving aggregate — multiplies a steady-state
+// population by the worker count and reports a footprint nothing ever had;
+// the peak is the number /metrics, the harness CSVs and `qcec -stats` can
+// honestly aggregate.
 func (s *Stats) Add(o Stats) {
-	s.VectorNodes += o.VectorNodes
-	s.MatrixNodes += o.MatrixNodes
-	s.WeightsStored += o.WeightsStored
-	s.GateCacheSize += o.GateCacheSize
+	s.VectorNodes = max(s.VectorNodes, o.VectorNodes)
+	s.MatrixNodes = max(s.MatrixNodes, o.MatrixNodes)
+	s.WeightsStored = max(s.WeightsStored, o.WeightsStored)
+	s.GateCacheSize = max(s.GateCacheSize, o.GateCacheSize)
 	s.NodesCreated += o.NodesCreated
 	s.GCRuns += o.GCRuns
 	s.GCReclaimed += o.GCReclaimed
@@ -560,19 +554,19 @@ func (p *Package) SetGateCacheLimit(n int) {
 }
 
 // VZero returns the canonical zero vector edge.
-func (p *Package) VZero() VEdge { return VEdge{W: p.CN.Zero, N: nil} }
+func (p *Package) VZero() VEdge { return VEdge{W: p.CN.Zero, N: 0} }
 
 // MZero returns the canonical zero matrix edge.
-func (p *Package) MZero() MEdge { return MEdge{W: p.CN.Zero, N: nil} }
+func (p *Package) MZero() MEdge { return MEdge{W: p.CN.Zero, N: 0} }
 
 // VTerminal returns a terminal vector edge carrying the given scalar.
 func (p *Package) VTerminal(c complex128) VEdge {
-	return VEdge{W: p.CN.Lookup(c), N: nil}
+	return VEdge{W: p.CN.Lookup(c), N: 0}
 }
 
 // MTerminal returns a terminal matrix edge carrying the given scalar.
 func (p *Package) MTerminal(c complex128) MEdge {
-	return MEdge{W: p.CN.Lookup(c), N: nil}
+	return MEdge{W: p.CN.Lookup(c), N: 0}
 }
 
 // makeVNode builds the canonical, normalized node for the given successors
@@ -610,8 +604,12 @@ func (p *Package) makeVNode(v int, e0, e1 VEdge) VEdge {
 	if ok {
 		p.uniqueHits++
 	} else {
-		node = &VNode{id: p.newID(), v: v, e: [2]VEdge{e0, e1}}
+		node = p.vA.alloc()
+		p.vA.lv[node] = int8(v)
+		p.vA.ch[node] = [2]VRef{e0.N, e1.N}
+		p.vA.wt[node] = [2]*cn.Value{e0.W, e1.W}
 		p.vUnique[key] = node
+		p.nodesCreated++
 		p.checkLimit()
 	}
 	return VEdge{W: top, N: node}
@@ -653,17 +651,15 @@ func (p *Package) makeMNode(v int, e [4]MEdge) MEdge {
 	if ok {
 		p.uniqueHits++
 	} else {
-		node = &MNode{id: p.newID(), v: v, e: e}
+		node = p.mA.alloc()
+		p.mA.lv[node] = int8(v)
+		p.mA.ch[node] = [4]MRef{e[0].N, e[1].N, e[2].N, e[3].N}
+		p.mA.wt[node] = [4]*cn.Value{e[0].W, e[1].W, e[2].W, e[3].W}
 		p.mUnique[key] = node
+		p.nodesCreated++
 		p.checkLimit()
 	}
 	return MEdge{W: top, N: node}
-}
-
-func (p *Package) newID() uint64 {
-	p.nextID++
-	p.nodesCreated++
-	return p.nextID
 }
 
 // scaleV multiplies an edge weight by w.
@@ -725,7 +721,7 @@ func (p *Package) BasisState(i uint64) VEdge {
 	if p.n < 64 && i >= uint64(1)<<uint(p.n) {
 		panic(fmt.Sprintf("dd: basis state %d out of range for %d qubits", i, p.n))
 	}
-	e := VEdge{W: p.CN.One, N: nil}
+	e := VEdge{W: p.CN.One, N: 0}
 	for z := 0; z < p.n; z++ {
 		if (i>>uint(z))&1 == 0 {
 			e = p.makeVNode(z, e, p.VZero())

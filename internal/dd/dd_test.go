@@ -240,7 +240,7 @@ func TestAddVAgainstDense(t *testing.T) {
 	// a + (-a) = 0.
 	neg := p.scaleV(a, p.CN.LookupReal(-1))
 	zero := p.AddV(a, neg)
-	if zero.W != p.CN.Zero || zero.N != nil {
+	if zero.W != p.CN.Zero || zero.N != 0 {
 		t.Error("a + (-a) is not the canonical zero edge")
 	}
 }
@@ -358,8 +358,8 @@ func TestKronAgainstDense(t *testing.T) {
 func TestKronV(t *testing.T) {
 	p := NewDefault(2)
 	// |1> ⊗ |0> = |10>
-	one := p.makeVNode(0, p.VZero(), VEdge{W: p.CN.One, N: nil})
-	zero := p.makeVNode(0, VEdge{W: p.CN.One, N: nil}, p.VZero())
+	one := p.makeVNode(0, p.VZero(), VEdge{W: p.CN.One})
+	zero := p.makeVNode(0, VEdge{W: p.CN.One}, p.VZero())
 	kr := p.KronV(one, zero, 1)
 	if got := p.Amplitude(kr, 2); cmplx.Abs(got-1) > 1e-12 {
 		t.Fatalf("KronV |10> amplitude = %v", got)

@@ -17,11 +17,11 @@ func (p *Package) Amplitude(a VEdge, i uint64) complex128 {
 			return 0
 		}
 		w *= e.W.Complex()
-		if e.N == nil {
+		if e.N == 0 {
 			return w
 		}
-		bit := (i >> uint(e.N.v)) & 1
-		e = e.N.e[bit]
+		bit := (i >> uint(p.vLv(e.N))) & 1
+		e = p.vE(e.N, int(bit))
 	}
 }
 
@@ -34,12 +34,13 @@ func (p *Package) MatrixEntry(m MEdge, r, c uint64) complex128 {
 			return 0
 		}
 		w *= e.W.Complex()
-		if e.N == nil {
+		if e.N == 0 {
 			return w
 		}
-		rb := (r >> uint(e.N.v)) & 1
-		cb := (c >> uint(e.N.v)) & 1
-		e = e.N.e[rb*2+cb]
+		v := p.mLv(e.N)
+		rb := (r >> uint(v)) & 1
+		cb := (c >> uint(v)) & 1
+		e = p.mE(e.N, int(rb*2+cb))
 	}
 }
 
@@ -56,12 +57,13 @@ func (p *Package) Vector(a VEdge) []complex128 {
 			return
 		}
 		w *= e.W.Complex()
-		if e.N == nil {
+		if e.N == 0 {
 			out[idx] = w
 			return
 		}
-		walk(e.N.e[0], idx, e.N.v-1, w)
-		walk(e.N.e[1], idx|uint64(1)<<uint(e.N.v), e.N.v-1, w)
+		v := p.vLv(e.N)
+		walk(p.vE(e.N, 0), idx, v-1, w)
+		walk(p.vE(e.N, 1), idx|uint64(1)<<uint(v), v-1, w)
 	}
 	walk(a, 0, p.n-1, 1)
 	return out
@@ -86,15 +88,15 @@ func (p *Package) Matrix(m MEdge) [][]complex128 {
 
 // VSize returns the number of distinct nodes reachable from a vector edge.
 func (p *Package) VSize(a VEdge) int {
-	seen := make(map[*VNode]bool)
-	var walk func(n *VNode)
-	walk = func(n *VNode) {
-		if n == nil || seen[n] {
+	seen := make(map[VRef]bool)
+	var walk func(n VRef)
+	walk = func(n VRef) {
+		if n == 0 || seen[n] {
 			return
 		}
 		seen[n] = true
-		walk(n.e[0].N)
-		walk(n.e[1].N)
+		walk(p.vA.ch[n][0])
+		walk(p.vA.ch[n][1])
 	}
 	walk(a.N)
 	return len(seen)
@@ -102,15 +104,15 @@ func (p *Package) VSize(a VEdge) int {
 
 // MSize returns the number of distinct nodes reachable from a matrix edge.
 func (p *Package) MSize(m MEdge) int {
-	seen := make(map[*MNode]bool)
-	var walk func(n *MNode)
-	walk = func(n *MNode) {
-		if n == nil || seen[n] {
+	seen := make(map[MRef]bool)
+	var walk func(n MRef)
+	walk = func(n MRef) {
+		if n == 0 || seen[n] {
 			return
 		}
 		seen[n] = true
 		for i := 0; i < 4; i++ {
-			walk(n.e[i].N)
+			walk(p.mA.ch[n][i])
 		}
 	}
 	walk(m.N)
@@ -121,20 +123,20 @@ func (p *Package) MSize(m MEdge) int {
 // induced by the state DD, using the provided RNG.  The state need not be
 // exactly normalized; probabilities are renormalized on the fly.
 func (p *Package) Sample(a VEdge, rng *rand.Rand) uint64 {
-	norms := make(map[*VNode]float64)
+	norms := make(map[VRef]float64)
 	var normSq func(e VEdge) float64
 	normSq = func(e VEdge) float64 {
 		if e.W == p.CN.Zero {
 			return 0
 		}
 		w2 := e.W.Abs2()
-		if e.N == nil {
+		if e.N == 0 {
 			return w2
 		}
 		if v, ok := norms[e.N]; ok {
 			return w2 * v
 		}
-		v := normSq(e.N.e[0]) + normSq(e.N.e[1])
+		v := normSq(p.vE(e.N, 0)) + normSq(p.vE(e.N, 1))
 		norms[e.N] = v
 		return w2 * v
 	}
@@ -144,18 +146,18 @@ func (p *Package) Sample(a VEdge, rng *rand.Rand) uint64 {
 	}
 	var idx uint64
 	e := a
-	for e.N != nil {
-		s0 := normSq(e.N.e[0])
-		s1 := normSq(e.N.e[1])
+	for e.N != 0 {
+		s0 := normSq(p.vE(e.N, 0))
+		s1 := normSq(p.vE(e.N, 1))
 		denom := s0 + s1
 		if denom <= 0 {
 			panic("dd: inconsistent norms during sampling")
 		}
 		if rng.Float64() < s0/denom {
-			e = e.N.e[0]
+			e = p.vE(e.N, 0)
 		} else {
-			idx |= uint64(1) << uint(e.N.v)
-			e = e.N.e[1]
+			idx |= uint64(1) << uint(p.vLv(e.N))
+			e = p.vE(e.N, 1)
 		}
 	}
 	return idx
@@ -209,21 +211,21 @@ func (p *Package) DumpDOT(w io.Writer, a VEdge) error {
 	if _, err := fmt.Fprintln(w, "digraph vdd {"); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "  root [shape=point];\n  root -> n%d [label=\"%s\"];\n", nodeID(a.N), a.W)
-	seen := make(map[*VNode]bool)
-	var walk func(n *VNode)
-	walk = func(n *VNode) {
-		if n == nil || seen[n] {
+	fmt.Fprintf(w, "  root [shape=point];\n  root -> n%d [label=\"%s\"];\n", uint64(a.N), a.W)
+	seen := make(map[VRef]bool)
+	var walk func(n VRef)
+	walk = func(n VRef) {
+		if n == 0 || seen[n] {
 			return
 		}
 		seen[n] = true
-		fmt.Fprintf(w, "  n%d [label=\"q%d\"];\n", n.id, n.v)
+		fmt.Fprintf(w, "  n%d [label=\"q%d\"];\n", uint64(n), p.vLv(n))
 		for i := 0; i < 2; i++ {
-			e := n.e[i]
+			e := p.vE(n, i)
 			if e.W == p.CN.Zero {
 				continue
 			}
-			fmt.Fprintf(w, "  n%d -> n%d [label=\"%d: %s\"];\n", n.id, nodeID(e.N), i, e.W)
+			fmt.Fprintf(w, "  n%d -> n%d [label=\"%d: %s\"];\n", uint64(n), uint64(e.N), i, e.W)
 			walk(e.N)
 		}
 	}
@@ -231,11 +233,4 @@ func (p *Package) DumpDOT(w io.Writer, a VEdge) error {
 	fmt.Fprintln(w, "  n0 [label=\"1\", shape=box];")
 	_, err := fmt.Fprintln(w, "}")
 	return err
-}
-
-func nodeID(n *VNode) uint64 {
-	if n == nil {
-		return 0
-	}
-	return n.id
 }

@@ -19,7 +19,10 @@ import (
 //   - kept: the interned weight table (cn.Table values stay valid — gate and
 //     apply keys hold weight pointers), the gate-DD cache with its node
 //     structure (re-rooted by the collection below), the apply-kernel gate-id
-//     map, the grown compute-table capacity, and the identity chain;
+//     map, the grown compute-table capacity, the identity chain, and the
+//     arena slabs themselves — dead slots go onto the free lists and the
+//     backing arrays are recycled in place, so a pooled worker package
+//     re-allocates nothing on its next job;
 //   - cleared: all nodes unreachable from the kept roots, every compute-table
 //     entry (in place, capacity retained), and all statistics counters, so
 //     the next job's Snapshot reports only its own work;
@@ -51,6 +54,7 @@ func (p *Package) Reset() {
 	p.gateCacheOn = true
 	p.gateCacheLimit = DefaultGateCacheLimit
 	p.gcThreshold = DefaultGCThreshold
+	p.gcBase = DefaultGCThreshold
 	p.GC(nil, nil)
 
 	// Zero the counters after the collection so the reset's own GC does not

@@ -101,7 +101,7 @@ func TestResetKeepsWarmState(t *testing.T) {
 		t.Fatalf("job built no cached gates; warmth cannot be observed")
 	}
 	weights := before.WeightsStored
-	idBefore := p.nextID
+	arBefore := p.Arena()
 
 	p.Reset()
 
@@ -113,8 +113,12 @@ func TestResetKeepsWarmState(t *testing.T) {
 	if after.WeightsStored != weights {
 		t.Errorf("interned weights %d after Reset, want %d", after.WeightsStored, weights)
 	}
-	if p.nextID < idBefore {
-		t.Errorf("nextID rewound from %d to %d; ids must stay monotonic", idBefore, p.nextID)
+	arAfter := p.Arena()
+	if arAfter.VSlots != arBefore.VSlots || arAfter.MSlots != arBefore.MSlots {
+		t.Errorf("arena slabs resized across Reset: %+v -> %+v (want recycled in place)", arBefore, arAfter)
+	}
+	if arAfter.VFree == 0 {
+		t.Errorf("Reset freed no vector slots; dead nodes should land on the free list")
 	}
 
 	// The second, identical job must be answered entirely by the warm gate
@@ -127,6 +131,11 @@ func TestResetKeepsWarmState(t *testing.T) {
 	}
 	if s.GateHits == 0 {
 		t.Errorf("warm package recorded no gate-cache hits")
+	}
+	// And it must be served from the recycled slabs: the arenas ran the same
+	// workload out of the free lists without growing.
+	if ar := p.Arena(); ar.VSlots > arBefore.VSlots || ar.MSlots > arBefore.MSlots {
+		t.Errorf("identical warm job grew the arenas: %+v -> %+v", arBefore, ar)
 	}
 }
 

@@ -4,19 +4,19 @@ import "math/cmplx"
 
 // Trace returns tr(m) for a matrix DD rooted at the top level.
 func (p *Package) Trace(m MEdge) complex128 {
-	memo := make(map[*MNode]complex128)
+	memo := make(map[MRef]complex128)
 	var rec func(e MEdge) complex128
 	rec = func(e MEdge) complex128 {
 		if e.W == p.CN.Zero {
 			return 0
 		}
-		if e.N == nil {
+		if e.N == 0 {
 			return e.W.Complex()
 		}
 		if v, ok := memo[e.N]; ok {
 			return e.W.Complex() * v
 		}
-		v := rec(e.N.e[0]) + rec(e.N.e[3])
+		v := rec(p.mE(e.N, 0)) + rec(p.mE(e.N, 3))
 		memo[e.N] = v
 		return e.W.Complex() * v
 	}
@@ -30,7 +30,7 @@ func (p *Package) Trace(m MEdge) complex128 {
 // fidelity.
 func (p *Package) HilbertSchmidt(a, b MEdge) complex128 {
 	type key struct {
-		a, b *MNode
+		a, b MRef
 	}
 	memo := make(map[key]complex128)
 	var rec func(a, b MEdge) complex128
@@ -39,10 +39,10 @@ func (p *Package) HilbertSchmidt(a, b MEdge) complex128 {
 			return 0
 		}
 		w := cmplx.Conj(a.W.Complex()) * b.W.Complex()
-		if a.N == nil && b.N == nil {
+		if a.N == 0 && b.N == 0 {
 			return w
 		}
-		if a.N == nil || b.N == nil || a.N.v != b.N.v {
+		if a.N == 0 || b.N == 0 || p.mLv(a.N) != p.mLv(b.N) {
 			panic("dd: HilbertSchmidt level mismatch")
 		}
 		k := key{a.N, b.N}
@@ -51,7 +51,7 @@ func (p *Package) HilbertSchmidt(a, b MEdge) complex128 {
 		}
 		var v complex128
 		for i := 0; i < 4; i++ {
-			v += rec(a.N.e[i], b.N.e[i])
+			v += rec(p.mE(a.N, i), p.mE(b.N, i))
 		}
 		memo[k] = v
 		return w * v

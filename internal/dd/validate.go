@@ -15,53 +15,54 @@ import "fmt"
 //  3. no node has two zero children,
 //  4. every reachable node is present in the unique table (canonical).
 func (p *Package) ValidateV(e VEdge) error {
-	seen := make(map[*VNode]bool)
-	inTable := make(map[*VNode]bool, len(p.vUnique))
+	seen := make(map[VRef]bool)
+	inTable := make(map[VRef]bool, len(p.vUnique))
 	for _, n := range p.vUnique {
 		inTable[n] = true
 	}
 	var walk func(e VEdge, parentLevel int) error
 	walk = func(e VEdge, parentLevel int) error {
 		if e.W == p.CN.Zero {
-			if e.N != nil {
+			if e.N != 0 {
 				return fmt.Errorf("dd: zero edge with non-terminal node")
 			}
 			return nil
 		}
-		if e.N == nil {
+		if e.N == 0 {
 			if parentLevel != 0 {
 				return fmt.Errorf("dd: non-zero terminal edge skips levels (parent level %d)", parentLevel)
 			}
 			return nil
 		}
-		if e.N.v >= parentLevel {
-			return fmt.Errorf("dd: level %d not below parent %d", e.N.v, parentLevel)
+		v := p.vLv(e.N)
+		if v >= parentLevel {
+			return fmt.Errorf("dd: level %d not below parent %d", v, parentLevel)
 		}
 		if seen[e.N] {
 			return nil
 		}
 		seen[e.N] = true
 		if !inTable[e.N] {
-			return fmt.Errorf("dd: node at level %d missing from unique table", e.N.v)
+			return fmt.Errorf("dd: node at level %d missing from unique table", v)
 		}
 		hasOne := false
 		for i := 0; i < 2; i++ {
-			w := e.N.e[i].W
+			w := p.vE(e.N, i).W
 			if w == p.CN.One {
 				hasOne = true
 			}
 			if w.Abs2() > 1+64*p.CN.Tolerance() {
-				return fmt.Errorf("dd: child weight magnitude %g exceeds 1 at level %d", w.Abs(), e.N.v)
+				return fmt.Errorf("dd: child weight magnitude %g exceeds 1 at level %d", w.Abs(), v)
 			}
 		}
 		if !hasOne {
-			return fmt.Errorf("dd: node at level %d has no unit child weight", e.N.v)
+			return fmt.Errorf("dd: node at level %d has no unit child weight", v)
 		}
-		if e.N.e[0].W == p.CN.Zero && e.N.e[1].W == p.CN.Zero {
-			return fmt.Errorf("dd: node at level %d has two zero children", e.N.v)
+		if p.vE(e.N, 0).W == p.CN.Zero && p.vE(e.N, 1).W == p.CN.Zero {
+			return fmt.Errorf("dd: node at level %d has two zero children", v)
 		}
 		for i := 0; i < 2; i++ {
-			if err := walk(e.N.e[i], e.N.v); err != nil {
+			if err := walk(p.vE(e.N, i), v); err != nil {
 				return err
 			}
 		}
@@ -72,39 +73,40 @@ func (p *Package) ValidateV(e VEdge) error {
 
 // ValidateM checks the same invariants for a matrix DD.
 func (p *Package) ValidateM(e MEdge) error {
-	seen := make(map[*MNode]bool)
-	inTable := make(map[*MNode]bool, len(p.mUnique))
+	seen := make(map[MRef]bool)
+	inTable := make(map[MRef]bool, len(p.mUnique))
 	for _, n := range p.mUnique {
 		inTable[n] = true
 	}
 	var walk func(e MEdge, parentLevel int) error
 	walk = func(e MEdge, parentLevel int) error {
 		if e.W == p.CN.Zero {
-			if e.N != nil {
+			if e.N != 0 {
 				return fmt.Errorf("dd: zero edge with non-terminal node")
 			}
 			return nil
 		}
-		if e.N == nil {
+		if e.N == 0 {
 			if parentLevel != 0 {
 				return fmt.Errorf("dd: non-zero terminal edge skips levels (parent level %d)", parentLevel)
 			}
 			return nil
 		}
-		if e.N.v >= parentLevel {
-			return fmt.Errorf("dd: level %d not below parent %d", e.N.v, parentLevel)
+		v := p.mLv(e.N)
+		if v >= parentLevel {
+			return fmt.Errorf("dd: level %d not below parent %d", v, parentLevel)
 		}
 		if seen[e.N] {
 			return nil
 		}
 		seen[e.N] = true
 		if !inTable[e.N] {
-			return fmt.Errorf("dd: node at level %d missing from unique table", e.N.v)
+			return fmt.Errorf("dd: node at level %d missing from unique table", v)
 		}
 		hasOne := false
 		allZero := true
 		for i := 0; i < 4; i++ {
-			w := e.N.e[i].W
+			w := p.mE(e.N, i).W
 			if w == p.CN.One {
 				hasOne = true
 			}
@@ -112,17 +114,17 @@ func (p *Package) ValidateM(e MEdge) error {
 				allZero = false
 			}
 			if w.Abs2() > 1+64*p.CN.Tolerance() {
-				return fmt.Errorf("dd: child weight magnitude %g exceeds 1 at level %d", w.Abs(), e.N.v)
+				return fmt.Errorf("dd: child weight magnitude %g exceeds 1 at level %d", w.Abs(), v)
 			}
 		}
 		if !hasOne {
-			return fmt.Errorf("dd: node at level %d has no unit child weight", e.N.v)
+			return fmt.Errorf("dd: node at level %d has no unit child weight", v)
 		}
 		if allZero {
-			return fmt.Errorf("dd: node at level %d has four zero children", e.N.v)
+			return fmt.Errorf("dd: node at level %d has four zero children", v)
 		}
 		for i := 0; i < 4; i++ {
-			if err := walk(e.N.e[i], e.N.v); err != nil {
+			if err := walk(p.mE(e.N, i), v); err != nil {
 				return err
 			}
 		}

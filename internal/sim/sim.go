@@ -103,6 +103,98 @@ type Simulator struct {
 	// pointer: callers must not mutate a circuit's gates between runs on
 	// the same simulator.
 	prep map[*circuit.Circuit][][]*dd.PreparedGate
+
+	// bound caches the package-local binding of each shared Program this
+	// simulator has run, so a worker binds a program once and then pays only
+	// the kernel recursion per application.
+	bound map[*Program][][]*dd.PreparedGate
+}
+
+// Program is an immutable, package-independent compilation of a circuit:
+// every circuit gate lowered to its dd.GateSpec form (SWAPs expanded into
+// their three CX factors), paying the per-gate matrix construction —
+// including the trigonometry of parameterized gates — exactly once.  A
+// Program is read-only after Prepare returns and may be shared freely
+// across goroutines; parallel stimulus workers each bind it to their own
+// private package (see Simulator.bind) and drive the one shared copy.
+type Program struct {
+	n     int
+	steps [][]dd.GateSpec // one entry per circuit gate
+}
+
+// Prepare compiles a circuit into a shareable Program.  The circuit's gates
+// must not be mutated afterwards (the specs alias nothing from the circuit,
+// but the compilation reflects the gates at call time).
+func Prepare(c *circuit.Circuit) *Program {
+	spec := func(g circuit.Gate) dd.GateSpec {
+		return dd.GateSpec{U: g.Matrix(), Target: g.Target, Controls: ToDDControls(g.Controls)}
+	}
+	steps := make([][]dd.GateSpec, len(c.Gates))
+	for i, g := range c.Gates {
+		if g.Kind == circuit.SWAP {
+			cxs := swapAsCXs(g)
+			steps[i] = []dd.GateSpec{spec(cxs[0]), spec(cxs[1]), spec(cxs[2])}
+		} else {
+			steps[i] = []dd.GateSpec{spec(g)}
+		}
+	}
+	return &Program{n: c.N, steps: steps}
+}
+
+// Qubits returns the register size the program was compiled for.
+func (pr *Program) Qubits() int { return pr.n }
+
+// Gates returns the number of circuit gates in the program (SWAP factors
+// count as their originating gate).
+func (pr *Program) Gates() int { return len(pr.steps) }
+
+// bind returns (binding and caching on first use) the package-local
+// prepared form of a shared program.  Binding only reads the program.
+func (s *Simulator) bind(prog *Program) [][]*dd.PreparedGate {
+	if pg, ok := s.bound[prog]; ok {
+		return pg
+	}
+	pg := make([][]*dd.PreparedGate, len(prog.steps))
+	for i, specs := range prog.steps {
+		fs := make([]*dd.PreparedGate, len(specs))
+		for j, sp := range specs {
+			fs[j] = s.P.PrepareSpec(sp)
+		}
+		pg[i] = fs
+	}
+	if s.bound == nil {
+		s.bound = make(map[*Program][][]*dd.PreparedGate, 2)
+	}
+	s.bound[prog] = pg
+	return pg
+}
+
+// RunProgram simulates the program on basis state |input> and returns the
+// final state DD (cf. Run).
+func (s *Simulator) RunProgram(prog *Program, input uint64) dd.VEdge {
+	if prog.n != s.P.Qubits() {
+		panic(fmt.Sprintf("sim: program on %d qubits, package on %d", prog.n, s.P.Qubits()))
+	}
+	return s.RunProgramWithPins(prog, s.P.BasisState(input), nil)
+}
+
+// RunProgramWithPins simulates a shared program starting from an arbitrary
+// state DD, keeping the given states alive across garbage collections.  It
+// applies exactly the same prepared-gate sequence as RunFromWithPins would
+// for the originating circuit, so results are bit-identical.
+func (s *Simulator) RunProgramWithPins(prog *Program, state dd.VEdge, pins []dd.VEdge) dd.VEdge {
+	roots := make([]dd.VEdge, 0, len(pins)+1)
+	for _, steps := range s.bind(prog) {
+		for _, pg := range steps {
+			state = s.P.ApplyPrepared(pg, state)
+		}
+		s.GatesApplied++
+		faultStep(s.GatesApplied)
+		roots = append(roots[:0], pins...)
+		roots = append(roots, state)
+		s.P.MaybeGC(roots, nil)
+	}
+	return state
 }
 
 // apply dispatches one gate application according to the Legacy switch.
