@@ -5,7 +5,7 @@ GO ?= go
 
 # Packages with real concurrency (goroutines + shared cancellation state):
 # these are the ones the race detector must cover.
-RACE_PKGS = ./internal/core/... ./internal/portfolio/... ./internal/dd/... ./internal/ec/... ./internal/resource/... ./internal/faultinject/... ./internal/server/... ./internal/sim/...
+RACE_PKGS = ./internal/core/... ./internal/portfolio/... ./internal/dd/... ./internal/ec/... ./internal/resource/... ./internal/faultinject/... ./internal/server/... ./internal/sim/... ./internal/stab/...
 
 FUZZTIME ?= 20s
 
@@ -57,14 +57,19 @@ staticcheck:
 # matrix-DD traffic, which benefits most from slab storage), compressing the
 # kernel's relative advantage while its absolute throughput is unchanged
 # (benchcmp and the parity tests watch that side).
+# The Clifford sweep (stabilizer tableau vs the complete DD checker on
+# random Clifford pairs, 8-24 qubits) rides in the same artifact; its floor
+# asserts the polynomial fast path is at least 10x ahead of DD on the
+# >=20-qubit equivalent pairs.
 BENCH_R ?= 32
 BENCH_MIN_SPEEDUP ?= 1.5
 BENCH_MIN_KERNEL_SPEEDUP ?= 1.3
 BENCH_MIN_SCALING_EFF ?= 0.5
+BENCH_MIN_STAB_SPEEDUP ?= 10
 bench:
 	$(GO) run ./cmd/qbench -out BENCH_sim.json -r $(BENCH_R) \
 		-min-speedup $(BENCH_MIN_SPEEDUP) -min-kernel-speedup $(BENCH_MIN_KERNEL_SPEEDUP) \
-		-min-scaling-eff $(BENCH_MIN_SCALING_EFF)
+		-min-scaling-eff $(BENCH_MIN_SCALING_EFF) -min-stab-speedup $(BENCH_MIN_STAB_SPEEDUP)
 
 # Fresh benchmark run diffed against the committed BENCH_sim.json, without
 # overwriting it: per-pair and geomean gate-apps/s deltas.  The gates are
@@ -80,6 +85,7 @@ fuzz-smoke:
 	$(GO) test ./internal/revlib -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/decompose -run='^$$' -fuzz='^FuzzZYZ$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/decompose -run='^$$' -fuzz='^FuzzDecompose$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/stab -run='^$$' -fuzz='^FuzzTableau$$' -fuzztime=$(FUZZTIME)
 
 # The fault-injection chaos suite and the watchdog tests under the race
 # detector: every injected fault must degrade into a typed report, never a

@@ -26,6 +26,13 @@
 // in the artifact.  -min-scaling-eff turns the 4-worker efficiency into a
 // gate on machines with at least 4 CPUs.
 //
+// A separate Clifford sweep sizes the stabilizer fast path against the
+// complete DD checker: random Clifford pairs at 8–24 qubits are checked by
+// both ec.StrategyStabilizer and the DD proportional scheme, per-check times
+// and verdict parity land in the artifact's clifford section, and
+// -min-stab-speedup turns the geomean tableau speedup at >=20 qubits into a
+// gate.
+//
 // With -compare, a previously committed artifact is read before the run and
 // the per-pair and geomean gate-application-rate deltas against it are
 // printed (the benchcmp workflow).
@@ -45,8 +52,10 @@ import (
 	"strings"
 	"time"
 
+	"qcec/internal/bench"
 	"qcec/internal/circuit"
 	"qcec/internal/core"
+	"qcec/internal/ec"
 	"qcec/internal/errinject"
 	"qcec/internal/qasm"
 	"qcec/internal/revlib"
@@ -125,6 +134,31 @@ type scalingCurve struct {
 	VerdictsMatch bool           `json:"verdicts_match"`
 }
 
+// cliffordMeasurement is one strategy's timing on a Clifford pair: total
+// batch time over Checks runs of ec.Check, and the (deterministic) verdict.
+type cliffordMeasurement struct {
+	Seconds         float64 `json:"seconds"`
+	Checks          int     `json:"checks"`
+	SecondsPerCheck float64 `json:"seconds_per_check"`
+	Verdict         string  `json:"verdict"`
+}
+
+// cliffordPoint is one pair of the stabilizer-vs-DD sweep.  Speedup is the
+// DD per-check time over the tableau per-check time; VerdictsMatch compares
+// at Equivalent() granularity (the sweep runs up-to-phase, where the DD path
+// may still report strict equivalence when weights match exactly).
+type cliffordPoint struct {
+	Name          string              `json:"name"`
+	Qubits        int                 `json:"qubits"`
+	Gates         int                 `json:"gates"`
+	Equivalent    bool                `json:"equivalent_pair"`
+	Injection     string              `json:"injection,omitempty"`
+	Stab          cliffordMeasurement `json:"stab"`
+	DD            cliffordMeasurement `json:"dd"`
+	Speedup       float64             `json:"speedup"`
+	VerdictsMatch bool                `json:"verdicts_match"`
+}
+
 type summary struct {
 	GeomeanSpeedupEquiv       float64 `json:"geomean_speedup_equiv"`
 	MinSpeedupEquiv           float64 `json:"min_speedup_equiv"`
@@ -134,17 +168,22 @@ type summary struct {
 	// Scaling aggregates over the equivalent pairs' 4-worker points.
 	GeomeanScalingSpeedup4 float64 `json:"geomean_scaling_speedup_4w,omitempty"`
 	MinScalingEfficiency4  float64 `json:"min_scaling_efficiency_4w,omitempty"`
+	// Clifford-sweep aggregates: the headline geomean is over equivalent
+	// pairs at >= 20 qubits, where polynomial vs exponential structure shows.
+	GeomeanStabSpeedup20Q float64 `json:"geomean_stab_speedup_20q,omitempty"`
+	MinStabSpeedup20Q     float64 `json:"min_stab_speedup_20q,omitempty"`
 }
 
 type artifact struct {
-	Generated string         `json:"generated"`
-	R         int            `json:"r"`
-	Seed      int64          `json:"seed"`
-	Reps      int            `json:"reps"`
-	NumCPU    int            `json:"num_cpu"`
-	Results   []result       `json:"results"`
-	Scaling   []scalingCurve `json:"scaling,omitempty"`
-	Summary   summary        `json:"summary"`
+	Generated string          `json:"generated"`
+	R         int             `json:"r"`
+	Seed      int64           `json:"seed"`
+	Reps      int             `json:"reps"`
+	NumCPU    int             `json:"num_cpu"`
+	Results   []result        `json:"results"`
+	Scaling   []scalingCurve  `json:"scaling,omitempty"`
+	Clifford  []cliffordPoint `json:"clifford,omitempty"`
+	Summary   summary         `json:"summary"`
 }
 
 // simConfig selects one of the three measured configurations.
@@ -317,6 +356,101 @@ func measureScaling(g1, g2 *circuit.Circuit, r int, seed int64, reps int) []scal
 	return points
 }
 
+// cliffordSizes are the register widths of the stabilizer-vs-DD sweep; the
+// -min-stab-speedup gate reads only the >= 20-qubit equivalent pairs.
+var cliffordSizes = []int{8, 12, 16, 20, 24}
+
+// ddParityMaxQubits bounds the DD side of the sweep's error-injected pairs:
+// a refuted Clifford miter drifts away from the identity, where DD sizes can
+// grow exponentially, so verdict parity against DD is demonstrated on the
+// small instances and the large ones time the tableau alone.
+const ddParityMaxQubits = 12
+
+// measureCliffordStrategy times ec.Check under one strategy on a fixed pair,
+// batching checks until the summed ec runtime reaches minBatchTime (the
+// tableau path finishes in microseconds) and keeping the fastest of reps
+// timed repetitions after one warm-up.
+func measureCliffordStrategy(g1, g2 *circuit.Circuit, strat ec.Strategy, reps int) (cliffordMeasurement, bool) {
+	var best cliffordMeasurement
+	equivalent := false
+	for rep := -1; rep < reps; rep++ {
+		var batch cliffordMeasurement
+		for iter := 0; iter < maxBatchIters; iter++ {
+			res := ec.Check(g1, g2, ec.Options{Strategy: strat, UpToGlobalPhase: true})
+			if res.Verdict == ec.TimedOut {
+				fmt.Fprintf(os.Stderr, "qbench: clifford sweep inconclusive under %v: %s\n", strat, res.Reason)
+				os.Exit(1)
+			}
+			batch.Seconds += res.Runtime.Seconds()
+			batch.Checks++
+			if iter == 0 {
+				batch.Verdict = res.Verdict.String()
+				equivalent = res.Equivalent()
+			} else if batch.Verdict != res.Verdict.String() {
+				fmt.Fprintf(os.Stderr, "qbench: clifford verdict changed across runs (%s vs %s)\n",
+					batch.Verdict, res.Verdict)
+				os.Exit(1)
+			}
+			if batch.Seconds >= minBatchTime.Seconds() {
+				break
+			}
+		}
+		if rep < 0 {
+			continue // warm-up
+		}
+		batch.SecondsPerCheck = batch.Seconds / float64(batch.Checks)
+		if rep == 0 || batch.SecondsPerCheck < best.SecondsPerCheck {
+			best = batch
+		}
+	}
+	return best, equivalent
+}
+
+// measureClifford runs the stabilizer-vs-DD sweep: for each width, an
+// equivalent pair (random Clifford circuit against its clone) under both
+// strategies, plus a flipped-CNOT pair with DD parity up to
+// ddParityMaxQubits.
+func measureClifford(seed int64, reps int) []cliffordPoint {
+	var points []cliffordPoint
+	for _, n := range cliffordSizes {
+		g := bench.RandomClifford(n, 12*n, seed)
+		type variant struct {
+			name      string
+			gp        *circuit.Circuit
+			injection string
+		}
+		variants := []variant{{name: fmt.Sprintf("clifford%d", n), gp: g.Clone()}}
+		if n <= ddParityMaxQubits {
+			if bad, inj, err := errinject.Inject(g, errinject.FlippedCNOT, seed); err == nil {
+				variants = append(variants, variant{
+					name: fmt.Sprintf("clifford%d+err", n), gp: bad, injection: inj.String(),
+				})
+			}
+		}
+		for _, v := range variants {
+			stab, stabEq := measureCliffordStrategy(g, v.gp, ec.StrategyStabilizer, reps)
+			dd, ddEq := measureCliffordStrategy(g, v.gp, ec.Proportional, reps)
+			pt := cliffordPoint{
+				Name:          v.name,
+				Qubits:        n,
+				Gates:         g.NumGates(),
+				Equivalent:    v.injection == "",
+				Injection:     v.injection,
+				Stab:          stab,
+				DD:            dd,
+				VerdictsMatch: stabEq == ddEq,
+			}
+			if stab.SecondsPerCheck > 0 {
+				pt.Speedup = dd.SecondsPerCheck / stab.SecondsPerCheck
+			}
+			points = append(points, pt)
+			fmt.Printf("%-22s stab %10.1fus  dd %10.1fus  speedup %7.1fx  parity %v\n",
+				v.name, 1e6*stab.SecondsPerCheck, 1e6*dd.SecondsPerCheck, pt.Speedup, pt.VerdictsMatch)
+		}
+	}
+	return points
+}
+
 func ceEqual(a, b *uint64) bool {
 	if (a == nil) != (b == nil) {
 		return false
@@ -392,6 +526,8 @@ func run() int {
 		minKernel  = flag.Float64("min-kernel-speedup", 0, "fail unless the equiv-pair geomean kernel speedup over the cached legacy path reaches this (0 = record only)")
 		minScalEff = flag.Float64("min-scaling-eff", 0, "fail unless every equiv pair's 4-worker parallel efficiency reaches this; only enforced when NumCPU >= 4 (0 = record only)")
 		scalReps   = flag.Int("scaling-reps", 3, "timed repetitions per scaling point (fastest kept); 0 disables the scaling sweep")
+		minStab    = flag.Float64("min-stab-speedup", 0, "fail unless the >=20-qubit equiv-pair geomean stabilizer-over-DD speedup reaches this (0 = record only)")
+		cliffReps  = flag.Int("clifford-reps", 3, "timed repetitions per clifford point (fastest kept); 0 disables the clifford sweep")
 		comparePth = flag.String("compare", "", "read a committed artifact and print per-pair and geomean gate-apps/s deltas against it")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -554,6 +690,25 @@ func run() int {
 		art.Summary.GeomeanScalingSpeedup4 = math.Exp(scalLogSum / float64(scalCount))
 		art.Summary.MinScalingEfficiency4 = minScalEff4
 	}
+	if *cliffReps > 0 {
+		art.Clifford = measureClifford(*seed, *cliffReps)
+		stabLogSum, stabCount := 0.0, 0
+		minStab20 := math.Inf(1)
+		for _, pt := range art.Clifford {
+			if !pt.VerdictsMatch {
+				allMatch = false
+			}
+			if pt.Equivalent && pt.Qubits >= 20 && pt.Speedup > 0 {
+				stabLogSum += math.Log(pt.Speedup)
+				stabCount++
+				minStab20 = math.Min(minStab20, pt.Speedup)
+			}
+		}
+		if stabCount > 0 {
+			art.Summary.GeomeanStabSpeedup20Q = math.Exp(stabLogSum / float64(stabCount))
+			art.Summary.MinStabSpeedup20Q = minStab20
+		}
+	}
 	if logCount > 0 {
 		art.Summary.GeomeanSpeedupEquiv = math.Exp(cacheLogSum / float64(logCount))
 		art.Summary.MinSpeedupEquiv = minEquiv
@@ -601,6 +756,13 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "qbench: geomean kernel speedup %.2fx below required %.2fx\n",
 			art.Summary.GeomeanKernelSpeedupEquiv, *minKernel)
 		return 1
+	}
+	if *minStab > 0 && len(art.Clifford) > 0 {
+		if art.Summary.GeomeanStabSpeedup20Q < *minStab {
+			fmt.Fprintf(os.Stderr, "qbench: >=20-qubit geomean stabilizer speedup %.2fx below required %.2fx\n",
+				art.Summary.GeomeanStabSpeedup20Q, *minStab)
+			return 1
+		}
 	}
 	if *minScalEff > 0 && len(art.Scaling) > 0 {
 		// The efficiency floor only means something when the hardware can run

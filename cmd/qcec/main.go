@@ -6,7 +6,7 @@
 //
 //	qcec [flags] <circuit1> <circuit2>
 //
-// With -portfolio the selected provers (-provers=sim,dd,alt,sat,zx) race
+// With -portfolio the selected provers (-provers=sim,dd,alt,sat,zx,stab) race
 // concurrently and the first definitive verdict wins; the losers are
 // cancelled and a per-prover report is printed.
 //
@@ -63,6 +63,8 @@ func parseStrategy(s string) (ec.Strategy, error) {
 		return ec.Proportional, nil
 	case "lookahead":
 		return ec.Lookahead, nil
+	case "stabilizer":
+		return ec.StrategyStabilizer, nil
 	default:
 		return 0, fmt.Errorf("unknown strategy %q", s)
 	}
@@ -79,7 +81,7 @@ func run() int {
 		r         = flag.Int("r", core.DefaultR, "number of random basis-state simulations before complete checking")
 		seed      = flag.Int64("seed", 0, "stimulus selection seed")
 		timeout   = flag.Duration("timeout", time.Minute, "complete-check timeout (0 = none)")
-		strategy  = flag.String("strategy", "proportional", "complete-check strategy: construction|sequential|proportional|lookahead")
+		strategy  = flag.String("strategy", "proportional", "complete-check strategy: construction|sequential|proportional|lookahead|stabilizer (stabilizer = polynomial-time tableau, Clifford-only circuits)")
 		phase     = flag.Bool("up-to-phase", false, "treat circuits differing only by a global phase as equivalent")
 		simOnly   = flag.Bool("sim-only", false, "skip the complete check (simulation stage only)")
 		parallel  = flag.Int("parallel", 1, "simulation workers (each with a private DD package)")
@@ -89,7 +91,7 @@ func run() int {
 		jsonOut   = flag.Bool("json", false, "print the full report as JSON")
 		verbose   = flag.Bool("v", false, "print per-stage details")
 		portf     = flag.Bool("portfolio", false, "race the selected provers concurrently; first definitive verdict wins")
-		provers   = flag.String("provers", "sim,dd,alt,sat,zx", "comma-separated prover subset for -portfolio")
+		provers   = flag.String("provers", "sim,dd,alt,sat,zx,stab", "comma-separated prover subset for -portfolio")
 		nodeLimit = flag.Int("node-limit", 0, "DD node budget per complete prover (0 = none)")
 		stats     = flag.Bool("stats", false, "print DD-package statistics (gate-cache/compute-table hit rates, unique-table activity, GC reclaims); with -json they are embedded in the report")
 		noCache   = flag.Bool("no-gate-cache", false, "disable the gate-DD cache (benchmark baseline; verdicts are identical)")
@@ -450,7 +452,11 @@ func newDDReport(s dd.Stats) *ddReport {
 }
 
 func printHuman(n int, rep core.Report, verbose, stats bool) {
-	fmt.Printf("verdict: %s\n", rep.Verdict)
+	fmt.Printf("verdict: %s", rep.Verdict)
+	if rep.DecidedBy != "" {
+		fmt.Printf(" (decided by %s)", rep.DecidedBy)
+	}
+	fmt.Println()
 	if rep.Cancelled && rep.CancelCause != nil {
 		fmt.Printf("stopped early: %v\n", rep.CancelCause)
 	}
@@ -497,6 +503,7 @@ func printJSON(n int, rep core.Report, stats bool) {
 	}
 	out := struct {
 		Verdict        string          `json:"verdict"`
+		DecidedBy      string          `json:"decided_by,omitempty"`
 		Qubits         int             `json:"qubits"`
 		NumSims        int             `json:"num_sims"`
 		SimSeconds     float64         `json:"sim_seconds"`
@@ -515,6 +522,7 @@ func printJSON(n int, rep core.Report, stats bool) {
 		Mem            *memReport      `json:"mem,omitempty"`
 	}{
 		Verdict:      rep.Verdict.String(),
+		DecidedBy:    rep.DecidedBy,
 		Qubits:       n,
 		NumSims:      rep.NumSims,
 		SimSeconds:   rep.SimTime.Seconds(),

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qcec/internal/circuit"
+)
+
+// RandomClifford returns a seeded random Clifford-only circuit on n qubits —
+// the instance class of the stabilizer fast path's evaluation.  The mix is
+// CX-heavy (entangling gates dominate compiled Clifford netlists) and
+// includes rotation-form gates at exact multiples of π/2 (rz, rx, ry) so the
+// gate-set analyzer's angle snapping is exercised, not just the named kinds.
+func RandomClifford(n, gates int, seed int64) *circuit.Circuit {
+	if n < 1 {
+		panic(fmt.Sprintf("bench: unsupported Clifford size %d", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n, fmt.Sprintf("clifford-%d", n))
+	two := func() (int, int) {
+		a := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		return a, b
+	}
+	halfTurns := []float64{math.Pi / 2, -math.Pi / 2, math.Pi, 3 * math.Pi / 2}
+	for i := 0; i < gates; i++ {
+		q := rng.Intn(n)
+		switch r := rng.Intn(16); {
+		case r < 6 && n > 1: // CX, weighted heaviest
+			a, b := two()
+			c.CX(a, b)
+		case r < 7 && n > 1:
+			a, b := two()
+			c.CZ(a, b)
+		case r < 8 && n > 1:
+			a, b := two()
+			c.Swap(a, b)
+		case r < 10:
+			c.H(q)
+		case r < 11:
+			c.S(q)
+		case r < 12:
+			c.Sdg(q)
+		case r < 13:
+			c.SX(q)
+		case r < 14:
+			c.RZ(halfTurns[rng.Intn(len(halfTurns))], q)
+		case r < 15:
+			c.RX(halfTurns[rng.Intn(len(halfTurns))], q)
+		default:
+			c.RY(halfTurns[rng.Intn(len(halfTurns))], q)
+		}
+	}
+	return c
+}

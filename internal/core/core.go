@@ -179,7 +179,11 @@ type Counterexample struct {
 
 // Report is the full outcome of the flow.
 type Report struct {
-	Verdict        Verdict
+	Verdict Verdict
+	// DecidedBy names the stage that produced a definitive verdict —
+	// "rewrite", "zx", "sim", or "ec:<strategy>" (e.g. "ec:proportional",
+	// "ec:stabilizer") — and is empty while the verdict is inconclusive.
+	DecidedBy      string
 	NumSims        int           // simulation runs performed
 	SimTime        time.Duration // paper column t_sim
 	Counterexample *Counterexample
@@ -282,6 +286,7 @@ func check(g1, g2 *circuit.Circuit, opts Options) Report {
 		report.Rewriting = &rw
 		if rw.Verdict == ecrw.Equivalent {
 			report.Verdict = Equivalent
+			report.DecidedBy = "rewrite"
 			report.TotalTime = time.Since(start)
 			return report
 		}
@@ -292,6 +297,7 @@ func check(g1, g2 *circuit.Circuit, opts Options) Report {
 			report.ZX = &zr
 			if zr.Verdict == zx.EquivalentUpToPhase {
 				report.Verdict = EquivalentUpToGlobalPhase
+				report.DecidedBy = "zx"
 				report.TotalTime = time.Since(start)
 				return report
 			}
@@ -330,6 +336,7 @@ func check(g1, g2 *circuit.Circuit, opts Options) Report {
 		// worker crashed: the counterexample stands on its own, so the crash
 		// only cost coverage that no longer matters.
 		report.Verdict = NotEquivalent
+		report.DecidedBy = "sim"
 		report.Counterexample = ce
 		report.TotalTime = time.Since(start)
 		return report
@@ -368,6 +375,7 @@ func check(g1, g2 *circuit.Circuit, opts Options) Report {
 		// <u_i|u'_i> = 1 for every basis state means every column pair is
 		// identical, i.e. U = U' — a complete proof (paper Sec. III-B).
 		report.Verdict = Equivalent
+		report.DecidedBy = "sim"
 		report.TotalTime = time.Since(start)
 		return report
 	}
@@ -391,6 +399,9 @@ func check(g1, g2 *circuit.Circuit, opts Options) Report {
 		Pool:               opts.Pool,
 	})
 	report.EC = &res
+	if res.Verdict != ec.TimedOut {
+		report.DecidedBy = "ec:" + res.Strategy.String()
+	}
 	switch res.Verdict {
 	case ec.Equivalent:
 		report.Verdict = Equivalent

@@ -47,6 +47,12 @@ const (
 	Construction
 	Sequential
 	Lookahead
+	// StrategyStabilizer routes the pair to the polynomial-time tableau
+	// checker (internal/stab) instead of any DD scheme.  It is complete on
+	// Clifford-only pairs and declines everything else with a typed
+	// *NotCliffordError (Cause == CauseError), leaving universal gate sets
+	// to the DD strategies.
+	StrategyStabilizer
 )
 
 // String returns the strategy name.
@@ -60,6 +66,8 @@ func (s Strategy) String() string {
 		return "proportional"
 	case Lookahead:
 		return "lookahead"
+	case StrategyStabilizer:
+		return "stabilizer"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -267,6 +275,13 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Result {
 	tol := opts.Tolerance
 	if tol == 0 {
 		tol = 1e-10
+	}
+	if opts.Strategy == StrategyStabilizer {
+		// The tableau fast path never touches a DD package unless it has to
+		// anchor a strict-phase verdict, so it is dispatched before any
+		// package or watchdog setup — a non-Clifford pair pays only the
+		// gate-set scan.
+		return checkStabilizer(g1, g2, opts, tol)
 	}
 	// Put the check under a memory watchdog when limits are configured and
 	// the caller has not already provided one through the context (the

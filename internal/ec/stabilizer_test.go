@@ -1,0 +1,156 @@
+package ec
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"qcec/internal/circuit"
+)
+
+func stabCheck(g1, g2 *circuit.Circuit, opts Options) Result {
+	opts.Strategy = StrategyStabilizer
+	return Check(g1, g2, opts)
+}
+
+func TestStabilizerEquivalentStrict(t *testing.T) {
+	g1 := circuit.New(2, "g").H(0).CX(0, 1)
+	g2 := circuit.New(2, "gp").H(0).H(1).CZ(0, 1).H(1)
+	res := stabCheck(g1, g2, Options{})
+	if res.Verdict != Equivalent {
+		t.Fatalf("want equivalent, got %v (%s)", res.Verdict, res.Reason)
+	}
+	if res.Strategy != StrategyStabilizer {
+		t.Fatalf("result strategy = %v", res.Strategy)
+	}
+}
+
+func TestStabilizerNotEquivalentMatchesDD(t *testing.T) {
+	g1 := circuit.New(3, "g").H(0).CX(0, 1).CX(1, 2).S(2)
+	g2 := circuit.New(3, "gp").H(0).CX(0, 2).CX(1, 2).S(2)
+	sres := stabCheck(g1, g2, Options{})
+	dres := Check(g1, g2, Options{Strategy: Proportional})
+	if sres.Verdict != NotEquivalent || dres.Verdict != NotEquivalent {
+		t.Fatalf("verdicts: stab=%v dd=%v, want both not equivalent", sres.Verdict, dres.Verdict)
+	}
+	if sres.Counterexample == nil {
+		t.Fatal("stabilizer found no counterexample")
+	}
+}
+
+// TestStabilizerGlobalPhase is the strict-phase regression: rz(π/2) equals
+// e^{-iπ/4}·S, so the pair is equivalent only up to a global phase.  The
+// tableau alone cannot see the scalar — the anchor must.
+func TestStabilizerGlobalPhase(t *testing.T) {
+	g1 := circuit.New(1, "g").S(0)
+	g2 := circuit.New(1, "gp").RZ(math.Pi/2, 0)
+	strict := stabCheck(g1, g2, Options{})
+	if strict.Verdict != NotEquivalent || strict.Reason != "differ by a global phase" {
+		t.Fatalf("strict: want phase-difference rejection, got %v (%q)", strict.Verdict, strict.Reason)
+	}
+	if strict.Counterexample == nil || *strict.Counterexample != 0 {
+		t.Fatalf("strict: want counterexample |0>, got %v", strict.Counterexample)
+	}
+	phase := stabCheck(g1, g2, Options{UpToGlobalPhase: true})
+	if phase.Verdict != EquivalentUpToGlobalPhase {
+		t.Fatalf("up-to-phase: want equivalent, got %v", phase.Verdict)
+	}
+}
+
+// TestStabilizerPhaseAnchorIdentityPhase covers a residual phase that is a
+// pure scalar on the whole register (X·Y·Z = iI): the tableau fixes every
+// generator, so only the anchor can reject it in strict mode.
+func TestStabilizerPhaseAnchorIdentityPhase(t *testing.T) {
+	g1 := circuit.New(1, "g")
+	g2 := circuit.New(1, "gp").Z(0).Y(0).X(0)
+	strict := stabCheck(g1, g2, Options{})
+	if strict.Verdict != NotEquivalent {
+		t.Fatalf("strict: want not equivalent (global phase i), got %v", strict.Verdict)
+	}
+	phase := stabCheck(g1, g2, Options{UpToGlobalPhase: true})
+	if phase.Verdict != EquivalentUpToGlobalPhase {
+		t.Fatalf("up-to-phase: want equivalent, got %v", phase.Verdict)
+	}
+}
+
+func TestStabilizerDeclinesNonClifford(t *testing.T) {
+	g1 := circuit.New(2, "g").H(0).T(1)
+	g2 := circuit.New(2, "gp").H(0).T(1)
+	res := stabCheck(g1, g2, Options{})
+	if res.Verdict != TimedOut || res.Cause != CauseError {
+		t.Fatalf("want TimedOut/CauseError decline, got %v/%v", res.Verdict, res.Cause)
+	}
+	var nce *NotCliffordError
+	if !errors.As(res.Err, &nce) {
+		t.Fatalf("want *NotCliffordError, got %T (%v)", res.Err, res.Err)
+	}
+	if nce.GateIndex != 1 {
+		t.Fatalf("want offending gate index 1, got %d", nce.GateIndex)
+	}
+}
+
+// TestStabilizerAngleTolerance is the satellite-4 regression: a rotation a
+// hair off π/2 must still route onto the fast path when the offset is below
+// the derived angle tolerance, and must be declined when it is above — with
+// the boundary derived from Options.Tolerance, not hardcoded.
+func TestStabilizerAngleTolerance(t *testing.T) {
+	angleTol := circuit.CliffordAngleTolerance(0) // default weight tolerance
+	near := math.Pi/2 + angleTol/2
+	far := math.Pi/2 + angleTol*50
+
+	g1 := circuit.New(1, "g").S(0)
+	gNear := circuit.New(1, "gp").RZ(near, 0)
+	if res := stabCheck(g1, gNear, Options{UpToGlobalPhase: true}); res.Verdict != EquivalentUpToGlobalPhase {
+		t.Fatalf("offset %.2g below tolerance: want accepted as Clifford, got %v (%s)",
+			angleTol/2, res.Verdict, res.Reason)
+	}
+	gFar := circuit.New(1, "gp").RZ(far, 0)
+	res := stabCheck(g1, gFar, Options{UpToGlobalPhase: true})
+	var nce *NotCliffordError
+	if !errors.As(res.Err, &nce) {
+		t.Fatalf("offset %.2g above tolerance: want *NotCliffordError decline, got %v (%v)",
+			angleTol*50, res.Verdict, res.Err)
+	}
+
+	// A coarser weight tolerance must widen the snap consistently: the same
+	// far offset becomes acceptable when Options.Tolerance scales it past the
+	// offset.
+	coarse := Options{UpToGlobalPhase: true, Tolerance: 1e-7} // angleTol = 1e-3
+	if res := stabCheck(g1, gFar, coarse); res.Verdict != EquivalentUpToGlobalPhase {
+		t.Fatalf("coarse tolerance: want offset %.2g accepted, got %v (%v)", angleTol*50, res.Verdict, res.Err)
+	}
+}
+
+func TestStabilizerOutputPerm(t *testing.T) {
+	g1 := circuit.New(2, "g").H(0).CX(0, 1)
+	g2 := circuit.New(2, "gp").H(0).CX(0, 1).Swap(0, 1)
+	if res := stabCheck(g1, g2, Options{}); res.Verdict != NotEquivalent {
+		t.Fatalf("without perm: want not equivalent, got %v", res.Verdict)
+	}
+	res := stabCheck(g1, g2, Options{OutputPerm: []int{1, 0}})
+	if res.Verdict != Equivalent {
+		t.Fatalf("with perm [1 0]: want equivalent (strict, anchor included), got %v (%s)", res.Verdict, res.Reason)
+	}
+}
+
+func TestStabilizerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := circuit.New(3, "g")
+	for i := 0; i < 400; i++ {
+		g.H(i%3).CX(i%3, (i+1)%3)
+	}
+	res := stabCheck(g, g.Clone(), Options{Context: ctx})
+	if res.Verdict != TimedOut || res.Cause != CauseCancelled {
+		t.Fatalf("want TimedOut/CauseCancelled, got %v/%v", res.Verdict, res.Cause)
+	}
+}
+
+func TestStabilizerRegisterMismatch(t *testing.T) {
+	g1 := circuit.New(2, "g")
+	g2 := circuit.New(3, "gp")
+	if res := stabCheck(g1, g2, Options{}); res.Verdict != NotEquivalent {
+		t.Fatalf("want size mismatch rejection, got %v", res.Verdict)
+	}
+}

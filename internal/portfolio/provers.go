@@ -67,7 +67,7 @@ func (c Config) degraded() Config {
 }
 
 // ProverNames lists the selectable standard provers in canonical order.
-var ProverNames = []string{"sim", "dd", "alt", "sat", "zx"}
+var ProverNames = []string{"sim", "dd", "alt", "sat", "zx", "stab"}
 
 // FromNames builds the named subset of the standard provers:
 //
@@ -76,6 +76,7 @@ var ProverNames = []string{"sim", "dd", "alt", "sat", "zx"}
 //	alt — complete DD check, alternating scheme (cfg.Strategy)
 //	sat — SAT miter (classical reversible netlists only)
 //	zx  — ZX-calculus rewriting (sound, incomplete, up to phase)
+//	stab — polynomial-time stabilizer tableau (Clifford-only pairs)
 func FromNames(names []string, cfg Config) ([]Prover, error) {
 	dcfg := cfg.degraded()
 	withDegraded := func(p, fallback Prover) Prover {
@@ -96,6 +97,8 @@ func FromNames(names []string, cfg Config) ([]Prover, error) {
 			provers = append(provers, SATProver(cfg))
 		case "zx":
 			provers = append(provers, ZXProver(cfg))
+		case "stab":
+			provers = append(provers, StabProver(cfg))
 		case "":
 			continue
 		default:
@@ -228,6 +231,35 @@ func ecProver(name string, strategy ec.Strategy, cfg Config) Prover {
 				Tolerance:          cfg.Tolerance,
 				DisableGateCache:   cfg.DisableGateCache,
 				DisableApplyKernel: cfg.DisableApplyKernel,
+			}))
+		},
+	}
+}
+
+// StabProver wraps the polynomial-time stabilizer tableau checker
+// (ec.StrategyStabilizer).  Before entering the race it runs the gate-set
+// analyzer on both circuits; a non-Clifford gate anywhere means the prover
+// declines immediately (StopError) at the cost of one early-exit scan, so
+// universal-gate-set pairs see zero overhead from having stab in the
+// portfolio.  On Clifford-only pairs it is complete in both phase
+// conventions (the strict convention adds one basis-state phase anchor).
+func StabProver(cfg Config) Prover {
+	return Prover{
+		Name: "stab",
+		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
+			angleTol := circuit.CliffordAngleTolerance(cfg.Tolerance)
+			if !circuit.IsClifford(g1, angleTol) || !circuit.IsClifford(g2, angleTol) {
+				return Outcome{Stop: StopError, Detail: "non-Clifford gate set"}
+			}
+			return ecOutcome(ec.Check(g1, g2, ec.Options{
+				Strategy:         ec.StrategyStabilizer,
+				Context:          ctx,
+				Timeout:          cfg.ECTimeout,
+				NodeLimit:        cfg.ECNodeLimit,
+				UpToGlobalPhase:  cfg.UpToGlobalPhase,
+				OutputPerm:       cfg.OutputPerm,
+				Tolerance:        cfg.Tolerance,
+				DisableGateCache: cfg.DisableGateCache,
 			}))
 		},
 	}

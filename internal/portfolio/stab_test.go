@@ -1,0 +1,86 @@
+package portfolio
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"qcec/internal/bench"
+	"qcec/internal/circuit"
+)
+
+// TestStabProverWinsCliffordRace races the tableau prover against the full
+// DD-based checker on a wide Clifford pair: the polynomial-time path must
+// deliver the verdict first.
+func TestStabProverWinsCliffordRace(t *testing.T) {
+	g1 := bench.RandomClifford(20, 2000, 11)
+	g2 := g1.Clone()
+	provers := []Prover{StabProver(Config{UpToGlobalPhase: true}), DDProver(Config{UpToGlobalPhase: true})}
+
+	res := Run(context.Background(), g1, g2, provers, Options{Timeout: 2 * time.Minute})
+	if res.Winner != "stab" {
+		t.Fatalf("winner = %q, want stab (reports: %+v)", res.Winner, res.Reports)
+	}
+	if res.Verdict != Equivalent && res.Verdict != EquivalentUpToGlobalPhase {
+		t.Fatalf("verdict = %v, want equivalent", res.Verdict)
+	}
+	if rep := res.Reports[0]; rep.Stop != StopWon {
+		t.Fatalf("stab stop = %v, want won", rep.Stop)
+	}
+}
+
+// TestStabProverDeclinesNonClifford: a single T gate must make the tableau
+// prover bow out with StopError after only a gate-set scan, leaving the race
+// to the complete provers.
+func TestStabProverDeclinesNonClifford(t *testing.T) {
+	g1 := circuit.New(2, "g").H(0).T(1).CX(0, 1)
+	g2 := g1.Clone()
+
+	out := StabProver(Config{}).Run(context.Background(), g1, g2)
+	if out.Stop != StopError {
+		t.Fatalf("stop = %v, want error decline", out.Stop)
+	}
+	if out.Detail != "non-Clifford gate set" {
+		t.Fatalf("detail = %q", out.Detail)
+	}
+
+	res := Run(context.Background(), g1, g2, []Prover{StabProver(Config{}), SimProver(Config{})}, Options{})
+	if res.Winner == "stab" {
+		t.Fatalf("stab won on a non-Clifford pair")
+	}
+	if res.Verdict != Equivalent && res.Verdict != EquivalentUpToGlobalPhase {
+		t.Fatalf("verdict = %v, want equivalent from the surviving prover", res.Verdict)
+	}
+}
+
+// TestStabProverNoLeakWhenLosing repeatedly races the tableau prover against
+// an instant winner so stab always loses, and checks no goroutines pile up:
+// the lost-race cancellation must fully unwind the tableau path.
+func TestStabProverNoLeakWhenLosing(t *testing.T) {
+	g1 := bench.RandomClifford(16, 4000, 5)
+	g2 := g1.Clone()
+	instant := Prover{
+		Name: "instant",
+		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
+			return Outcome{Verdict: EquivalentUpToGlobalPhase, Detail: "oracle"}
+		},
+	}
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		res := Run(context.Background(), g1, g2, []Prover{StabProver(Config{UpToGlobalPhase: true}), instant}, Options{})
+		if !res.Verdict.Definitive() {
+			t.Fatalf("iteration %d: race inconclusive", i)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before=%d after=%d — leak", before, runtime.NumGoroutine())
+}

@@ -115,7 +115,11 @@ type CheckResponse struct {
 	Exhaustive  bool    `json:"exhaustive,omitempty"`
 	MinFidelity float64 `json:"min_fidelity"`
 	// ECVerdict is the complete routine's own verdict, when it ran.
-	ECVerdict      string          `json:"ec_verdict,omitempty"`
+	ECVerdict string `json:"ec_verdict,omitempty"`
+	// DecidedBy names the flow stage that produced a definitive verdict —
+	// "rewrite", "zx", "sim", or "ec:<strategy>" (e.g. "ec:stabilizer");
+	// empty for inconclusive outcomes.
+	DecidedBy      string          `json:"decided_by,omitempty"`
 	Counterexample *Counterexample `json:"counterexample,omitempty"`
 	// Cancelled + CancelCause report a check stopped by its deadline, the
 	// memory watchdog, a client disconnect, or a server drain.

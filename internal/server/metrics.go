@@ -21,6 +21,7 @@ type metrics struct {
 	submitted uint64
 	completed uint64
 	verdicts  map[string]uint64 // by wire verdict string
+	wins      map[string]uint64 // definitive verdicts by deciding stage/prover
 	rejected  map[string]uint64 // by rejection reason (queue_full, draining, ...)
 	badReqs   uint64            // 4xx request failures (parse, size, QASM)
 	panics    uint64            // recovered job panics
@@ -70,6 +71,7 @@ func (h *histogram) observe(d time.Duration) {
 func newMetrics() *metrics {
 	return &metrics{
 		verdicts: make(map[string]uint64),
+		wins:     make(map[string]uint64),
 		rejected: make(map[string]uint64),
 	}
 }
@@ -119,6 +121,9 @@ func (m *metrics) finishedJob(res *CheckResponse, queued, ran time.Duration, ddS
 	defer m.mu.Unlock()
 	m.completed++
 	m.verdicts[res.Verdict]++
+	if res.DecidedBy != "" {
+		m.wins[res.DecidedBy]++
+	}
 	if panicked {
 		m.panics++
 	}
@@ -168,6 +173,10 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, inflight, workers int
 	fmt.Fprintf(w, "# HELP qcecd_checks_total Completed checks by verdict.\n# TYPE qcecd_checks_total counter\n")
 	for _, v := range sortedKeys(m.verdicts) {
 		fmt.Fprintf(w, "qcecd_checks_total{verdict=%q} %d\n", v, m.verdicts[v])
+	}
+	fmt.Fprintf(w, "# HELP qcecd_wins_total Definitive verdicts by the flow stage or prover that decided them.\n# TYPE qcecd_wins_total counter\n")
+	for _, p := range sortedKeys(m.wins) {
+		fmt.Fprintf(w, "qcecd_wins_total{prover=%q} %d\n", p, m.wins[p])
 	}
 	fmt.Fprintf(w, "# HELP qcecd_rejected_total Requests rejected at admission by reason.\n# TYPE qcecd_rejected_total counter\n")
 	for _, r := range sortedKeys(m.rejected) {

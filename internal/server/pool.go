@@ -242,6 +242,7 @@ func (s *Server) buildResponse(j *job, rep core.Report, panicErr *resource.Panic
 		res.Verdict = wireVerdict(rep.Verdict)
 	}
 	res.NumSims = rep.NumSims
+	res.DecidedBy = rep.DecidedBy
 	res.Exhaustive = rep.Exhaustive
 	res.MinFidelity = rep.MinFidelity
 	res.Cancelled = rep.Cancelled

@@ -411,7 +411,9 @@ func parseStrategy(name string) (ec.Strategy, error) {
 		return ec.Sequential, nil
 	case "lookahead":
 		return ec.Lookahead, nil
+	case "stabilizer":
+		return ec.StrategyStabilizer, nil
 	default:
-		return 0, fmt.Errorf("unknown strategy %q (want construction|sequential|proportional|lookahead)", name)
+		return 0, fmt.Errorf("unknown strategy %q (want construction|sequential|proportional|lookahead|stabilizer)", name)
 	}
 }

@@ -1,0 +1,69 @@
+package stab
+
+import (
+	"testing"
+
+	"qcec/internal/circuit"
+)
+
+// decodeGates turns a fuzz byte stream into a Clifford gate sequence on n
+// qubits: each byte selects an opcode from its low bits and operands from a
+// rolling cursor over subsequent bytes, so every input decodes to some valid
+// stream (no rejected corpus entries).
+func decodeGates(data []byte, n int) []circuit.CliffordGate {
+	ops := make([]circuit.CliffordGate, 0, len(data)/2)
+	ops1q := []circuit.CliffordOp{
+		circuit.CliffX, circuit.CliffY, circuit.CliffZ, circuit.CliffH,
+		circuit.CliffS, circuit.CliffSdg, circuit.CliffSX, circuit.CliffSXdg,
+		circuit.CliffRY90, circuit.CliffRY270,
+	}
+	ops2q := []circuit.CliffordOp{circuit.CliffCX, circuit.CliffCZ, circuit.CliffSwap}
+	for i := 0; i+1 < len(data); i += 2 {
+		sel, arg := int(data[i]), int(data[i+1])
+		if sel%13 < 10 {
+			ops = append(ops, circuit.CliffordGate{Op: ops1q[sel%13], Q0: arg % n, Q1: -1})
+			continue
+		}
+		a := arg % n
+		b := (arg/n + 1 + a) % n
+		if b == a {
+			b = (a + 1) % n
+		}
+		if b == a { // n == 1: no two-qubit gate possible
+			continue
+		}
+		ops = append(ops, circuit.CliffordGate{Op: ops2q[sel%13-10], Q0: a, Q1: b})
+	}
+	return ops
+}
+
+// FuzzTableau hammers the gate implementations with random Clifford streams
+// and checks the two invariants any correct conjugation must preserve: the
+// rows stay symplectic, and un-applying the stream restores the exact
+// identity tableau (phases included) — a mistake in any bit rule or phase
+// exponent breaks one of the two.
+func FuzzTableau(f *testing.F) {
+	f.Add([]byte{0, 0}, uint8(2))
+	f.Add([]byte{3, 1, 10, 0, 4, 1, 11, 2, 7, 0}, uint8(3))
+	f.Add([]byte{12, 5, 1, 63, 3, 64, 10, 200}, uint8(70))
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint8) {
+		n := int(nRaw)%70 + 1
+		ops := decodeGates(data, n)
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		tab := New(n)
+		for _, g := range ops {
+			tab.Apply(g)
+		}
+		if !tab.Symplectic() {
+			t.Fatalf("symplectic invariant broken after %d gates on %d qubits:\n%s", len(ops), n, tab)
+		}
+		for i := len(ops) - 1; i >= 0; i-- {
+			tab.Apply(ops[i].Inverse())
+		}
+		if !tab.FixesGenerators(nil) {
+			t.Fatalf("inverse stream did not restore identity (%d gates, %d qubits):\n%s", len(ops), n, tab)
+		}
+	})
+}

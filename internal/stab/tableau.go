@@ -1,0 +1,333 @@
+// Package stab implements bit-packed stabilizer tableaux and a
+// polynomial-time equivalence check for Clifford circuits — the portfolio's
+// fast path for exactly the pairs compilation flows produce (mapping and
+// routing add only SWAP→CX and H), following Thanos et al., "Fast
+// equivalence checking of quantum circuits of Clifford gates" (PAPERS.md).
+//
+// A Tableau records the conjugation action of a Clifford unitary U on the
+// n-qubit Pauli group: row q is U·X_q·U†, row n+q is U·Z_q·U†.  Each row is
+// a Pauli stored in the X/Z binary symplectic representation
+//
+//	P = i^v · Π_q X^{x_q} Z^{z_q},   v ∈ Z₄,
+//
+// with the x and z vectors bit-packed into []uint64 words (qubit q at bit
+// q%64 of word q/64) and the phase exponent v tracked per row.  In this
+// ordered X-then-Z convention the Aaronson–Gottesman phase bookkeeping
+// reduces to two facts: per-gate conjugation touches only the acted-on
+// bits' local phases, and the row product picks up i^(2·|z_a∧x_b|) from
+// commuting Z factors of the left row past X factors of the right — a
+// word-parallel popcount (mulRows).  The Hermitian convention's Y = i·XZ
+// lives in v, so no separate sign table is needed.
+package stab
+
+import (
+	"fmt"
+	"math/bits"
+
+	"qcec/internal/circuit"
+)
+
+// Tableau is the conjugation action of a Clifford unitary on the 2n Pauli
+// generators.  The zero value is not usable; use New.
+type Tableau struct {
+	n int
+	w int // words per row
+	x []uint64
+	z []uint64
+	v []uint8 // phase exponent mod 4, one per row
+}
+
+// New returns the identity tableau on n qubits: row q = X_q, row n+q = Z_q.
+func New(n int) *Tableau {
+	if n <= 0 {
+		panic(fmt.Sprintf("stab: invalid qubit count %d", n))
+	}
+	w := (n + 63) / 64
+	t := &Tableau{
+		n: n,
+		w: w,
+		x: make([]uint64, 2*n*w),
+		z: make([]uint64, 2*n*w),
+		v: make([]uint8, 2*n),
+	}
+	for q := 0; q < n; q++ {
+		t.x[q*w+q>>6] = 1 << uint(q&63)
+		t.z[(n+q)*w+q>>6] = 1 << uint(q&63)
+	}
+	return t
+}
+
+// N returns the qubit count.
+func (t *Tableau) N() int { return t.n }
+
+// rows returns the number of generator rows, 2n.
+func (t *Tableau) rows() int { return 2 * t.n }
+
+// mulRows multiplies row dst by row src (dst := dst·src), word-parallel
+// across the qubit words.  Reordering the product into the canonical
+// X-then-Z form moves every Z factor of dst past every X factor of src on
+// the same qubit, each swap contributing a factor -1 — i^(2·parity) total.
+func (t *Tableau) mulRows(dst, src int) {
+	d, s := dst*t.w, src*t.w
+	anti := 0
+	for k := 0; k < t.w; k++ {
+		anti += bits.OnesCount64(t.z[d+k] & t.x[s+k])
+		t.x[d+k] ^= t.x[s+k]
+		t.z[d+k] ^= t.z[s+k]
+	}
+	t.v[dst] = (t.v[dst] + t.v[src] + uint8(anti&1)*2) & 3
+}
+
+// commutes reports whether rows i and j commute: the symplectic inner
+// product parity(x_i·z_j) ⊕ parity(z_i·x_j) is zero.
+func (t *Tableau) commutes(i, j int) bool {
+	a, b := i*t.w, j*t.w
+	anti := 0
+	for k := 0; k < t.w; k++ {
+		anti += bits.OnesCount64(t.x[a+k]&t.z[b+k]) + bits.OnesCount64(t.z[a+k]&t.x[b+k])
+	}
+	return anti&1 == 0
+}
+
+// Symplectic reports whether the rows satisfy the Pauli-group commutation
+// relations a Clifford conjugation must preserve: row q anticommutes with
+// row n+q and commutes with every other row.  Any correct gate sequence
+// keeps this invariant; FuzzTableau hammers on it.
+func (t *Tableau) Symplectic() bool {
+	for i := 0; i < t.rows(); i++ {
+		for j := i + 1; j < t.rows(); j++ {
+			want := j == i+t.n // conjugate pair X_q / Z_q
+			if t.commutes(i, j) == want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bit returns bit q of row r in the given plane.
+func bit(plane []uint64, w, r, q int) uint64 {
+	return plane[r*w+q>>6] >> uint(q&63) & 1
+}
+
+// applyH conjugates every row by H on qubit q: X↔Z, with XZ → ZX = -XZ.
+func (t *Tableau) applyH(q int) {
+	wq, m := q>>6, uint64(1)<<uint(q&63)
+	for r := 0; r < t.rows(); r++ {
+		i := r*t.w + wq
+		xb, zb := t.x[i]&m, t.z[i]&m
+		if xb != zb { // exactly one set: swap = flip both
+			t.x[i] ^= m
+			t.z[i] ^= m
+		}
+		if xb != 0 && zb != 0 {
+			t.v[r] = (t.v[r] + 2) & 3
+		}
+	}
+}
+
+// applyS conjugates by S on qubit q: X → iXZ, XZ → iX (Z fixed), i.e.
+// v += x and z ^= x.
+func (t *Tableau) applyS(q int) {
+	wq, m := q>>6, uint64(1)<<uint(q&63)
+	for r := 0; r < t.rows(); r++ {
+		i := r*t.w + wq
+		if t.x[i]&m != 0 {
+			t.v[r] = (t.v[r] + 1) & 3
+			t.z[i] ^= m
+		}
+	}
+}
+
+// applySdg conjugates by S†: X → -iXZ, XZ → -iX.
+func (t *Tableau) applySdg(q int) {
+	wq, m := q>>6, uint64(1)<<uint(q&63)
+	for r := 0; r < t.rows(); r++ {
+		i := r*t.w + wq
+		if t.x[i]&m != 0 {
+			t.v[r] = (t.v[r] + 3) & 3
+			t.z[i] ^= m
+		}
+	}
+}
+
+// applyPauli conjugates by X, Y or Z on qubit q, which only flips signs:
+// X negates Z factors, Z negates X factors, Y negates both kinds.
+func (t *Tableau) applyPauli(q int, negX, negZ bool) {
+	wq, m := q>>6, uint64(1)<<uint(q&63)
+	for r := 0; r < t.rows(); r++ {
+		i := r*t.w + wq
+		flip := false
+		if negX && t.x[i]&m != 0 {
+			flip = !flip
+		}
+		if negZ && t.z[i]&m != 0 {
+			flip = !flip
+		}
+		if flip {
+			t.v[r] = (t.v[r] + 2) & 3
+		}
+	}
+}
+
+// applyCX conjugates by CX(c→t): X_c → X_cX_t, Z_t → Z_cZ_t.  In the
+// ordered X-then-Z convention the rearrangement never swaps an X past a Z
+// on the same qubit, so no phase correction arises.
+func (t *Tableau) applyCX(c, tq int) {
+	wc, mc := c>>6, uint64(1)<<uint(c&63)
+	wt, mt := tq>>6, uint64(1)<<uint(tq&63)
+	for r := 0; r < t.rows(); r++ {
+		bc, bt := r*t.w+wc, r*t.w+wt
+		if t.x[bc]&mc != 0 {
+			t.x[bt] ^= mt
+		}
+		if t.z[bt]&mt != 0 {
+			t.z[bc] ^= mc
+		}
+	}
+}
+
+// applyCZ conjugates by CZ(a,b): X_a → X_aZ_b, X_b → Z_aX_b; the only
+// reorder is Z_b past X_b when both rows' X bits are set, giving -1.
+func (t *Tableau) applyCZ(a, b int) {
+	wa, ma := a>>6, uint64(1)<<uint(a&63)
+	wb, mb := b>>6, uint64(1)<<uint(b&63)
+	for r := 0; r < t.rows(); r++ {
+		ba, bb := r*t.w+wa, r*t.w+wb
+		xa, xb := t.x[ba]&ma != 0, t.x[bb]&mb != 0
+		if xa && xb {
+			t.v[r] = (t.v[r] + 2) & 3
+		}
+		if xa {
+			t.z[bb] ^= mb
+		}
+		if xb {
+			t.z[ba] ^= ma
+		}
+	}
+}
+
+// applySwap conjugates by SWAP(a,b): exchange the two qubits' bits.
+func (t *Tableau) applySwap(a, b int) {
+	wa, ma := a>>6, uint64(1)<<uint(a&63)
+	wb, mb := b>>6, uint64(1)<<uint(b&63)
+	for r := 0; r < t.rows(); r++ {
+		ba, bb := r*t.w+wa, r*t.w+wb
+		xa, xb := t.x[ba]&ma != 0, t.x[bb]&mb != 0
+		if xa != xb {
+			t.x[ba] ^= ma
+			t.x[bb] ^= mb
+		}
+		za, zb := t.z[ba]&ma != 0, t.z[bb]&mb != 0
+		if za != zb {
+			t.z[ba] ^= ma
+			t.z[bb] ^= mb
+		}
+	}
+}
+
+// Apply conjugates the tableau by one canonical Clifford generator: every
+// row P becomes g·P·g†.  Composite generators (SX = H·S·H, RY(±π/2) = X·H /
+// H·X) are applied innermost-first, matching conj_{AB} = conj_A ∘ conj_B.
+func (t *Tableau) Apply(g circuit.CliffordGate) {
+	switch g.Op {
+	case circuit.CliffI:
+	case circuit.CliffX:
+		t.applyPauli(g.Q0, false, true)
+	case circuit.CliffY:
+		t.applyPauli(g.Q0, true, true)
+	case circuit.CliffZ:
+		t.applyPauli(g.Q0, true, false)
+	case circuit.CliffH:
+		t.applyH(g.Q0)
+	case circuit.CliffS:
+		t.applyS(g.Q0)
+	case circuit.CliffSdg:
+		t.applySdg(g.Q0)
+	case circuit.CliffSX: // SX = H·S·H
+		t.applyH(g.Q0)
+		t.applyS(g.Q0)
+		t.applyH(g.Q0)
+	case circuit.CliffSXdg: // SX† = H·S†·H
+		t.applyH(g.Q0)
+		t.applySdg(g.Q0)
+		t.applyH(g.Q0)
+	case circuit.CliffRY90: // RY(π/2) = X·H
+		t.applyH(g.Q0)
+		t.applyPauli(g.Q0, false, true)
+	case circuit.CliffRY270: // RY(-π/2) = H·X
+		t.applyPauli(g.Q0, false, true)
+		t.applyH(g.Q0)
+	case circuit.CliffCX:
+		t.applyCX(g.Q0, g.Q1)
+	case circuit.CliffCZ:
+		t.applyCZ(g.Q0, g.Q1)
+	case circuit.CliffSwap:
+		t.applySwap(g.Q0, g.Q1)
+	default:
+		panic(fmt.Sprintf("stab: unknown clifford op %v", g.Op))
+	}
+}
+
+// rowIs reports whether row r is exactly the single-qubit generator on
+// qubit q in the given plane (x for X_q, z for Z_q) with zero bits
+// elsewhere and phase 0.
+func (t *Tableau) rowIs(r, q int, wantX bool) bool {
+	if t.v[r] != 0 {
+		return false
+	}
+	want, other := t.x, t.z
+	if !wantX {
+		want, other = t.z, t.x
+	}
+	base := r * t.w
+	for k := 0; k < t.w; k++ {
+		var exp uint64
+		if k == q>>6 {
+			exp = 1 << uint(q&63)
+		}
+		if want[base+k] != exp || other[base+k] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FixesGenerators reports whether the tableau maps every generator to its
+// target image under the output relabeling perm (nil = identity): row q
+// must be X_{perm[q]}, row n+q must be Z_{perm[q]}, all with phase +1.  A
+// true answer certifies the underlying unitary is a scalar multiple of the
+// permutation (of the identity when perm is nil).
+func (t *Tableau) FixesGenerators(perm []int) bool {
+	for q := 0; q < t.n; q++ {
+		tq := q
+		if perm != nil {
+			tq = perm[q]
+		}
+		if !t.rowIs(q, tq, true) || !t.rowIs(t.n+q, tq, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tableau rows for debugging: one Pauli per row in
+// i^v·X/Z form.
+func (t *Tableau) String() string {
+	out := make([]byte, 0, t.rows()*(t.n+8))
+	for r := 0; r < t.rows(); r++ {
+		label := "X"
+		q := r
+		if r >= t.n {
+			label = "Z"
+			q = r - t.n
+		}
+		out = append(out, fmt.Sprintf("%s%-2d -> i^%d ", label, q, t.v[r])...)
+		for c := 0; c < t.n; c++ {
+			xb, zb := bit(t.x, t.w, r, c), bit(t.z, t.w, r, c)
+			out = append(out, "IXZW"[xb|zb<<1]) // W marks the XZ product
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}

@@ -1,0 +1,199 @@
+package stab
+
+import (
+	"testing"
+
+	"qcec/internal/circuit"
+)
+
+func gate1(op circuit.CliffordOp, q int) circuit.CliffordGate {
+	return circuit.CliffordGate{Op: op, Q0: q, Q1: -1}
+}
+
+func gate2(op circuit.CliffordOp, a, b int) circuit.CliffordGate {
+	return circuit.CliffordGate{Op: op, Q0: a, Q1: b}
+}
+
+// equalTableaus compares two tableaus row-for-row including phases.
+func equalTableaus(a, b *Tableau) bool {
+	if a.n != b.n {
+		return false
+	}
+	for i := range a.x {
+		if a.x[i] != b.x[i] || a.z[i] != b.z[i] {
+			return false
+		}
+	}
+	for i := range a.v {
+		if a.v[i] != b.v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func apply(t *Tableau, gs ...circuit.CliffordGate) *Tableau {
+	for _, g := range gs {
+		t.Apply(g)
+	}
+	return t
+}
+
+func TestNewIsIdentity(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 65, 130} {
+		tab := New(n)
+		if !tab.Symplectic() {
+			t.Fatalf("n=%d: identity tableau not symplectic", n)
+		}
+		if !tab.FixesGenerators(nil) {
+			t.Fatalf("n=%d: identity tableau does not fix generators", n)
+		}
+	}
+}
+
+// TestKnownConjugations pins the textbook single-gate images: H swaps X and
+// Z, S sends X to Y = i·XZ, X flips the sign of Z, CX spreads X from control
+// and Z from target.
+func TestKnownConjugations(t *testing.T) {
+	tab := apply(New(1), gate1(circuit.CliffH, 0))
+	if !tab.rowIs(0, 0, false) || !tab.rowIs(1, 0, true) {
+		t.Fatalf("H: want X->Z, Z->X, got\n%s", tab)
+	}
+
+	tab = apply(New(1), gate1(circuit.CliffS, 0))
+	// S X S† = Y = i·XZ: x and z bits set, v = 1; Z fixed.
+	if tab.x[0] != 1 || tab.z[0] != 1 || tab.v[0] != 1 {
+		t.Fatalf("S: want X -> i·XZ, got\n%s", tab)
+	}
+	if !tab.rowIs(1, 0, false) {
+		t.Fatalf("S: want Z fixed, got\n%s", tab)
+	}
+
+	tab = apply(New(1), gate1(circuit.CliffX, 0))
+	// X Z X = -Z: phase exponent 2 on the Z row.
+	if tab.v[1] != 2 || tab.z[1] != 1 || tab.x[1] != 0 {
+		t.Fatalf("X: want Z -> -Z, got\n%s", tab)
+	}
+
+	tab = apply(New(2), gate2(circuit.CliffCX, 0, 1))
+	// CX: X_0 -> X_0 X_1, Z_1 -> Z_0 Z_1, X_1 and Z_0 fixed, no phases.
+	if tab.x[0] != 0b11 || tab.z[0] != 0 || tab.v[0] != 0 {
+		t.Fatalf("CX: want X_0 -> X_0 X_1, got\n%s", tab)
+	}
+	if !tab.rowIs(1, 1, true) || !tab.rowIs(2, 0, false) {
+		t.Fatalf("CX: want X_1, Z_0 fixed, got\n%s", tab)
+	}
+	if tab.z[3*tab.w] != 0b11 || tab.x[3*tab.w] != 0 || tab.v[3] != 0 {
+		t.Fatalf("CX: want Z_1 -> Z_0 Z_1, got\n%s", tab)
+	}
+}
+
+// TestGateIdentities checks that algebraic identities among the generators
+// hold at the tableau level, including the phase exponents: each sequence
+// composes to the identity conjugation or to a named single gate.
+func TestGateIdentities(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  []circuit.CliffordGate
+		want []circuit.CliffordGate // tableau the sequence must equal
+	}{
+		{"HH=I", []circuit.CliffordGate{gate1(circuit.CliffH, 0), gate1(circuit.CliffH, 0)}, nil},
+		{"SSdg=I", []circuit.CliffordGate{gate1(circuit.CliffS, 0), gate1(circuit.CliffSdg, 0)}, nil},
+		{"SS=Z", []circuit.CliffordGate{gate1(circuit.CliffS, 0), gate1(circuit.CliffS, 0)},
+			[]circuit.CliffordGate{gate1(circuit.CliffZ, 0)}},
+		{"SXSX=X", []circuit.CliffordGate{gate1(circuit.CliffSX, 0), gate1(circuit.CliffSX, 0)},
+			[]circuit.CliffordGate{gate1(circuit.CliffX, 0)}},
+		{"SXSXdg=I", []circuit.CliffordGate{gate1(circuit.CliffSX, 0), gate1(circuit.CliffSXdg, 0)}, nil},
+		{"RY90RY270=I", []circuit.CliffordGate{gate1(circuit.CliffRY90, 0), gate1(circuit.CliffRY270, 0)}, nil},
+		{"RY90RY90=Y", []circuit.CliffordGate{gate1(circuit.CliffRY90, 0), gate1(circuit.CliffRY90, 0)},
+			[]circuit.CliffordGate{gate1(circuit.CliffY, 0)}},
+		{"XX=I", []circuit.CliffordGate{gate1(circuit.CliffX, 0), gate1(circuit.CliffX, 0)}, nil},
+		{"XZ~Y", []circuit.CliffordGate{gate1(circuit.CliffZ, 0), gate1(circuit.CliffX, 0)},
+			[]circuit.CliffordGate{gate1(circuit.CliffY, 0)}}, // conjugation is phase-blind: XZ ∝ Y
+		{"HSH=SX", []circuit.CliffordGate{gate1(circuit.CliffH, 0), gate1(circuit.CliffS, 0), gate1(circuit.CliffH, 0)},
+			[]circuit.CliffordGate{gate1(circuit.CliffSX, 0)}},
+		{"CXCX=I", []circuit.CliffordGate{gate2(circuit.CliffCX, 0, 1), gate2(circuit.CliffCX, 0, 1)}, nil},
+		{"CZCZ=I", []circuit.CliffordGate{gate2(circuit.CliffCZ, 0, 1), gate2(circuit.CliffCZ, 0, 1)}, nil},
+		{"CZ symmetric", []circuit.CliffordGate{gate2(circuit.CliffCZ, 0, 1)},
+			[]circuit.CliffordGate{gate2(circuit.CliffCZ, 1, 0)}},
+		{"SWAPSWAP=I", []circuit.CliffordGate{gate2(circuit.CliffSwap, 0, 1), gate2(circuit.CliffSwap, 0, 1)}, nil},
+		{"SWAP=3CX", []circuit.CliffordGate{
+			gate2(circuit.CliffCX, 0, 1), gate2(circuit.CliffCX, 1, 0), gate2(circuit.CliffCX, 0, 1)},
+			[]circuit.CliffordGate{gate2(circuit.CliffSwap, 0, 1)}},
+		{"HH CZ = CX", []circuit.CliffordGate{
+			gate1(circuit.CliffH, 1), gate2(circuit.CliffCZ, 0, 1), gate1(circuit.CliffH, 1)},
+			[]circuit.CliffordGate{gate2(circuit.CliffCX, 0, 1)}},
+	}
+	for _, tc := range cases {
+		got := apply(New(2), tc.seq...)
+		want := apply(New(2), tc.want...)
+		if !equalTableaus(got, want) {
+			t.Errorf("%s:\ngot\n%swant\n%s", tc.name, got, want)
+		}
+		if !got.Symplectic() {
+			t.Errorf("%s: result not symplectic", tc.name)
+		}
+	}
+}
+
+// TestInverseRoundTrip applies a fixed gate soup and then its inverse in
+// reverse order; the tableau must return exactly to the identity (phases
+// included) — on a multi-word register so cross-word indexing is covered.
+func TestInverseRoundTrip(t *testing.T) {
+	const n = 70 // two words per row
+	ops := []circuit.CliffordGate{
+		gate1(circuit.CliffH, 63),
+		gate2(circuit.CliffCX, 63, 64),
+		gate1(circuit.CliffS, 64),
+		gate2(circuit.CliffCZ, 0, 69),
+		gate1(circuit.CliffSX, 5),
+		gate2(circuit.CliffSwap, 1, 68),
+		gate1(circuit.CliffRY90, 67),
+		gate1(circuit.CliffY, 63),
+		gate1(circuit.CliffSdg, 2),
+		gate2(circuit.CliffCX, 69, 0),
+	}
+	tab := New(n)
+	for _, g := range ops {
+		tab.Apply(g)
+	}
+	if tab.FixesGenerators(nil) {
+		t.Fatal("gate soup unexpectedly acts as identity")
+	}
+	if !tab.Symplectic() {
+		t.Fatal("gate soup broke the symplectic invariant")
+	}
+	for i := len(ops) - 1; i >= 0; i-- {
+		tab.Apply(ops[i].Inverse())
+	}
+	if !tab.FixesGenerators(nil) {
+		t.Fatalf("inverse round trip did not restore identity:\n%s", tab)
+	}
+}
+
+// TestFixesGeneratorsPerm checks the output-relabeling targets: a SWAP
+// tableau fixes generators exactly under the matching permutation.
+func TestFixesGeneratorsPerm(t *testing.T) {
+	tab := apply(New(3), gate2(circuit.CliffSwap, 0, 2))
+	if tab.FixesGenerators(nil) {
+		t.Fatal("SWAP tableau should not fix generators under identity")
+	}
+	if !tab.FixesGenerators([]int{2, 1, 0}) {
+		t.Fatalf("SWAP tableau should fix generators under perm [2 1 0]:\n%s", tab)
+	}
+	if tab.FixesGenerators([]int{1, 0, 2}) {
+		t.Fatal("SWAP tableau fixed generators under the wrong permutation")
+	}
+}
+
+// TestMulRowsPhase pins the word-parallel row product's phase rule:
+// (XZ)·(XZ) on one qubit reorders one Z past one X, so Y·Y written as
+// i·XZ · i·XZ = i²·(-1)·X²Z² = +1 — the product row must be the identity
+// Pauli with v = 0.
+func TestMulRowsPhase(t *testing.T) {
+	tab := apply(New(1), gate1(circuit.CliffS, 0)) // row 0 = i·XZ (= Y)
+	tab.mulRows(0, 0)
+	if tab.x[0] != 0 || tab.z[0] != 0 || tab.v[0] != 0 {
+		t.Fatalf("Y·Y: want identity with phase 0, got x=%b z=%b v=%d", tab.x[0], tab.z[0], tab.v[0])
+	}
+}
