@@ -86,6 +86,7 @@ fuzz-smoke:
 	$(GO) test ./internal/decompose -run='^$$' -fuzz='^FuzzZYZ$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/decompose -run='^$$' -fuzz='^FuzzDecompose$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/stab -run='^$$' -fuzz='^FuzzTableau$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal -run='^$$' -fuzz='^FuzzJournalDecode$$' -fuzztime=$(FUZZTIME)
 
 # The fault-injection chaos suite and the watchdog tests under the race
 # detector: every injected fault must degrade into a typed report, never a
@@ -98,6 +99,6 @@ chaos:
 # and non-equivalent pairs, a concurrent burst), scrape /metrics, then
 # SIGTERM it and require a clean drain + exit 0.
 serve-smoke:
-	QCECD_SMOKE=1 $(GO) test ./internal/server -run '^TestServeSmoke$$' -count=1 -v
+	QCECD_SMOKE=1 $(GO) test ./internal/server -run '^TestServeSmoke$$|^TestServeCrashRestart$$' -count=1 -v -timeout 300s
 
 ci: build test vet fmt race

@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -52,8 +53,19 @@ func run() int {
 		batchItems = flag.Int("max-batch-items", 128, "largest POST /v1/batch item count")
 		cacheSize  = flag.Int("cache-entries", 1024, "verdict memoization cache bound (-1 disables)")
 		poolSize   = flag.Int("pool-packages", 0, "warm DD packages kept per (qubits, tolerance) bucket (0 = worker count, -1 disables)")
+		journalDir = flag.String("journal-dir", "", "directory for the durable job journal; accepted async jobs survive a crash or restart (empty disables)")
+		maxRetries = flag.Int("max-job-retries", 2, "degraded re-runs after a transient job failure such as a recovered panic or memory-limit trip (-1 disables)")
+		retryWait  = flag.Duration("retry-backoff", 100*time.Millisecond, "base backoff before the first job retry; doubles per attempt with jitter")
+		logLevel   = flag.String("log-level", "info", "structured-log threshold: debug|info|warn|error")
+		logFormat  = flag.String("log-format", "text", "structured-log encoding: text|json")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qcecd: %v\n", err)
+		return 2
+	}
 
 	memHardBytes := uint64(*memLimit) << 20
 	memSoftBytes := uint64(*memSoft) << 20
@@ -61,7 +73,7 @@ func run() int {
 		memSoftBytes = memHardBytes / 10 * 8
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		MaxBodyBytes:   *maxBody,
@@ -75,20 +87,28 @@ func run() int {
 		MaxBatchItems:  *batchItems,
 		CacheEntries:   *cacheSize,
 		PoolPackages:   *poolSize,
+		JournalDir:     *journalDir,
+		MaxJobRetries:  *maxRetries,
+		RetryBackoff:   *retryWait,
+		Logger:         logger,
 	})
+	if err != nil {
+		logger.Error("startup failed", "err", err)
+		return 1
+	}
 
-	// Listen before announcing, so the printed/filed address is bound and a
+	// Listen before announcing, so the logged/filed address is bound and a
 	// harness polling -addr-file can connect immediately.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "qcecd: %v\n", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		return 1
 	}
 	bound := ln.Addr().String()
-	fmt.Printf("qcecd: listening on http://%s\n", bound)
+	logger.Info("listening", "addr", bound, "journal_dir", *journalDir)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "qcecd: write -addr-file: %v\n", err)
+			logger.Error("write -addr-file failed", "path", *addrFile, "err", err)
 			return 1
 		}
 	}
@@ -102,20 +122,47 @@ func run() int {
 
 	select {
 	case sig := <-sigCh:
-		fmt.Printf("qcecd: %s, draining (up to %s)\n", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "timeout", *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "qcecd: drain deadline hit, checks cancelled: %v\n", err)
+			logger.Warn("drain deadline hit, checks cancelled", "err", err)
 		}
 		// The pool is drained; now close the HTTP side (idle keep-alives).
 		httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer httpCancel()
 		_ = httpSrv.Shutdown(httpCtx)
-		fmt.Println("qcecd: drained, bye")
+		logger.Info("drained, bye")
 		return 0
 	case err := <-serveErr:
-		fmt.Fprintf(os.Stderr, "qcecd: serve: %v\n", err)
+		logger.Error("serve failed", "err", err)
 		return 1
+	}
+}
+
+// buildLogger maps the -log-level / -log-format flags to a slog.Logger on
+// stderr (stdout stays free for anything a harness pipes around).
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text|json)", format)
 	}
 }

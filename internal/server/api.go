@@ -134,6 +134,9 @@ type CheckResponse struct {
 	// a batch, deduplicated onto another item's execution) instead of a
 	// fresh check; cached responses carry no DD or memory telemetry.
 	Cached bool `json:"cached,omitempty"`
+	// Attempts is the number of execution attempts the job took (present
+	// only when > 1: the retry classifier re-ran a transient failure).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Job status wire strings.
@@ -162,7 +165,24 @@ const (
 	CodeNotFound        = "not_found"
 	CodeBatchTooLarge   = "batch_too_large"
 	CodeCancelled       = "cancelled"
+	// CodeJobEvicted (410): the job id existed but its result aged out of
+	// the bounded retention window — resubmit, don't keep polling.  Distinct
+	// from CodeNotFound (404), which means the id was never issued here.
+	CodeJobEvicted = "job_evicted"
+	// CodeIdemConflict (409): the Idempotency-Key was already used for a
+	// different question (different circuit pair or options).
+	CodeIdemConflict = "idempotency_conflict"
+	// CodeJournal (500): the durable journal could not persist the job, so
+	// accepting it would silently drop the durability guarantee.
+	CodeJournal = "journal_error"
 )
+
+// IdempotencyKeyHeader is the request header that opts a /v1/check or
+// /v1/jobs submission into idempotent at-least-once semantics: resubmitting
+// with the same key (same question) returns the original job — same id,
+// same verdict — instead of new work, including across a daemon restart
+// when the journal is enabled.
+const IdempotencyKeyHeader = "Idempotency-Key"
 
 // BatchRequest is the body of POST /v1/batch: up to Config.MaxBatchItems
 // independent check requests answered in one round trip.

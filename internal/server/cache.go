@@ -89,6 +89,7 @@ func (c *verdictCache) put(key cacheKey, res CheckResponse) {
 	res.Timings = Timings{}
 	res.DD = nil
 	res.Mem = nil
+	res.Attempts = 0
 	res.Cached = true
 
 	c.mu.Lock()

@@ -16,7 +16,9 @@ import (
 // tests never run in parallel.
 
 func TestChaosInjectedPanicIsContained(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1})
+	// MaxJobRetries -1 turns the retry layer off: this test exercises the
+	// bare containment path (retry-driven self-healing has its own tests).
+	_, ts := newTestServer(t, Config{Workers: 1, MaxJobRetries: -1})
 
 	deactivate := faultinject.Activate(faultinject.Spec{Class: faultinject.PanicAtApply, Once: true})
 	defer deactivate()
@@ -54,7 +56,7 @@ func TestChaosInjectedPanicIsContained(t *testing.T) {
 // executor panic that the checking engine did not catch still becomes a
 // typed error response, the worker survives, and the panic is counted.
 func TestWorkerPanicIsolation(t *testing.T) {
-	s, ts := newTestServer(t, Config{Workers: 1})
+	s, ts := newTestServer(t, Config{Workers: 1, MaxJobRetries: -1})
 	first := true
 	s.exec = func(j *job) core.Report {
 		if first {

@@ -33,7 +33,10 @@ func TestBoundedConcurrency(t *testing.T) {
 
 	baseline := runtime.NumGoroutine()
 
-	s := New(Config{Workers: workers, QueueDepth: requests})
+	s, err := New(Config{Workers: workers, QueueDepth: requests})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	var cur, peak atomic.Int64
 	s.exec = func(j *job) core.Report {
 		n := cur.Add(1)
@@ -103,7 +106,10 @@ func TestBoundedConcurrency(t *testing.T) {
 // is cancelled with the typed *DrainError cause rather than waited on
 // forever.
 func TestDrainDeadlineCancelsStragglers(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	jobStarted := make(chan struct{})
 	sawCause := make(chan error, 1)
 	s.exec = func(j *job) core.Report {

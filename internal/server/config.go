@@ -1,8 +1,12 @@
 package server
 
 import (
+	"io"
+	"log/slog"
 	"runtime"
 	"time"
+
+	"qcec/internal/core"
 )
 
 // Config parameterizes a Server.  The zero value is usable: withDefaults
@@ -52,6 +56,31 @@ type Config struct {
 	// (qubits, tolerance) bucket for reuse across jobs (default: the worker
 	// count; negative disables pooling and every job builds fresh tables).
 	PoolPackages int
+	// JournalDir, when non-empty, enables the durable job journal: accepted
+	// async jobs (and idempotent sync checks) are logged to an append-only
+	// WAL in this directory, and startup replays it — re-enqueueing
+	// unfinished jobs and serving finished verdicts — so a crash or restart
+	// loses no accepted work.  Empty disables durability (jobs live only in
+	// process memory, the pre-journal behavior).
+	JournalDir string
+	// MaxJobRetries bounds how many times a job felled by a transient
+	// failure (recovered panic, memory-limit trip) is re-run under a
+	// degraded budget before the error is returned to the client (default
+	// 2; negative disables retries).
+	MaxJobRetries int
+	// RetryBackoff is the base delay before the first retry; attempt k
+	// waits RetryBackoff·2^k with full jitter, capped at 5s (default
+	// 100ms).
+	RetryBackoff time.Duration
+	// Logger receives the daemon's structured logs (job lifecycle, retry
+	// decisions, journal recovery).  nil discards them, which keeps library
+	// and test use quiet by default.
+	Logger *slog.Logger
+
+	// testExec, when set, replaces the job executor before the workers start
+	// (and before recovered jobs requeue) — swapping Server.exec after New
+	// races with workers draining a recovered backlog.
+	testExec func(*job) core.Report
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +119,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PoolPackages == 0 {
 		c.PoolPackages = c.Workers
+	}
+	switch {
+	case c.MaxJobRetries == 0:
+		c.MaxJobRetries = 2
+	case c.MaxJobRetries < 0:
+		c.MaxJobRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }

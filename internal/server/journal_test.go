@@ -1,0 +1,275 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"qcec/internal/core"
+)
+
+// postWithKey POSTs body with an Idempotency-Key header.
+func postWithKey(t *testing.T, url, body, key string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set(IdempotencyKeyHeader, key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestIdempotencyKeySameJob: resubmitting with the same key returns the
+// original job id (and, once done, the same verdict), not new work.
+func TestIdempotencyKeySameJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, data := postWithKey(t, ts.URL+"/v1/jobs", checkBody(bellQASM, bellQASM), "ci-run-42")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d; body %s", resp.StatusCode, data)
+	}
+	var first JobResponse
+	if err := json.Unmarshal(data, &first); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts, first.JobID)
+
+	resp, data = postWithKey(t, ts.URL+"/v1/jobs", checkBody(bellQASM, bellQASM), "ci-run-42")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit = %d; body %s", resp.StatusCode, data)
+	}
+	var second JobResponse
+	if err := json.Unmarshal(data, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.JobID != first.JobID {
+		t.Errorf("resubmit job id = %s, want the original %s", second.JobID, first.JobID)
+	}
+	if second.Status != StatusDone || second.Result == nil {
+		t.Errorf("resubmit status = %s (result %v), want done with the verdict inline",
+			second.Status, second.Result)
+	}
+
+	_, body := getJSON(t, ts.URL+"/metrics")
+	if !strings.Contains(string(body), "qcecd_idempotent_hits_total 1") {
+		t.Errorf("metrics missing the idempotent hit")
+	}
+}
+
+// TestIdempotencyKeyConflict: the same key with a different question is a
+// typed 409, not silent reuse of the wrong answer.
+func TestIdempotencyKeyConflict(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, data := postWithKey(t, ts.URL+"/v1/jobs", checkBody(bellQASM, bellQASM), "k1")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d; body %s", resp.StatusCode, data)
+	}
+	resp, data = postWithKey(t, ts.URL+"/v1/jobs", checkBody(bellQASM, bellFlippedQASM), "k1")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting resubmit = %d, want 409; body %s", resp.StatusCode, data)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Code != CodeIdemConflict {
+		t.Errorf("409 body = %s, want code %q", data, CodeIdemConflict)
+	}
+}
+
+// TestIdempotentSyncCheck: /v1/check with a key registers the job, so a
+// second keyed call attaches to the same execution and returns the same id.
+func TestIdempotentSyncCheck(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, data := postWithKey(t, ts.URL+"/v1/check", checkBody(bellQASM, bellQASM), "sync-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check = %d; body %s", resp.StatusCode, data)
+	}
+	var first CheckResponse
+	if err := json.Unmarshal(data, &first); err != nil {
+		t.Fatal(err)
+	}
+	resp, data = postWithKey(t, ts.URL+"/v1/check", checkBody(bellQASM, bellQASM), "sync-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("keyed re-check = %d; body %s", resp.StatusCode, data)
+	}
+	var second CheckResponse
+	if err := json.Unmarshal(data, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.JobID != first.JobID {
+		t.Errorf("re-check job id = %s, want %s", second.JobID, first.JobID)
+	}
+	if second.Verdict != first.Verdict {
+		t.Errorf("re-check verdict = %s, want %s", second.Verdict, first.Verdict)
+	}
+}
+
+// restartableServer builds a server over dir's journal plus an HTTP front,
+// returning a shutdown function that simulates a graceful restart boundary.
+func restartableServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server, func()) {
+	t.Helper()
+	cfg.JournalDir = dir
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	stop := func() {
+		ts.Close()
+		ctx, cancel := contextWithTimeout(5 * time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}
+	return s, ts, stop
+}
+
+// TestJournalRestartServesFinishedVerdicts: finished jobs and their
+// idempotency keys survive a graceful restart — polls and keyed resubmits
+// land on the same job id and verdict with zero re-execution.
+func TestJournalRestartServesFinishedVerdicts(t *testing.T) {
+	dir := t.TempDir()
+
+	_, ts, stop := restartableServer(t, dir, Config{Workers: 2})
+	resp, data := postWithKey(t, ts.URL+"/v1/jobs", checkBody(bellQASM, bellFlippedQASM), "key-a")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d; body %s", resp.StatusCode, data)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(data, &jr); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts, jr.JobID)
+	_, body := getJSON(t, ts.URL+"/v1/jobs/"+jr.JobID)
+	var before JobResponse
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	// Restart over the same journal.
+	s2, ts2, stop2 := restartableServer(t, dir, Config{Workers: 2})
+	defer stop2()
+	calls := 0
+	s2.exec = func(j *job) core.Report { calls++; return core.Report{} }
+
+	_, body = getJSON(t, ts2.URL+"/v1/jobs/"+jr.JobID)
+	var after JobResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatalf("poll after restart: %v (body %s)", err, body)
+	}
+	if after.Status != StatusDone || after.Result == nil {
+		t.Fatalf("after restart: status %s result %v, want the journaled verdict", after.Status, after.Result)
+	}
+	if after.Result.Verdict != before.Result.Verdict {
+		t.Errorf("verdict flipped across restart: %s → %s", before.Result.Verdict, after.Result.Verdict)
+	}
+
+	// The idempotency key points at the recovered job, not new work.
+	resp, data = postWithKey(t, ts2.URL+"/v1/jobs", checkBody(bellQASM, bellFlippedQASM), "key-a")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("keyed resubmit = %d; body %s", resp.StatusCode, data)
+	}
+	var re JobResponse
+	if err := json.Unmarshal(data, &re); err != nil {
+		t.Fatal(err)
+	}
+	if re.JobID != jr.JobID {
+		t.Errorf("resubmit id = %s, want recovered %s", re.JobID, jr.JobID)
+	}
+	if calls != 0 {
+		t.Errorf("recovered verdict re-executed %d times, want 0", calls)
+	}
+}
+
+// TestJournalRestartFreshIDsDoNotCollide: after recovery the id counter sits
+// past every journaled id, so new submissions cannot collide with recovered
+// jobs.
+func TestJournalRestartFreshIDsDoNotCollide(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, stop := restartableServer(t, dir, Config{Workers: 1})
+	resp, data := postJSON(t, ts.URL+"/v1/jobs", checkBody(bellQASM, bellQASM))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d; body %s", resp.StatusCode, data)
+	}
+	var first JobResponse
+	if err := json.Unmarshal(data, &first); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts, first.JobID)
+	stop()
+
+	_, ts2, stop2 := restartableServer(t, dir, Config{Workers: 1})
+	defer stop2()
+	resp, data = postJSON(t, ts2.URL+"/v1/jobs", checkBody(bellQASM, bellFlippedQASM))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-restart submit = %d; body %s", resp.StatusCode, data)
+	}
+	var fresh JobResponse
+	if err := json.Unmarshal(data, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.JobID == first.JobID {
+		t.Fatalf("fresh job reused recovered id %s", fresh.JobID)
+	}
+}
+
+// TestJournalReplayTolerantOfGarbageTail: a torn, garbage-extended journal
+// still recovers every complete record, and the truncated file accepts new
+// appends afterwards.
+func TestJournalReplayTolerantOfGarbageTail(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, stop := restartableServer(t, dir, Config{Workers: 1})
+	resp, data := postJSON(t, ts.URL+"/v1/jobs", checkBody(bellQASM, bellQASM))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d; body %s", resp.StatusCode, data)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(data, &jr); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts, jr.JobID)
+	stop()
+
+	// Simulate a crash mid-append: garbage bytes on the tail.
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, ts2, stop2 := restartableServer(t, dir, Config{Workers: 1})
+	defer stop2()
+	if s2.journal.tornTails != 1 {
+		t.Errorf("torn tail not detected on replay")
+	}
+	_, body := getJSON(t, ts2.URL+"/v1/jobs/"+jr.JobID)
+	var after JobResponse
+	if err := json.Unmarshal(body, &after); err != nil || after.Status != StatusDone {
+		t.Fatalf("recovered job after torn tail: %s", body)
+	}
+	// The journal must accept appends again (truncation repositioned it).
+	resp, data = postJSON(t, ts2.URL+"/v1/jobs", checkBody(bellQASM, bellFlippedQASM))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-repair submit = %d; body %s", resp.StatusCode, data)
+	}
+}

@@ -31,6 +31,11 @@ type metrics struct {
 	cacheHits   uint64 // verdicts served from the memoization cache
 	cacheMisses uint64 // cache lookups that fell through to a real check
 
+	retries       map[string]uint64 // transient re-runs by error class
+	idemHits      uint64            // requests attached to an existing job by Idempotency-Key
+	idemConflicts uint64            // keys reused for a different question (409)
+	evictedJobs   uint64            // finished jobs aged out of retention
+
 	batches     uint64 // POST /v1/batch requests accepted
 	batchItems  uint64 // items across all accepted batches
 	batchDedup  uint64 // items answered by another item's execution
@@ -73,7 +78,33 @@ func newMetrics() *metrics {
 		verdicts: make(map[string]uint64),
 		wins:     make(map[string]uint64),
 		rejected: make(map[string]uint64),
+		retries:  make(map[string]uint64),
 	}
+}
+
+func (m *metrics) jobRetry(class string) {
+	m.mu.Lock()
+	m.retries[class]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) idemHit() {
+	m.mu.Lock()
+	m.idemHits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) idemConflict() {
+	m.mu.Lock()
+	m.idemConflicts++
+	m.mu.Unlock()
+}
+
+func (m *metrics) evictedJob() {
+	// jobsMu is held by the caller; the metrics mutex is independent.
+	m.mu.Lock()
+	m.evictedJobs++
+	m.mu.Unlock()
 }
 
 func (m *metrics) submittedJob() {
@@ -146,7 +177,7 @@ func (m *metrics) finishedJob(res *CheckResponse, queued, ran time.Duration, ddS
 // occupancy, in-flight workers, drain state, verdict-cache population and
 // evictions, DD-pool activity).
 func (m *metrics) write(w io.Writer, queueDepth, queueCap, inflight, workers int, draining bool,
-	cacheSize int, cacheEvictions uint64, pool dd.PoolStats) {
+	cacheSize int, cacheEvictions uint64, pool dd.PoolStats, journalOn bool, js journalStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -203,6 +234,25 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, inflight, workers int
 	counter("qcecd_panics_recovered_total", "Job panics recovered by worker isolation.", m.panics)
 	counter("qcecd_jobs_cancelled_total", "Jobs stopped by deadline, disconnect or drain.", m.cancelled)
 	counter("qcecd_mem_limit_stops_total", "Jobs stopped by the memory watchdog's hard limit.", m.memTrips)
+
+	fmt.Fprintf(w, "# HELP qcecd_job_retries_total Transient job failures re-run under a degraded budget, by error class.\n# TYPE qcecd_job_retries_total counter\n")
+	for _, c := range sortedKeys(m.retries) {
+		fmt.Fprintf(w, "qcecd_job_retries_total{class=%q} %d\n", c, m.retries[c])
+	}
+	counter("qcecd_idempotent_hits_total", "Requests attached to an existing job via Idempotency-Key.", m.idemHits)
+	counter("qcecd_idempotency_conflicts_total", "Idempotency-Key reuses for a different question (409).", m.idemConflicts)
+	counter("qcecd_jobs_evicted_total", "Finished jobs aged out of the retention window.", m.evictedJobs)
+
+	if journalOn {
+		counter("qcecd_journal_appends_total", "Records appended to the job journal.", js.Appends)
+		counter("qcecd_journal_append_errors_total", "Journal appends that failed to reach the file.", js.AppendErrors)
+		counter("qcecd_journal_syncs_total", "Journal group-commit fsyncs.", js.Syncs)
+		counter("qcecd_journal_replayed_records", "Journal records replayed at the last startup.", js.Replayed)
+		counter("qcecd_journal_recovered_jobs", "Finished jobs served from the journal at the last startup.", js.Recovered)
+		counter("qcecd_journal_requeued_jobs", "Unfinished jobs re-enqueued at the last startup.", js.Requeued)
+		counter("qcecd_journal_torn_tails", "1 when the last startup truncated a damaged journal tail.", js.TornTails)
+		counter("qcecd_journal_skipped_records", "CRC-valid journal records with undecodable payloads.", js.Skipped)
+	}
 
 	writeHistogram(w, "qcecd_check_duration_seconds", "End-to-end check duration, excluding queueing.", &m.checkSeconds)
 	writeHistogram(w, "qcecd_queue_wait_seconds", "Time between admission and worker pickup.", &m.queueSeconds)

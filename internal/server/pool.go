@@ -76,6 +76,17 @@ type job struct {
 	// lookup and insertion (false for approximate-mode jobs).
 	ckey    cacheKey
 	cacheOK bool
+
+	// idemKey is the client-supplied Idempotency-Key ("" = none).
+	idemKey string
+	// journaled marks jobs under the durability contract: their transitions
+	// are appended to the WAL and replayed after a restart.
+	journaled bool
+	// attempt is the 0-based index of the current execution attempt.  It is
+	// non-zero for retried jobs and for journal-recovered jobs that already
+	// burned attempts before the crash; any non-zero value degrades the
+	// execution budget.
+	attempt int
 }
 
 var jobStatuses = [...]string{StatusQueued, StatusRunning, StatusDone}
@@ -139,15 +150,51 @@ func (s *Server) worker() {
 }
 
 // runJob executes one admitted job with panic isolation and records its
-// result and telemetry.
+// result and telemetry.  Transient failures (recovered panic, memory-limit
+// trip) are re-run under a degraded budget up to Config.MaxJobRetries times
+// with jittered exponential backoff; every attempt is journaled.
 func (s *Server) runJob(j *job) {
 	j.started = time.Now()
 	j.status.Store(jobRunning)
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
-	rep, panicErr := s.executeIsolated(j)
+	var rep core.Report
+	var panicErr *resource.PanicError
+	for {
+		s.journalStarted(j, j.attempt+1)
+		rep, panicErr = s.executeIsolated(j)
+		class, label := classifyOutcome(rep, panicErr)
+		if class != classTransient {
+			break
+		}
+		if j.attempt >= s.cfg.MaxJobRetries {
+			s.log.Warn("job failed after final attempt",
+				"job", j.id, "attempt", j.attempt+1, "class", label)
+			break
+		}
+		delay := retryDelay(s.cfg.RetryBackoff, j.attempt)
+		s.metrics.jobRetry(label)
+		s.journalRetry(j, j.attempt+1, label)
+		s.log.Warn("transient job failure, retrying degraded",
+			"job", j.id, "attempt", j.attempt+1, "class", label, "backoff", delay)
+		j.attempt++
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-j.ctx.Done():
+			t.Stop()
+		}
+		if j.ctx.Err() != nil {
+			// The job's budget is gone (drain or client disconnect): nobody
+			// is waiting on a re-run; report the last failure as-is.
+			break
+		}
+	}
 	res := s.buildResponse(j, rep, panicErr)
+	if j.attempt > 0 {
+		res.Attempts = j.attempt + 1
+	}
 
 	queued := j.started.Sub(j.enqueued)
 	ran := time.Since(j.started)
@@ -163,6 +210,10 @@ func (s *Server) runJob(j *job) {
 	if s.cache != nil && j.cacheOK && cacheable(res) {
 		s.cache.put(j.ckey, *res)
 	}
+	s.journalFinished(j, res)
+	s.log.Info("job finished",
+		"job", j.id, "fp", j.ckey.pair.String(), "verdict", res.Verdict,
+		"attempt", j.attempt+1, "cancelled", res.Cancelled)
 	j.result = res
 	j.status.Store(jobDone)
 	j.cancel(nil)
@@ -209,7 +260,7 @@ func (s *Server) runCheck(j *job) core.Report {
 		nodeLimit = 0
 	}
 
-	return core.Check(j.g1, j.g2, core.Options{
+	opts := core.Options{
 		Context:           ctx,
 		R:                 o.R,
 		Seed:              o.Seed,
@@ -224,7 +275,23 @@ func (s *Server) runCheck(j *job) core.Report {
 		MemSoftLimit:      s.cfg.MemSoftLimit,
 		MemHardLimit:      s.cfg.MemHardLimit,
 		Pool:              s.ddPool,
-	})
+	}
+	if j.attempt > 0 {
+		// Degraded re-run after a transient failure, mirroring the portfolio
+		// engine's post-crash policy: sequential simulation, reference gate
+		// application, no shared caches or warm packages, bounded DD growth.
+		opts.Parallel = 0
+		opts.DisableApplyKernel = true
+		opts.DisableGateCache = true
+		opts.Pool = nil
+		switch {
+		case opts.ECNodeLimit <= 0:
+			opts.ECNodeLimit = 1 << 20
+		case opts.ECNodeLimit > 4096:
+			opts.ECNodeLimit /= 2
+		}
+	}
+	return core.Check(j.g1, j.g2, opts)
 }
 
 // buildResponse converts a flow report (or an isolated panic) into the wire
@@ -272,7 +339,9 @@ func (s *Server) buildResponse(j *job, rep core.Report, panicErr *resource.Panic
 }
 
 // retireJob records a finished async job for GET /v1/jobs/{id}, evicting the
-// oldest finished jobs beyond the retention bound.
+// oldest finished jobs beyond the retention bound.  Evicted ids are kept in
+// a bounded tombstone set so polls for them answer 410 job_evicted rather
+// than 404, and their idempotency keys are released for reuse.
 func (s *Server) retireJob(j *job) {
 	s.jobsMu.Lock()
 	defer s.jobsMu.Unlock()
@@ -283,7 +352,30 @@ func (s *Server) retireJob(j *job) {
 	for len(s.doneOrder) > s.cfg.CompletedJobs {
 		evict := s.doneOrder[0]
 		s.doneOrder = s.doneOrder[1:]
+		if ej := s.byID[evict]; ej != nil && ej.idemKey != "" && s.idemByKey[ej.idemKey] == evict {
+			delete(s.idemByKey, ej.idemKey)
+		}
 		delete(s.byID, evict)
+		s.markEvictedLocked(evict)
+		s.metrics.evictedJob()
+	}
+}
+
+// markEvictedLocked tombstones an evicted job id (jobsMu held).  The set is
+// bounded well above the retention window; once an id ages out of it too,
+// polls degrade from 410 back to 404, which is the honest answer for a
+// client that stayed away that long.
+func (s *Server) markEvictedLocked(id string) {
+	s.evicted[id] = struct{}{}
+	s.evictedOrder = append(s.evictedOrder, id)
+	bound := 4 * s.cfg.CompletedJobs
+	if bound < 1024 {
+		bound = 1024
+	}
+	for len(s.evictedOrder) > bound {
+		old := s.evictedOrder[0]
+		s.evictedOrder = s.evictedOrder[1:]
+		delete(s.evicted, old)
 	}
 }
 
@@ -310,10 +402,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.baseCancel(nil)
+		s.closeJournal()
 		return nil
 	case <-ctx.Done():
 		s.baseCancel(&DrainError{Waited: time.Since(start)})
 		<-done // workers observe the cancellation and finish promptly
+		s.closeJournal()
 		return ctx.Err()
+	}
+}
+
+// closeJournal syncs and closes the journal after the workers have stopped,
+// so the last finished records reach the disk before the process exits.
+func (s *Server) closeJournal() {
+	if s.journal != nil {
+		s.journal.close()
 	}
 }

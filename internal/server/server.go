@@ -19,6 +19,11 @@
 //     (resource.PanicError), never a daemon crash.
 //   - Graceful drain: Shutdown stops admission, finishes admitted jobs, and
 //     cancels stragglers with a typed *DrainError cause at the deadline.
+//   - Durability (optional, Config.JournalDir): job transitions go to an
+//     append-only WAL (internal/wal) replayed on startup — finished verdicts
+//     survive restarts, unfinished jobs re-enqueue, Idempotency-Key retries
+//     attach to journaled work, and transient failures re-run with degraded
+//     options under a classified retry budget.
 //
 // Endpoints: POST /v1/check (synchronous), POST /v1/jobs + GET /v1/jobs/{id}
 // (asynchronous batch), GET /healthz, GET /metrics (Prometheus text).
@@ -29,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -48,6 +54,7 @@ import (
 type Server struct {
 	cfg     Config
 	metrics *metrics
+	log     *slog.Logger
 
 	// baseCtx parents every job context; baseCancel carries the drain cause.
 	baseCtx    context.Context
@@ -62,42 +69,165 @@ type Server struct {
 	draining  bool
 	drainOnce sync.Once
 
-	jobsMu    sync.Mutex
-	byID      map[string]*job // async jobs only
-	doneOrder []string        // finished async jobs, oldest first
+	jobsMu       sync.Mutex
+	byID         map[string]*job   // async (and idempotent sync) jobs
+	doneOrder    []string          // finished async jobs, oldest first
+	idemByKey    map[string]string // Idempotency-Key → job id
+	evicted      map[string]struct{}
+	evictedOrder []string // eviction order, oldest first (bounds evicted)
 
 	// cache memoizes definitive verdicts across requests (nil = disabled).
 	cache *verdictCache
 	// ddPool recycles warm DD packages across jobs (nil = disabled).
 	ddPool *dd.Pool
+	// journal is the durable job WAL (nil = durability disabled).
+	journal *journal
 
 	// exec runs one admitted job; tests swap it to control timing and
 	// failure modes without real circuits.
 	exec func(*job) core.Report
 }
 
-// New builds a server under cfg and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a server under cfg, replays its journal when Config.JournalDir
+// is set (re-enqueueing unfinished jobs, serving finished verdicts), and
+// starts its worker pool.  The only error sources are journal I/O problems;
+// a journal-less configuration never fails.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:        cfg,
+		log:        cfg.Logger,
 		metrics:    newMetrics(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(chan *job, cfg.QueueDepth),
 		byID:       make(map[string]*job),
+		idemByKey:  make(map[string]string),
+		evicted:    make(map[string]struct{}),
 		cache:      newVerdictCache(cfg.CacheEntries),
 	}
 	if cfg.PoolPackages > 0 {
 		s.ddPool = dd.NewPool(cfg.PoolPackages)
 	}
 	s.exec = s.runCheck
+	if cfg.testExec != nil {
+		// Installed before workers start and recovered jobs requeue, so
+		// tests controlling execution timing never race the worker reads.
+		s.exec = cfg.testExec
+	}
+
+	var requeue []*job
+	if cfg.JournalDir != "" {
+		jl, st, err := openJournal(cfg.JournalDir)
+		if err != nil {
+			cancel(nil)
+			return nil, err
+		}
+		s.journal = jl
+		requeue = s.replayJournal(st)
+	}
+
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	if len(requeue) > 0 {
+		// Re-admission blocks on queue room like a batch submit, so a
+		// recovered backlog larger than the queue trickles in behind the
+		// workers instead of failing or deadlocking startup.
+		go func() {
+			for _, j := range requeue {
+				if err := s.submitWait(s.baseCtx, j); err != nil {
+					s.log.Warn("recovered job not re-enqueued", "job", j.id, "err", err)
+					j.cancel(nil)
+				}
+			}
+		}()
+	}
+	return s, nil
+}
+
+// replayJournal turns the replayed journal state into live server state:
+// finished jobs are registered done (their verdicts feed the verdict cache
+// and GET /v1/jobs/{id}), unfinished accepted jobs are rebuilt and returned
+// for re-admission, and the id counter advances past every journaled id.
+func (s *Server) replayJournal(st *replayState) []*job {
+	if cur := s.nextID.Load(); st.maxID > cur {
+		s.nextID.Store(st.maxID)
+	}
+	var requeue []*job
+	var served int
+	for _, id := range st.order {
+		rj := st.jobs[id]
+		if rj.aborted {
+			continue
+		}
+		if rj.result != nil {
+			s.recoverFinished(rj)
+			served++
+			continue
+		}
+		if rj.req == nil {
+			s.log.Warn("journal: job has no accepted record, dropped", "job", rj.id)
+			continue
+		}
+		j, apiErr := s.buildJobWithID(rj.id, *rj.req)
+		if apiErr != nil {
+			s.log.Warn("journal: recovered request no longer parses, dropped",
+				"job", rj.id, "err", apiErr.msg)
+			continue
+		}
+		j.idemKey = rj.idemKey
+		j.journaled = true
+		j.attempt = rj.attempts // degrade like a retry: it already failed mid-run once
+		s.jobsMu.Lock()
+		s.byID[j.id] = j
+		if j.idemKey != "" {
+			s.idemByKey[j.idemKey] = j.id
+		}
+		s.jobsMu.Unlock()
+		requeue = append(requeue, j)
+	}
+	s.journal.recovered = uint64(served)
+	s.journal.requeued = uint64(len(requeue))
+	s.log.Info("journal replayed",
+		"records", s.journal.replayed,
+		"finished_served", served,
+		"requeued", len(requeue),
+		"torn_tail", s.journal.tornTails == 1)
+	return requeue
+}
+
+// recoverFinished registers one journaled finished job as an
+// already-completed async job and feeds its verdict to the cache, so both
+// GET /v1/jobs/{id} polls and fresh identical questions are answered
+// without re-execution.
+func (s *Server) recoverFinished(rj *replayJob) {
+	res := *rj.result
+	j := &job{id: rj.id, idemKey: rj.idemKey, done: make(chan struct{}), result: &res}
+	j.status.Store(jobDone)
+	j.cancel = func(error) {}
+	close(j.done)
+	if rj.req != nil {
+		// Rebuild the cache key from the journaled request; a parse failure
+		// (e.g. a size envelope tightened between restarts) only skips the
+		// cache insert, the stored verdict still serves by job id.
+		if cj, apiErr := s.buildJobWithID(rj.id, *rj.req); apiErr == nil {
+			j.ckey, j.cacheOK = cj.ckey, cj.cacheOK
+			cj.cancel(nil)
+			if s.cache != nil && j.cacheOK && cacheable(j.result) {
+				s.cache.put(j.ckey, *j.result)
+			}
+		}
+	}
+	s.jobsMu.Lock()
+	s.byID[j.id] = j
+	if j.idemKey != "" {
+		s.idemByKey[j.idemKey] = j.id
+	}
+	s.jobsMu.Unlock()
+	s.retireJob(j)
 }
 
 // Handler returns the daemon's HTTP mux.
@@ -121,8 +251,15 @@ type apiError struct {
 	msg    string
 }
 
-// buildJob parses and validates one check request into an admissible job.
+// buildJob parses and validates one check request into an admissible job
+// under a freshly issued id.
 func (s *Server) buildJob(req CheckRequest) (*job, *apiError) {
+	return s.buildJobWithID(fmt.Sprintf("j%08d", s.nextID.Add(1)), req)
+}
+
+// buildJobWithID is buildJob under a caller-chosen id; journal recovery uses
+// it to rebuild a job with the id the client was already promised.
+func (s *Server) buildJobWithID(id string, req CheckRequest) (*job, *apiError) {
 	if req.G == "" || req.Gp == "" {
 		return nil, &apiError{http.StatusBadRequest, CodeBadRequest, `both "g" and "gp" circuits are required`}
 	}
@@ -138,7 +275,7 @@ func (s *Server) buildJob(req CheckRequest) (*job, *apiError) {
 		return nil, &apiError{http.StatusBadRequest, CodeBadRequest, err.Error()}
 	}
 	j := &job{
-		id:       fmt.Sprintf("j%08d", s.nextID.Add(1)),
+		id:       id,
 		req:      req,
 		g1:       g1,
 		g2:       g2,
@@ -172,6 +309,7 @@ func (s *Server) newJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
 		s.fail(w, apiErr.status, apiErr.code, apiErr.msg)
 		return nil, false
 	}
+	j.idemKey = r.Header.Get(IdempotencyKeyHeader)
 	return j, true
 }
 
@@ -238,6 +376,7 @@ func (s *Server) admit(w http.ResponseWriter, j *job) bool {
 	case errors.Is(err, errDraining):
 		j.cancel(nil)
 		s.metrics.rejectedJob("draining")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is shutting down")
 	default:
 		j.cancel(nil)
@@ -249,14 +388,112 @@ func (s *Server) admit(w http.ResponseWriter, j *job) bool {
 	return false
 }
 
+// claimIdem resolves j's Idempotency-Key under jobsMu.  It returns the
+// already-registered job when the key maps to the same question, reports a
+// conflict when it maps to a different one, and otherwise claims the key for
+// j and registers it in byID (callers must unregisterJob on any later
+// admission failure).
+func (s *Server) claimIdem(j *job) (existing *job, conflict bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if id, ok := s.idemByKey[j.idemKey]; ok {
+		if e := s.byID[id]; e != nil {
+			// "Same question" mirrors the batch deduplication criterion:
+			// same fingerprint-derived cache key and same option set.
+			if e.ckey != j.ckey || e.req.Options != j.req.Options {
+				return nil, true
+			}
+			return e, false
+		}
+		// The mapped job was evicted between requests: reclaim the key.
+	}
+	s.idemByKey[j.idemKey] = j.id
+	s.byID[j.id] = j
+	return nil, false
+}
+
+// unregisterJob undoes a pre-admission registration (byID plus the
+// idempotency claim) after the job failed to be admitted or journaled.
+func (s *Server) unregisterJob(j *job) {
+	s.jobsMu.Lock()
+	delete(s.byID, j.id)
+	if j.idemKey != "" && s.idemByKey[j.idemKey] == j.id {
+		delete(s.idemByKey, j.idemKey)
+	}
+	s.jobsMu.Unlock()
+}
+
+// resolveIdem handles the Idempotency-Key preamble shared by /v1/check and
+// /v1/jobs: attach to an existing job, reject a key conflict, or claim the
+// key.  done=true means an HTTP response was already written.
+func (s *Server) resolveIdem(w http.ResponseWriter, j *job) (existing *job, done bool) {
+	if j.idemKey == "" {
+		return nil, false
+	}
+	existing, conflict := s.claimIdem(j)
+	if conflict {
+		j.cancel(nil)
+		s.metrics.idemConflict()
+		s.fail(w, http.StatusConflict, CodeIdemConflict,
+			fmt.Sprintf("Idempotency-Key %q was already used for a different request", j.idemKey))
+		return nil, true
+	}
+	if existing != nil {
+		j.cancel(nil)
+		s.metrics.idemHit()
+		return existing, false
+	}
+	// Key claimed; this job is journaled when durability is on.
+	j.journaled = s.journal != nil
+	return nil, false
+}
+
+// finishWithoutRun marks a never-executed job done with res (cache hits,
+// recovered duplicates) so GET /v1/jobs/{id} and the idempotency map see it
+// exactly like an executed job.
+func (s *Server) finishWithoutRun(j *job, res *CheckResponse) {
+	j.result = res
+	j.status.Store(jobDone)
+	j.cancel(nil)
+	close(j.done)
+	s.jobsMu.Lock()
+	s.byID[j.id] = j
+	s.jobsMu.Unlock()
+	if j.journaled {
+		// Asynchronous on purpose: losing these records re-answers a cached
+		// question after restart, which is cheap and correct.
+		s.journalAccepted(j, false)
+		s.journalFinished(j, res)
+	}
+	s.retireJob(j)
+}
+
 // handleCheck is POST /v1/check: admit, wait for the result, respond.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.newJob(w, r)
 	if !ok {
 		return
 	}
+	existing, done := s.resolveIdem(w, j)
+	if done {
+		return
+	}
+	if existing != nil {
+		// Same key, same question: wait on the original execution and serve
+		// its verdict under its job id, bounded by this request's context.
+		select {
+		case <-existing.done:
+			writeJSON(w, http.StatusOK, existing.result)
+		case <-r.Context().Done():
+		}
+		return
+	}
 	if res, hit := s.cachedResponse(j); hit {
-		j.cancel(nil)
+		if j.idemKey != "" {
+			s.finishWithoutRun(j, res)
+		} else {
+			j.cancel(nil)
+		}
 		writeJSON(w, http.StatusOK, res)
 		return
 	}
@@ -266,30 +503,50 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		j.cancel(context.Cause(r.Context()))
 	})
 	defer stop()
+	if j.journaled {
+		if err := s.journalAccepted(j, true); err != nil {
+			s.unregisterJob(j)
+			j.cancel(nil)
+			s.fail(w, http.StatusInternalServerError, CodeJournal, "journal append failed: "+err.Error())
+			return
+		}
+	}
 	if !s.admit(w, j) {
+		if j.idemKey != "" {
+			s.journalAborted(j)
+			s.unregisterJob(j)
+		}
 		return
 	}
 	<-j.done
 	writeJSON(w, http.StatusOK, j.result)
 }
 
-// handleSubmitJob is POST /v1/jobs: admit and return 202 immediately.
+// handleSubmitJob is POST /v1/jobs: admit and return 202 immediately.  With
+// a journal configured, the 202 is written only after the job's accepted
+// record is fsynced — the id a client holds always survives a crash.
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.newJob(w, r)
 	if !ok {
 		return
 	}
+	j.journaled = s.journal != nil
+	existing, done := s.resolveIdem(w, j)
+	if done {
+		return
+	}
+	if existing != nil {
+		resp := JobResponse{JobID: existing.id, Status: existing.statusString()}
+		if resp.Status == StatusDone {
+			resp.Result = existing.result
+		}
+		writeJSON(w, http.StatusAccepted, resp)
+		return
+	}
 	if res, hit := s.cachedResponse(j); hit {
 		// The job never runs: record it as already done so GET /v1/jobs/{id}
 		// works exactly as for an executed job.
-		j.result = res
-		j.status.Store(jobDone)
-		j.cancel(nil)
-		close(j.done)
-		s.jobsMu.Lock()
-		s.byID[j.id] = j
-		s.jobsMu.Unlock()
-		s.retireJob(j)
+		s.finishWithoutRun(j, res)
 		writeJSON(w, http.StatusAccepted, JobResponse{JobID: j.id, Status: j.statusString(), Result: res})
 		return
 	}
@@ -298,12 +555,18 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	s.jobsMu.Lock()
 	s.byID[j.id] = j
 	s.jobsMu.Unlock()
-	if !s.admit(w, j) {
-		s.jobsMu.Lock()
-		delete(s.byID, j.id)
-		s.jobsMu.Unlock()
+	if err := s.journalAccepted(j, true); err != nil {
+		s.unregisterJob(j)
+		j.cancel(nil)
+		s.fail(w, http.StatusInternalServerError, CodeJournal, "journal append failed: "+err.Error())
 		return
 	}
+	if !s.admit(w, j) {
+		s.journalAborted(j)
+		s.unregisterJob(j)
+		return
+	}
+	s.log.Info("job accepted", "job", j.id, "fp", j.ckey.pair.String(), "idem_key", j.idemKey)
 	writeJSON(w, http.StatusAccepted, JobResponse{JobID: j.id, Status: j.statusString()})
 }
 
@@ -312,8 +575,14 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.jobsMu.Lock()
 	j := s.byID[id]
+	_, wasEvicted := s.evicted[id]
 	s.jobsMu.Unlock()
 	if j == nil {
+		if wasEvicted {
+			s.fail(w, http.StatusGone, CodeJobEvicted,
+				fmt.Sprintf("job %q aged out of the completed-job retention window; resubmit the check", id))
+			return
+		}
 		s.fail(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown job %q", id))
 		return
 	}
@@ -352,8 +621,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.ddPool != nil {
 		pool = s.ddPool.Stats()
 	}
+	var js journalStats
+	journalOn := s.journal != nil
+	if journalOn {
+		js = s.journal.stats()
+	}
 	s.metrics.write(w, len(s.jobs), s.cfg.QueueDepth, int(s.inflight.Load()),
-		s.cfg.Workers, draining, cacheSize, cacheEvictions, pool)
+		s.cfg.Workers, draining, cacheSize, cacheEvictions, pool, journalOn, js)
 }
 
 // fail writes a typed JSON error body and counts it.
@@ -371,14 +645,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func retryAfterSeconds(d time.Duration) int {
-	secs := int((d + time.Second - 1) / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	return secs
 }
 
 // normalizeStrategy folds the wire strategy's default alias so the cache key

@@ -26,12 +26,7 @@ func TestServeSmoke(t *testing.T) {
 	}
 
 	tmp := t.TempDir()
-	bin := filepath.Join(tmp, "qcecd")
-	build := exec.Command("go", "build", "-o", bin, "qcec/cmd/qcecd")
-	build.Dir = "../.."
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("go build qcecd: %v\n%s", err, out)
-	}
+	bin := buildQcecd(t, tmp)
 
 	ghz5, err := os.ReadFile("../../circuits/ghz5.qasm")
 	if err != nil {
@@ -296,6 +291,212 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("daemon output missing the drain confirmation:\n%s", output.String())
 	}
 	t.Logf("daemon output:\n%s", output.String())
+}
+
+// buildQcecd compiles the real daemon binary into dir.
+func buildQcecd(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "qcecd")
+	build := exec.Command("go", "build", "-o", bin, "qcec/cmd/qcecd")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build qcecd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// smokeDaemon is one running qcecd subprocess under test control.
+type smokeDaemon struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port
+	out    *syncBuffer
+	exited chan error
+}
+
+// startQcecd launches bin with args plus the addr plumbing and waits until
+// it serves.  The cleanup kills the process if the test never reaped it.
+func startQcecd(t *testing.T, bin string, args ...string) *smokeDaemon {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	full := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, args...)
+	cmd := exec.Command(bin, full...)
+	out := &syncBuffer{}
+	cmd.Stdout, cmd.Stderr = out, out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start qcecd: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait(); close(exited) }()
+	t.Cleanup(func() {
+		select {
+		case <-exited:
+		default:
+			_ = cmd.Process.Kill()
+			<-exited
+		}
+	})
+	var base string
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base = "http://" + string(b)
+			break
+		}
+		select {
+		case err := <-exited:
+			t.Fatalf("qcecd exited before serving: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("address file never appeared\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return &smokeDaemon{cmd: cmd, base: base, out: out, exited: exited}
+}
+
+// TestServeCrashRestart is the durability half of `make serve-smoke`: submit
+// a set of async jobs with idempotency keys, SIGKILL the daemon mid-flight,
+// restart it over the same -journal-dir, and require that every accepted job
+// reaches the terminal verdict an uninterrupted run would produce — plus
+// that a keyed resubmit attaches to the recovered job instead of new work.
+func TestServeCrashRestart(t *testing.T) {
+	if os.Getenv("QCECD_SMOKE") == "" {
+		t.Skip("set QCECD_SMOKE=1 to run the daemon smoke test")
+	}
+
+	tmp := t.TempDir()
+	bin := buildQcecd(t, tmp)
+	jdir := filepath.Join(tmp, "journal")
+
+	ghz5, err := os.ReadFile("../../circuits/ghz5.qasm")
+	if err != nil {
+		t.Fatalf("read seed circuit: %v", err)
+	}
+
+	// Eight questions with analytically known verdicts — the uninterrupted
+	// baseline.  Distinct rz angles give distinct fingerprints so nothing is
+	// answered from the verdict cache.
+	type qa struct {
+		body, key, want string
+		id              string
+	}
+	var questions []qa
+	for i := 0; i < 8; i++ {
+		variant := string(ghz5) + fmt.Sprintf("rz(0.%d1) q[0];\n", i+1)
+		q := qa{body: checkBody(variant, variant), key: fmt.Sprintf("crash-%d", i), want: VerdictEquivalent}
+		if i%2 == 1 {
+			q.body = checkBody(variant, variant+"x q[0];\n")
+			q.want = VerdictNotEquivalent
+		}
+		questions = append(questions, q)
+	}
+
+	// One worker so the SIGKILL below usually lands with jobs still queued or
+	// mid-run; the restart must cope with any mix of finished and unfinished.
+	d1 := startQcecd(t, bin, "-journal-dir", jdir, "-workers", "1")
+	submit := func(base string, q qa) (JobResponse, int) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(q.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(IdempotencyKeyHeader, q.key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST /v1/jobs: %v", err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		var jr JobResponse
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.Unmarshal(data, &jr); err != nil {
+				t.Fatalf("unmarshal %s: %v", data, err)
+			}
+		} else {
+			t.Fatalf("submit status = %d; body %s", resp.StatusCode, data)
+		}
+		return jr, resp.StatusCode
+	}
+	for i := range questions {
+		jr, _ := submit(d1.base, questions[i])
+		questions[i].id = jr.JobID
+	}
+
+	// SIGKILL immediately: with two workers on eight jobs, some are running
+	// and some are still queued — no drain, no goodbye, no synced tail.
+	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	<-d1.exited
+
+	// Restart over the same journal.  Every accepted job must reach its
+	// terminal verdict — recovered from the journal or re-run — with the
+	// verdict the uninterrupted baseline dictates.
+	d2 := startQcecd(t, bin, "-journal-dir", jdir, "-workers", "2")
+	poll := func(id string) JobResponse {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(d2.base + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatalf("GET job %s: %v", id, err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("job %s lost across restart: status %d body %s", id, resp.StatusCode, data)
+			}
+			var jr JobResponse
+			if err := json.Unmarshal(data, &jr); err != nil {
+				t.Fatalf("unmarshal %s: %v", data, err)
+			}
+			if jr.Status == StatusDone {
+				return jr
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("job %s never finished after restart", id)
+		return JobResponse{}
+	}
+	for _, q := range questions {
+		jr := poll(q.id)
+		if jr.Result == nil || jr.Result.Verdict != q.want {
+			t.Errorf("job %s (%s): result %+v, want verdict %s", q.id, q.key, jr.Result, q.want)
+		}
+	}
+
+	// Idempotent resubmit across the crash: same key + same question lands
+	// on the recovered job id, not fresh work.
+	re, _ := submit(d2.base, questions[0])
+	if re.JobID != questions[0].id {
+		t.Errorf("keyed resubmit id = %s, want recovered %s", re.JobID, questions[0].id)
+	}
+
+	// The recovery counters are visible on the wire.
+	mr, err := http.Get(d2.base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	mtext, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(mtext), "qcecd_journal_replayed_records") {
+		t.Errorf("metrics missing the journal replay counters")
+	}
+
+	// The restarted daemon still drains cleanly.
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case err := <-d2.exited:
+		if err != nil {
+			t.Fatalf("qcecd exit = %v, want 0\n%s", err, d2.out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("qcecd did not exit after SIGTERM\n%s", d2.out.String())
+	}
+	t.Logf("restarted daemon output:\n%s", d2.out.String())
 }
 
 // metricValue extracts a metric's rendered value from Prometheus text

@@ -1,0 +1,171 @@
+// Package wal implements the append-only record codec under qcecd's durable
+// job journal (internal/server/journal.go).
+//
+// The format is deliberately minimal: a journal is a flat sequence of
+// CRC-framed records, each
+//
+//	offset  size  field
+//	0       4     payload length, little-endian uint32
+//	4       4     CRC-32C (Castagnoli) of the payload, little-endian
+//	8       n     payload bytes (opaque to this package)
+//
+// with no file header and no record types — the journal layer owns the
+// payload encoding.  What this package does own is the crash contract:
+//
+//   - Appends are atomic-or-detectable.  A record only "exists" once every
+//     byte of its frame is on disk; a crash mid-append leaves a torn tail
+//     (short header, short payload, or a CRC mismatch) that Scan detects
+//     and treats as end-of-journal, never as data.
+//   - Replay stops cleanly at the last valid record.  Scan never panics on
+//     arbitrary bytes, never allocates more than MaxRecord for a corrupt
+//     length field, and reports the byte offset of the end of the last
+//     valid record so the journal can truncate the torn tail and resume
+//     appending in place.
+//
+// A flipped byte in the middle of the file is indistinguishable from a torn
+// tail by design: CRC framing localizes corruption to "everything from the
+// damaged record on", and the journal's records are ordered transitions, so
+// replaying a prefix is always safe while skipping a damaged record and
+// continuing would not be.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// headerSize is the fixed per-record framing overhead.
+const headerSize = 8
+
+// MaxRecord bounds a single record's payload.  Decoding rejects larger
+// length prefixes as corruption instead of allocating unboundedly; appends
+// beyond it fail with ErrRecordTooLarge.  16 MiB comfortably covers the
+// daemon's largest journaled payload (a request body is capped at 4 MiB).
+const MaxRecord = 16 << 20
+
+// ErrRecordTooLarge is returned by Append for a payload over MaxRecord.
+var ErrRecordTooLarge = errors.New("wal: record exceeds MaxRecord")
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendRecord writes one framed record to w and returns the number of
+// frame bytes written.  The caller owns durability (fsync) and exclusion
+// (one appender per journal).
+func AppendRecord(w io.Writer, payload []byte) (int, error) {
+	if len(payload) > MaxRecord {
+		return 0, ErrRecordTooLarge
+	}
+	frame := EncodeRecord(nil, payload)
+	return w.Write(frame)
+}
+
+// EncodeRecord appends the framed encoding of payload to dst and returns
+// the extended slice.
+func EncodeRecord(dst, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// Scanner iterates over the records of a journal stream, stopping cleanly
+// at the first sign of damage.  Use it like bufio.Scanner:
+//
+//	sc := wal.NewScanner(f)
+//	for sc.Scan() {
+//	    replay(sc.Bytes())
+//	}
+//	if sc.Torn() { truncate the file at sc.Offset() }
+//
+// Err reports genuine read failures (I/O errors); a torn or corrupt tail is
+// NOT an error — it is the expected shape of a crash — and surfaces through
+// Torn and TornReason instead.
+type Scanner struct {
+	r      *bufio.Reader
+	buf    []byte
+	off    int64 // end offset of the last valid record
+	torn   bool
+	reason string
+	err    error
+	done   bool
+}
+
+// NewScanner returns a Scanner reading from r (typically an *os.File
+// positioned at the start of the journal).
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Scan advances to the next valid record, returning false at end of input,
+// at a torn/corrupt tail, or on a read error.
+func (s *Scanner) Scan() bool {
+	if s.done {
+		return false
+	}
+	var hdr [headerSize]byte
+	n, err := io.ReadFull(s.r, hdr[:])
+	switch {
+	case err == io.EOF:
+		s.done = true // clean end: the previous record was the last
+		return false
+	case err == io.ErrUnexpectedEOF:
+		s.stopTorn(fmt.Sprintf("short header (%d of %d bytes)", n, headerSize))
+		return false
+	case err != nil:
+		s.done, s.err = true, err
+		return false
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > MaxRecord {
+		s.stopTorn(fmt.Sprintf("length %d exceeds MaxRecord", length))
+		return false
+	}
+	if cap(s.buf) < int(length) {
+		s.buf = make([]byte, length)
+	}
+	s.buf = s.buf[:length]
+	if n, err := io.ReadFull(s.r, s.buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			s.stopTorn(fmt.Sprintf("short payload (%d of %d bytes)", n, length))
+		} else {
+			s.done, s.err = true, err
+		}
+		return false
+	}
+	if got := crc32.Checksum(s.buf, castagnoli); got != want {
+		s.stopTorn(fmt.Sprintf("crc mismatch (got %08x, want %08x)", got, want))
+		return false
+	}
+	s.off += headerSize + int64(length)
+	return true
+}
+
+func (s *Scanner) stopTorn(reason string) {
+	s.done, s.torn, s.reason = true, true, reason
+}
+
+// Bytes returns the current record's payload.  The slice is reused by the
+// next Scan; callers that keep it must copy.
+func (s *Scanner) Bytes() []byte { return s.buf }
+
+// Offset returns the byte offset just past the last valid record — the
+// length a damaged journal should be truncated to before appending resumes.
+func (s *Scanner) Offset() int64 { return s.off }
+
+// Torn reports that scanning stopped at a damaged tail rather than a clean
+// end of input.
+func (s *Scanner) Torn() bool { return s.torn }
+
+// TornReason describes the damage that stopped the scan ("" when !Torn()).
+func (s *Scanner) TornReason() string { return s.reason }
+
+// Err returns the first genuine read error, if any.  Torn tails are not
+// errors.
+func (s *Scanner) Err() error { return s.err }

@@ -1,0 +1,153 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// encodeAll frames each payload in order and returns the concatenation.
+func encodeAll(payloads [][]byte) []byte {
+	var out []byte
+	for _, p := range payloads {
+		out = EncodeRecord(out, p)
+	}
+	return out
+}
+
+// scanAll decodes every valid record, returning copies.
+func scanAll(t *testing.T, data []byte) (recs [][]byte, sc *Scanner) {
+	t.Helper()
+	sc = NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		recs = append(recs, append([]byte(nil), sc.Bytes()...))
+	}
+	if sc.Err() != nil {
+		t.Fatalf("Scan error: %v", sc.Err())
+	}
+	return recs, sc
+}
+
+func TestRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("accepted"),
+		{},
+		[]byte(`{"type":"finished","job":"j00000001"}`),
+		bytes.Repeat([]byte{0xAB}, 100_000),
+	}
+	data := encodeAll(payloads)
+	recs, sc := scanAll(t, data)
+	if len(recs) != len(payloads) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(payloads))
+	}
+	for i, p := range payloads {
+		if !bytes.Equal(recs[i], p) {
+			t.Errorf("record %d: got %d bytes, want %d", i, len(recs[i]), len(p))
+		}
+	}
+	if sc.Torn() {
+		t.Errorf("clean stream reported torn: %s", sc.TornReason())
+	}
+	if sc.Offset() != int64(len(data)) {
+		t.Errorf("offset = %d, want %d", sc.Offset(), len(data))
+	}
+}
+
+// TestTornTailVariants: every way a crash can shear the last record must
+// stop the scan cleanly at the previous record's boundary.
+func TestTornTailVariants(t *testing.T) {
+	payloads := [][]byte{[]byte("first"), []byte("second record body")}
+	clean := encodeAll(payloads)
+	cleanFirst := encodeAll(payloads[:1])
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"short header", clean[:len(cleanFirst)+3]},
+		{"short payload", clean[:len(clean)-5]},
+		{"zero-byte tail is not torn", clean}, // control handled below
+	}
+	for _, tc := range cases[:2] {
+		t.Run(tc.name, func(t *testing.T) {
+			recs, sc := scanAll(t, tc.data)
+			if len(recs) != 1 || !bytes.Equal(recs[0], payloads[0]) {
+				t.Fatalf("recovered %d records, want exactly the first", len(recs))
+			}
+			if !sc.Torn() {
+				t.Errorf("damage not reported as torn")
+			}
+			if sc.Offset() != int64(len(cleanFirst)) {
+				t.Errorf("truncation offset = %d, want %d", sc.Offset(), len(cleanFirst))
+			}
+		})
+	}
+
+	t.Run("flipped crc byte", func(t *testing.T) {
+		data := append([]byte(nil), clean...)
+		data[len(cleanFirst)+4] ^= 0xFF // second record's CRC field
+		recs, sc := scanAll(t, data)
+		if len(recs) != 1 {
+			t.Fatalf("recovered %d records, want 1", len(recs))
+		}
+		if !sc.Torn() || sc.TornReason() == "" {
+			t.Errorf("flipped CRC not reported as torn (reason %q)", sc.TornReason())
+		}
+	})
+
+	t.Run("flipped payload byte", func(t *testing.T) {
+		data := append([]byte(nil), clean...)
+		data[len(data)-1] ^= 0x01
+		recs, sc := scanAll(t, data)
+		if len(recs) != 1 || !sc.Torn() {
+			t.Fatalf("payload corruption: recovered %d records, torn %v", len(recs), sc.Torn())
+		}
+	})
+
+	t.Run("oversized length prefix", func(t *testing.T) {
+		data := append([]byte(nil), cleanFirst...)
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], MaxRecord+1)
+		data = append(data, hdr[:]...)
+		recs, sc := scanAll(t, data)
+		if len(recs) != 1 || !sc.Torn() {
+			t.Fatalf("oversized length: recovered %d records, torn %v", len(recs), sc.Torn())
+		}
+		if sc.Offset() != int64(len(cleanFirst)) {
+			t.Errorf("offset = %d, want %d", sc.Offset(), len(cleanFirst))
+		}
+	})
+}
+
+func TestAppendAfterTruncation(t *testing.T) {
+	// The journal's crash protocol: scan, truncate at Offset, append more.
+	data := encodeAll([][]byte{[]byte("one"), []byte("two")})
+	torn := append(append([]byte(nil), data...), 0x01, 0x02, 0x03) // garbage tail
+	_, sc := scanAll(t, torn)
+	if !sc.Torn() {
+		t.Fatal("garbage tail not detected")
+	}
+	resumed := append([]byte(nil), torn[:sc.Offset()]...)
+	resumed = EncodeRecord(resumed, []byte("three"))
+	recs, sc2 := scanAll(t, resumed)
+	if len(recs) != 3 || sc2.Torn() {
+		t.Fatalf("after truncate+append: %d records, torn %v", len(recs), sc2.Torn())
+	}
+	if !bytes.Equal(recs[2], []byte("three")) {
+		t.Errorf("appended record = %q", recs[2])
+	}
+}
+
+func TestAppendRecordTooLarge(t *testing.T) {
+	if _, err := AppendRecord(io.Discard, make([]byte, MaxRecord+1)); err != ErrRecordTooLarge {
+		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	recs, sc := scanAll(t, nil)
+	if len(recs) != 0 || sc.Torn() || sc.Offset() != 0 {
+		t.Fatalf("empty stream: %d records, torn %v, offset %d", len(recs), sc.Torn(), sc.Offset())
+	}
+}
