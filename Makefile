@@ -61,15 +61,21 @@ staticcheck:
 # random Clifford pairs, 8-24 qubits) rides in the same artifact; its floor
 # asserts the polynomial fast path is at least 10x ahead of DD on the
 # >=20-qubit equivalent pairs.
+# The gate-cost sweep (application schemes on deeply-compiled pairs, peak DD
+# nodes) also rides in the artifact; its floor of 2 asserts the gate-cost
+# schedule keeps the miter at most half the proportional scheme's peak size
+# (geomean over equivalent pairs; peak node counts are deterministic).
 BENCH_R ?= 32
 BENCH_MIN_SPEEDUP ?= 1.5
 BENCH_MIN_KERNEL_SPEEDUP ?= 1.3
 BENCH_MIN_SCALING_EFF ?= 0.5
 BENCH_MIN_STAB_SPEEDUP ?= 10
+BENCH_MIN_GATECOST_RATIO ?= 2
 bench:
 	$(GO) run ./cmd/qbench -out BENCH_sim.json -r $(BENCH_R) \
 		-min-speedup $(BENCH_MIN_SPEEDUP) -min-kernel-speedup $(BENCH_MIN_KERNEL_SPEEDUP) \
-		-min-scaling-eff $(BENCH_MIN_SCALING_EFF) -min-stab-speedup $(BENCH_MIN_STAB_SPEEDUP)
+		-min-scaling-eff $(BENCH_MIN_SCALING_EFF) -min-stab-speedup $(BENCH_MIN_STAB_SPEEDUP) \
+		-min-gatecost-ratio $(BENCH_MIN_GATECOST_RATIO)
 
 # Fresh benchmark run diffed against the committed BENCH_sim.json, without
 # overwriting it: per-pair and geomean gate-apps/s deltas.  The gates are

@@ -33,6 +33,14 @@
 // -min-stab-speedup turns the geomean tableau speedup at >=20 qubits into a
 // gate.
 //
+// A compilation-flow sweep races the four alternating application schemes
+// (sequential, proportional, lookahead, gate-cost) over deeply-compiled
+// pairs (bench.CompiledSuite: decompose+mapping with native cost profiles);
+// peak DD nodes, multiplication counts, and verdict parity land in the
+// artifact's gatecost section, and -min-gatecost-ratio turns the geomean
+// proportional-over-gate-cost peak-node ratio on equivalent pairs into a
+// gate.  Peak node counts are deterministic, so the sweep runs once.
+//
 // With -compare, a previously committed artifact is read before the run and
 // the per-pair and geomean gate-application-rate deltas against it are
 // printed (the benchcmp workflow).
@@ -57,6 +65,7 @@ import (
 	"qcec/internal/core"
 	"qcec/internal/ec"
 	"qcec/internal/errinject"
+	"qcec/internal/harness"
 	"qcec/internal/qasm"
 	"qcec/internal/revlib"
 )
@@ -159,6 +168,29 @@ type cliffordPoint struct {
 	VerdictsMatch bool                `json:"verdicts_match"`
 }
 
+// gateCostScheme is one application scheme's deterministic measurement on a
+// compiled pair.
+type gateCostScheme struct {
+	Verdict   string  `json:"verdict"`
+	PeakNodes int     `json:"peak_nodes"`
+	Muls      int     `json:"muls"`
+	Seconds   float64 `json:"seconds"`
+}
+
+// gateCostPoint is one deeply-compiled pair of the application-scheme sweep.
+// NodeRatio is proportional peak nodes over gate-cost peak nodes.
+type gateCostPoint struct {
+	Name          string                    `json:"name"`
+	Qubits        int                       `json:"qubits"`
+	GatesG        int                       `json:"gates_g"`
+	GatesGp       int                       `json:"gates_gp"`
+	Equivalent    bool                      `json:"equivalent_pair"`
+	Injection     string                    `json:"injection,omitempty"`
+	Schemes       map[string]gateCostScheme `json:"schemes"`
+	NodeRatio     float64                   `json:"node_ratio"`
+	VerdictsMatch bool                      `json:"verdicts_match"`
+}
+
 type summary struct {
 	GeomeanSpeedupEquiv       float64 `json:"geomean_speedup_equiv"`
 	MinSpeedupEquiv           float64 `json:"min_speedup_equiv"`
@@ -172,6 +204,9 @@ type summary struct {
 	// pairs at >= 20 qubits, where polynomial vs exponential structure shows.
 	GeomeanStabSpeedup20Q float64 `json:"geomean_stab_speedup_20q,omitempty"`
 	MinStabSpeedup20Q     float64 `json:"min_stab_speedup_20q,omitempty"`
+	// Gate-cost aggregates over the compiled sweep's equivalent pairs.
+	GeomeanGateCostRatio float64 `json:"geomean_gatecost_ratio,omitempty"`
+	MinGateCostRatio     float64 `json:"min_gatecost_ratio,omitempty"`
 }
 
 type artifact struct {
@@ -183,6 +218,7 @@ type artifact struct {
 	Results   []result        `json:"results"`
 	Scaling   []scalingCurve  `json:"scaling,omitempty"`
 	Clifford  []cliffordPoint `json:"clifford,omitempty"`
+	GateCost  []gateCostPoint `json:"gatecost,omitempty"`
 	Summary   summary         `json:"summary"`
 }
 
@@ -527,6 +563,8 @@ func run() int {
 		minScalEff = flag.Float64("min-scaling-eff", 0, "fail unless every equiv pair's 4-worker parallel efficiency reaches this; only enforced when NumCPU >= 4 (0 = record only)")
 		scalReps   = flag.Int("scaling-reps", 3, "timed repetitions per scaling point (fastest kept); 0 disables the scaling sweep")
 		minStab    = flag.Float64("min-stab-speedup", 0, "fail unless the >=20-qubit equiv-pair geomean stabilizer-over-DD speedup reaches this (0 = record only)")
+		minGCRatio = flag.Float64("min-gatecost-ratio", 0, "fail unless the equiv-pair geomean proportional-over-gate-cost peak-node ratio on deeply-compiled pairs reaches this (0 = record only)")
+		gcSweep    = flag.Bool("gatecost-sweep", true, "run the compilation-flow application-scheme sweep (deterministic, single run)")
 		cliffReps  = flag.Int("clifford-reps", 3, "timed repetitions per clifford point (fastest kept); 0 disables the clifford sweep")
 		comparePth = flag.String("compare", "", "read a committed artifact and print per-pair and geomean gate-apps/s deltas against it")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -709,6 +747,52 @@ func run() int {
 			art.Summary.MinStabSpeedup20Q = minStab20
 		}
 	}
+	if *gcSweep {
+		rows, err := harness.RunGateCostComparison(*seed, harness.RunOptions{ECTimeout: time.Minute})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qbench:", err)
+			return 1
+		}
+		minGC := math.Inf(1)
+		gcLogSum, gcCount := 0.0, 0
+		for _, row := range rows {
+			pt := gateCostPoint{
+				Name:          row.Name,
+				Qubits:        row.N,
+				GatesG:        row.SizeG,
+				GatesGp:       row.SizeGp,
+				Equivalent:    row.Equivalent,
+				Injection:     row.Injection,
+				Schemes:       make(map[string]gateCostScheme, len(row.Cells)),
+				NodeRatio:     row.NodeRatio,
+				VerdictsMatch: row.VerdictParity,
+			}
+			for k, cell := range row.Cells {
+				pt.Schemes[harness.GateCostSchemes[k].String()] = gateCostScheme{
+					Verdict:   cell.Verdict.String(),
+					PeakNodes: cell.PeakNodes,
+					Muls:      cell.Muls,
+					Seconds:   cell.Runtime.Seconds(),
+				}
+			}
+			if !row.VerdictParity {
+				allMatch = false
+			}
+			if row.Equivalent && row.NodeRatio > 0 {
+				gcLogSum += math.Log(row.NodeRatio)
+				gcCount++
+				minGC = math.Min(minGC, row.NodeRatio)
+			}
+			art.GateCost = append(art.GateCost, pt)
+			fmt.Printf("%-22s gate-cost peak %7d  proportional peak %7d  ratio %5.1fx  parity %v\n",
+				row.Name, pt.Schemes["gate-cost"].PeakNodes, pt.Schemes["proportional"].PeakNodes,
+				row.NodeRatio, row.VerdictParity)
+		}
+		if gcCount > 0 {
+			art.Summary.GeomeanGateCostRatio = math.Exp(gcLogSum / float64(gcCount))
+			art.Summary.MinGateCostRatio = minGC
+		}
+	}
 	if logCount > 0 {
 		art.Summary.GeomeanSpeedupEquiv = math.Exp(cacheLogSum / float64(logCount))
 		art.Summary.MinSpeedupEquiv = minEquiv
@@ -761,6 +845,13 @@ func run() int {
 		if art.Summary.GeomeanStabSpeedup20Q < *minStab {
 			fmt.Fprintf(os.Stderr, "qbench: >=20-qubit geomean stabilizer speedup %.2fx below required %.2fx\n",
 				art.Summary.GeomeanStabSpeedup20Q, *minStab)
+			return 1
+		}
+	}
+	if *minGCRatio > 0 && len(art.GateCost) > 0 {
+		if art.Summary.GeomeanGateCostRatio < *minGCRatio {
+			fmt.Fprintf(os.Stderr, "qbench: geomean gate-cost peak-node ratio %.2fx below required %.2fx\n",
+				art.Summary.GeomeanGateCostRatio, *minGCRatio)
 			return 1
 		}
 	}

@@ -6,7 +6,8 @@
 //
 //	qcec [flags] <circuit1> <circuit2>
 //
-// With -portfolio the selected provers (-provers=sim,dd,alt,sat,zx,stab) race
+// With -portfolio the selected provers (-provers=sim,dd,alt,gatecost,sat,zx,stab)
+// race
 // concurrently and the first definitive verdict wins; the losers are
 // cancelled and a per-prover report is printed.
 //
@@ -63,6 +64,8 @@ func parseStrategy(s string) (ec.Strategy, error) {
 		return ec.Proportional, nil
 	case "lookahead":
 		return ec.Lookahead, nil
+	case "gate-cost", "gatecost", "gate_cost":
+		return ec.StrategyGateCost, nil
 	case "stabilizer":
 		return ec.StrategyStabilizer, nil
 	default:
@@ -81,7 +84,7 @@ func run() int {
 		r         = flag.Int("r", core.DefaultR, "number of random basis-state simulations before complete checking")
 		seed      = flag.Int64("seed", 0, "stimulus selection seed")
 		timeout   = flag.Duration("timeout", time.Minute, "complete-check timeout (0 = none)")
-		strategy  = flag.String("strategy", "proportional", "complete-check strategy: construction|sequential|proportional|lookahead|stabilizer (stabilizer = polynomial-time tableau, Clifford-only circuits)")
+		strategy  = flag.String("strategy", "proportional", "complete-check strategy: construction|sequential|proportional|lookahead|gate-cost|stabilizer (gate-cost = compilation-flow schedule from a per-gate cost profile; stabilizer = polynomial-time tableau, Clifford-only circuits)")
 		phase     = flag.Bool("up-to-phase", false, "treat circuits differing only by a global phase as equivalent")
 		simOnly   = flag.Bool("sim-only", false, "skip the complete check (simulation stage only)")
 		parallel  = flag.Int("parallel", 1, "simulation workers (each with a private DD package)")
@@ -91,7 +94,7 @@ func run() int {
 		jsonOut   = flag.Bool("json", false, "print the full report as JSON")
 		verbose   = flag.Bool("v", false, "print per-stage details")
 		portf     = flag.Bool("portfolio", false, "race the selected provers concurrently; first definitive verdict wins")
-		provers   = flag.String("provers", "sim,dd,alt,sat,zx,stab", "comma-separated prover subset for -portfolio")
+		provers   = flag.String("provers", "sim,dd,alt,gatecost,sat,zx,stab", "comma-separated prover subset for -portfolio")
 		nodeLimit = flag.Int("node-limit", 0, "DD node budget per complete prover (0 = none)")
 		stats     = flag.Bool("stats", false, "print DD-package statistics (gate-cache/compute-table hit rates, unique-table activity, GC reclaims); with -json they are embedded in the report")
 		noCache   = flag.Bool("no-gate-cache", false, "disable the gate-DD cache (benchmark baseline; verdicts are identical)")

@@ -7,6 +7,8 @@
 //	qectab -table ablate   EC-strategy / simulation-count / stimuli ablations
 //	qectab -table sat      SAT vs DD vs simulation on the reversible class
 //	qectab -table prefilter  rewriting [16] vs ZX-calculus vs the flow
+//	qectab -table gatecost compilation-flow verification: gate-cost vs
+//	                       naive/proportional/lookahead on deeply-compiled pairs
 //	qectab -fig 1          the Fig. 1/2 worked example (system matrices)
 //	qectab -table all      everything above
 //
@@ -28,7 +30,7 @@ import (
 
 func main() {
 	var (
-		table     = flag.String("table", "", "experiment to run: 1a|1b|flow|theory|ablate|sat|prefilter|all")
+		table     = flag.String("table", "", "experiment to run: 1a|1b|flow|theory|ablate|sat|prefilter|gatecost|all")
 		fig       = flag.Int("fig", 0, "figure to reproduce (1 = the worked example)")
 		scaleName = flag.String("scale", "small", "benchmark scale: small|medium|paper")
 		r         = flag.Int("r", 10, "simulation runs per instance (paper: 10)")
@@ -69,6 +71,8 @@ func main() {
 		strat = ec.Proportional
 	case "lookahead":
 		strat = ec.Lookahead
+	case "gate-cost", "gatecost", "gate_cost":
+		strat = ec.StrategyGateCost
 	default:
 		fmt.Fprintf(os.Stderr, "qectab: unknown strategy %q\n", *strategy)
 		os.Exit(2)
@@ -169,6 +173,15 @@ func main() {
 		harness.PrintPrefilterComparison(os.Stdout, rows)
 		fmt.Println()
 	}
+	runGateCost := func() {
+		rows, err := harness.RunGateCostComparison(*seed, opts)
+		if err != nil {
+			die(err)
+		}
+		harness.PrintGateCostComparison(os.Stdout, rows)
+		writeCSV("gatecost.csv", func(f *os.File) error { return harness.WriteGateCostCSV(f, rows) })
+		fmt.Println()
+	}
 	runAblate := func() {
 		eq, err := harness.BuildEquivalentSuite(scale)
 		if err != nil {
@@ -215,6 +228,8 @@ func main() {
 		runSAT()
 	case "prefilter":
 		runPrefilter()
+	case "gatecost":
+		runGateCost()
 	case "all":
 		run1a()
 		run1b()
@@ -223,6 +238,7 @@ func main() {
 		runAblate()
 		runSAT()
 		runPrefilter()
+		runGateCost()
 		if err := runFig1(os.Stdout); err != nil {
 			die(err)
 		}

@@ -33,11 +33,24 @@ func (l Level) String() string {
 // Circuit lowers every gate of c to the requested level.  The result is
 // strictly equivalent (no global-phase slack) to the input.
 func Circuit(c *circuit.Circuit, level Level) *circuit.Circuit {
+	out, _ := WithProfile(c, level)
+	return out
+}
+
+// WithProfile lowers c like Circuit and additionally returns the native
+// per-gate cost profile: profile[i] is the number of output gates source
+// gate i emitted.  The profile's total equals the output gate count, making
+// it directly usable as ec.Options.CostProfile (or as a ComposeProfiles
+// operand when further stages follow).
+func WithProfile(c *circuit.Circuit, level Level) (*circuit.Circuit, []int) {
 	d := &decomposer{n: c.N, level: level, out: circuit.New(c.N, c.Name+"_"+level.String())}
-	for _, g := range c.Gates {
+	profile := make([]int, len(c.Gates))
+	for i, g := range c.Gates {
+		before := len(d.out.Gates)
 		d.gate(g)
+		profile[i] = len(d.out.Gates) - before
 	}
-	return d.out
+	return d.out, profile
 }
 
 type decomposer struct {

@@ -273,3 +273,31 @@ func TestIdentityCustomSkipped(t *testing.T) {
 		t.Errorf("identity custom gate emitted %d gates", d.NumGates())
 	}
 }
+
+func TestWithProfileSumsToOutput(t *testing.T) {
+	c := circuit.New(6, "netlist")
+	c.H(0).CCX(0, 1, 2).Swap(2, 3).CPhase(0.7, 3, 4).T(5)
+	c.Add(circuit.Gate{Kind: circuit.X, Target: 5, Target2: -1,
+		Controls: []circuit.Control{{Qubit: 0}, {Qubit: 1}, {Qubit: 2}, {Qubit: 3}}})
+	for _, level := range []Level{LevelToffoli, LevelCX} {
+		out, profile := WithProfile(c, level)
+		if len(profile) != len(c.Gates) {
+			t.Fatalf("%v: profile length %d, want %d", level, len(profile), len(c.Gates))
+		}
+		sum := 0
+		for i, f := range profile {
+			if f < 0 {
+				t.Errorf("%v: negative profile entry %d at gate %d", level, f, i)
+			}
+			sum += f
+		}
+		if sum != len(out.Gates) {
+			t.Errorf("%v: profile sums to %d, output has %d gates", level, sum, len(out.Gates))
+		}
+		// WithProfile must emit exactly what Circuit emits.
+		plain := Circuit(c, level)
+		if r := ec.Check(out, plain, ec.Options{Strategy: ec.Proportional}); !r.Equivalent() {
+			t.Errorf("%v: WithProfile output differs from Circuit output: %v", level, r.Verdict)
+		}
+	}
+}

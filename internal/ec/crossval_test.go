@@ -1,0 +1,84 @@
+// Cross-validation of the gate-cost scheme against the proportional baseline
+// on real compiler output.  This lives in an external test package because it
+// drives the checker through internal/harness's compiled-pair suite, and
+// harness imports ec.
+package ec_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"qcec/internal/circuit"
+	"qcec/internal/decompose"
+	"qcec/internal/ec"
+	"qcec/internal/harness"
+)
+
+// Every deeply-compiled pair (decompose levels x coupling architectures,
+// plus error-injected mutants) must get the same answer from the gate-cost
+// scheme — driven by the flow's native cost profile — as from the
+// proportional baseline, at Equivalent() granularity and matching the ground
+// truth.
+func TestGateCostAgreesWithProportionalOnCompiledPairs(t *testing.T) {
+	pairs, err := harness.CompiledSuite(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range pairs {
+		gc := ec.Check(pair.Source, pair.Compiled, ec.Options{
+			Strategy:    ec.StrategyGateCost,
+			CostProfile: pair.Profile,
+			Timeout:     time.Minute,
+		})
+		prop := ec.Check(pair.Source, pair.Compiled, ec.Options{
+			Strategy: ec.Proportional,
+			Timeout:  time.Minute,
+		})
+		if gc.Equivalent() != prop.Equivalent() {
+			t.Errorf("%s: gate-cost %v vs proportional %v", pair.Name, gc.Verdict, prop.Verdict)
+		}
+		if gc.Equivalent() != pair.Equivalent {
+			t.Errorf("%s: gate-cost verdict %v, ground truth equivalent=%v (injection %q)",
+				pair.Name, gc.Verdict, pair.Equivalent, pair.Injection)
+		}
+	}
+}
+
+// The estimator-driven schedule (no provenance) must also reach the right
+// verdicts on compiled pairs — the QCEC fallback path.
+func TestGateCostEstimatorFallbackOnCompiledPairs(t *testing.T) {
+	pairs, err := harness.CompiledSuite(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range pairs {
+		r := ec.Check(pair.Source, pair.Compiled, ec.Options{
+			Strategy: ec.StrategyGateCost, // CostProfile nil: static estimate
+			Timeout:  time.Minute,
+		})
+		if r.Equivalent() != pair.Equivalent {
+			t.Errorf("%s: verdict %v, ground truth equivalent=%v", pair.Name, r.Verdict, pair.Equivalent)
+		}
+	}
+}
+
+// On Clifford+T input the static cost table mirrors internal/decompose's
+// recursions exactly, so the estimate must equal the native profile emitted
+// by the lowering itself.
+func TestEstimatorMatchesNativeProfileOnCliffordT(t *testing.T) {
+	g := circuit.New(5, "clifford+t")
+	g.H(0).T(1).CX(0, 1).Tdg(2).CCX(0, 1, 2).Swap(2, 3).CX(3, 4).CCX(2, 3, 4).H(4)
+	lowered, native := decompose.WithProfile(g, decompose.LevelCX)
+	est := ec.EstimateCostProfile(g)
+	if !reflect.DeepEqual(native, est) {
+		t.Errorf("native profile %v != static estimate %v", native, est)
+	}
+	sum := 0
+	for _, f := range native {
+		sum += f
+	}
+	if sum != len(lowered.Gates) {
+		t.Errorf("native profile sums to %d, lowered circuit has %d gates", sum, len(lowered.Gates))
+	}
+}

@@ -17,6 +17,11 @@
 //     whenever the circuits are in fact equivalent.
 //   - Lookahead: at each step apply whichever side's next gate yields the
 //     smaller intermediate DD.
+//   - GateCost: consume one inverted gate of G, then as many gates of G' as
+//     that gate lowered to, per a per-gate cost profile — either emitted
+//     natively by internal/decompose and internal/mapping or estimated from
+//     a static per-kind cost table (the compilation-flow scheme of
+//     Burgholzer, Raymond & Wille 2020).
 //
 // All strategies support cooperative timeouts and node budgets, making
 // "Timeout" a first-class verdict exactly as in the paper's evaluation.
@@ -47,6 +52,14 @@ const (
 	Construction
 	Sequential
 	Lookahead
+	// StrategyGateCost schedules the two sides by a per-gate cost profile:
+	// undoing gate i of G is followed by the f(i) gates of G' it lowered to,
+	// keeping the accumulated product near the identity through aggressive
+	// compilation.  The profile comes from Options.CostProfile when the pair
+	// carries provenance (decompose.WithProfile, mapping.Result.CostProfile)
+	// and is otherwise estimated from a static per-kind cost table
+	// (EstimateCostProfile).
+	StrategyGateCost
 	// StrategyStabilizer routes the pair to the polynomial-time tableau
 	// checker (internal/stab) instead of any DD scheme.  It is complete on
 	// Clifford-only pairs and declines everything else with a typed
@@ -66,6 +79,8 @@ func (s Strategy) String() string {
 		return "proportional"
 	case Lookahead:
 		return "lookahead"
+	case StrategyGateCost:
+		return "gate-cost"
 	case StrategyStabilizer:
 		return "stabilizer"
 	default:
@@ -127,6 +142,14 @@ type Options struct {
 	OutputPerm []int
 	// Tolerance overrides the DD package weight tolerance (0 = default).
 	Tolerance float64
+	// CostProfile, for StrategyGateCost, gives the number of gates of g2
+	// that source gate i of g1 lowered to — the native profile emitted by
+	// decompose.WithProfile / mapping.Map, composed with ComposeProfiles
+	// across stages.  Its length must equal len(g1.Gates) and entries must
+	// be non-negative; a nil profile makes the checker fall back to the
+	// static per-kind estimate (EstimateCostProfile).  Other strategies
+	// ignore it.
+	CostProfile []int
 	// DisableGateCache turns off the DD package's gate-DD cache for this
 	// check (benchmark baseline runs only; verdicts are identical either way).
 	DisableGateCache bool
@@ -193,9 +216,13 @@ func (c StopCause) String() string {
 
 // Result reports the outcome and cost of a check.
 type Result struct {
-	Verdict        Verdict
-	Runtime        time.Duration
-	GatesApplied   int
+	Verdict      Verdict
+	Runtime      time.Duration
+	GatesApplied int
+	// ProbeMuls counts the speculative matrix multiplications the Lookahead
+	// scheme performs to size up its two candidates; they are real DD work
+	// that GatesApplied alone would hide from scheme comparisons.
+	ProbeMuls      int
 	PeakNodes      int
 	FinalNodes     int
 	Strategy       Strategy
@@ -224,7 +251,26 @@ type checker struct {
 	p        *dd.Package
 	opts     Options
 	deadline time.Time
+	// agreeTol is the classification tolerance derived from the DD weight
+	// tolerance (agreementTolerance); it bounds both the up-to-phase
+	// magnitude band and the counterexample fidelity threshold.
+	agreeTol float64
 	result   Result
+}
+
+// agreementTolerance derives the classification tolerance from the DD weight
+// tolerance: amplitudes drift through long gate chains, so the band is a few
+// orders of magnitude looser than the single-operation tolerance, capped so a
+// sloppy package still cannot certify a genuinely different magnitude.  The
+// same derivation (and cap) is used by core.statesAgree and
+// circuit.CliffordAngleTolerance; with the default weight tolerance of 1e-10
+// it reproduces the historical 1e-6 band.
+func agreementTolerance(ddTol float64) float64 {
+	tol := ddTol * 1e4
+	if tol > 1e-3 {
+		tol = 1e-3
+	}
+	return tol
 }
 
 // cancelCause classifies a context cancellation: a *resource.MemoryLimitError
@@ -302,7 +348,7 @@ func Check(g1, g2 *circuit.Circuit, opts Options) Result {
 		p = dd.New(g1.N, tol)
 	}
 	genuineFault := false
-	c := &checker{p: p, opts: opts}
+	c := &checker{p: p, opts: opts, agreeTol: agreementTolerance(tol)}
 	c.result.Strategy = opts.Strategy
 	if opts.Timeout > 0 {
 		c.deadline = time.Now().Add(opts.Timeout)
@@ -411,7 +457,7 @@ func (c *checker) classify(m, target dd.MEdge) {
 			return
 		}
 		mag := m.W.Abs()
-		if mag > 1-1e-6 && mag < 1+1e-6 {
+		if mag > 1-c.agreeTol && mag < 1+c.agreeTol {
 			if c.opts.UpToGlobalPhase {
 				c.result.Verdict = EquivalentUpToGlobalPhase
 				return
@@ -424,7 +470,7 @@ func (c *checker) classify(m, target dd.MEdge) {
 		}
 	}
 	c.result.Verdict = NotEquivalent
-	if ce, ok := findCounterexample(c.p, m, target); ok {
+	if ce, ok := findCounterexample(c.p, m, target, c.agreeTol); ok {
 		c.result.Counterexample = &ce
 	}
 }
@@ -492,6 +538,13 @@ func (c *checker) runAlternating(g1, g2 *circuit.Circuit) {
 		}
 	}
 
+	// Cumulative schedule for the gate-cost strategy: sched[i] gates of g2
+	// are consumed before inverted gate i of g1 is undone.
+	var sched []int
+	if c.opts.Strategy == StrategyGateCost {
+		sched = gateCostSchedule(g1, g2, c.opts.CostProfile)
+	}
+
 	for i < len(g1.Gates) || j < len(g2.Gates) {
 		switch c.opts.Strategy {
 		case Sequential:
@@ -507,6 +560,20 @@ func (c *checker) runAlternating(g1, g2 *circuit.Circuit) {
 			for k := 0; k < ratioRight && i < len(g1.Gates); k++ {
 				applyRight()
 			}
+		case StrategyGateCost:
+			// Apply at most one gate per outer iteration so the per-iteration
+			// note()/expired()/MaybeGC polling below bounds every chunk of a
+			// high-cost source gate, not just its boundary.
+			switch {
+			case i >= len(g1.Gates):
+				applyLeft()
+			case j >= len(g2.Gates):
+				applyRight()
+			case j < sched[i]:
+				applyLeft()
+			default:
+				applyRight()
+			}
 		case Lookahead:
 			switch {
 			case j >= len(g2.Gates):
@@ -515,7 +582,17 @@ func (c *checker) runAlternating(g1, g2 *circuit.Circuit) {
 				applyLeft()
 			default:
 				left := c.p.MulMM(sim.GateDD(c.p, g2.Gates[j]), m)
+				c.result.ProbeMuls++
+				// A probe is a full matrix product; poll the budgets between
+				// the two so a blown-up candidate aborts before the second
+				// probe repeats the damage.
+				c.note()
+				if c.expired() {
+					c.result.Verdict = TimedOut
+					return
+				}
 				right := c.p.MulMM(m, sim.GateDD(c.p, g1.Gates[i].Inverse()))
+				c.result.ProbeMuls++
 				if c.p.MSize(left) <= c.p.MSize(right) {
 					m = left
 					j++
@@ -542,8 +619,11 @@ func (c *checker) runAlternating(g1, g2 *circuit.Circuit) {
 // product m and the target disagree, i.e. an input on which the two circuits
 // produce different outputs.  Because errors typically affect most columns
 // (paper Sec. IV-A), a short deterministic-then-random probe almost always
-// succeeds.
-func findCounterexample(p *dd.Package, m, target dd.MEdge) (uint64, bool) {
+// succeeds.  A column counts as disagreeing when its fidelity falls below
+// 1-tol, with tol derived from the package weight tolerance
+// (agreementTolerance) so a loose package does not manufacture witnesses out
+// of its own rounding.
+func findCounterexample(p *dd.Package, m, target dd.MEdge, tol float64) (uint64, bool) {
 	n := p.Qubits()
 	var limit uint64
 	if n >= 16 {
@@ -555,7 +635,7 @@ func findCounterexample(p *dd.Package, m, target dd.MEdge) (uint64, bool) {
 		col := p.MulMV(m, p.BasisState(i))
 		ref := p.MulMV(target, p.BasisState(i))
 		f := p.Fidelity(col, ref)
-		return f < 1-1e-6
+		return f < 1-tol
 	}
 	for i := uint64(0); i < 64 && i < limit; i++ {
 		if probe(i) {

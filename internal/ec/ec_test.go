@@ -11,7 +11,7 @@ import (
 )
 
 func allStrategies() []Strategy {
-	return []Strategy{Construction, Sequential, Proportional, Lookahead}
+	return []Strategy{Construction, Sequential, Proportional, Lookahead, StrategyGateCost}
 }
 
 func ghz(n int) *circuit.Circuit {

@@ -1,0 +1,165 @@
+package ec
+
+import "qcec/internal/circuit"
+
+// This file implements the gate-cost (compilation-flow) application scheme:
+// the alternating checker consumes one inverted gate of G, then the f(g)
+// gates of G' that gate lowered to, per a per-gate cost profile.  The
+// profile is exact when the caller compiled G' itself (decompose.WithProfile
+// and mapping.Map thread emission counts through), and is otherwise
+// estimated from a static per-kind cost table mirroring internal/decompose's
+// lowering recursions (the QCEC fallback for pairs without provenance).
+
+// gateCostSchedule returns the cumulative left-side schedule for
+// StrategyGateCost: sched[i] gates of g2 are consumed before inverted gate i
+// of g1 is applied, so each source gate is undone first and its lowered
+// gates follow (the compilation-flow order).  A nil or ill-formed profile
+// (wrong length, negative entry) falls back to the static estimate, and the
+// schedule is rescaled so it covers g2 exactly even when the profile's total
+// differs from len(g2.Gates).
+func gateCostSchedule(g1, g2 *circuit.Circuit, profile []int) []int {
+	if !validProfile(profile, len(g1.Gates)) {
+		profile = EstimateCostProfile(g1)
+	}
+	total := 0
+	for _, f := range profile {
+		total += f
+	}
+	sched := make([]int, len(profile))
+	if total == 0 {
+		return sched
+	}
+	n2 := len(g2.Gates)
+	cum := 0
+	for i, f := range profile {
+		// Exclusive prefix sum: gate i of g1 goes first, then its chunk.
+		sched[i] = int((int64(cum)*int64(n2) + int64(total)/2) / int64(total))
+		cum += f
+	}
+	return sched
+}
+
+func validProfile(profile []int, n int) bool {
+	if profile == nil || len(profile) != n {
+		return false
+	}
+	for _, f := range profile {
+		if f < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimateCostProfile returns a static per-gate estimate of how many gates
+// each gate of g lowers to under the repo's own compilation flow
+// (internal/decompose at LevelCX).  It mirrors the lowering recursions —
+// Barenco Lemma 5.1 for a controlled single-qubit operation, the 15-gate
+// Clifford+T Toffoli network, the quadratic borrowed-wire multi-control
+// split and the ancilla-free square-root recursion — assuming every
+// rotation angle is nonzero (the worst case), so on Clifford+T input it
+// matches the native profile exactly.  Use it when a pair arrives without
+// compilation provenance.
+func EstimateCostProfile(g *circuit.Circuit) []int {
+	profile := make([]int, len(g.Gates))
+	for i, gate := range g.Gates {
+		profile[i] = estimateGateCost(gate, g.N)
+	}
+	return profile
+}
+
+func estimateGateCost(g circuit.Gate, n int) int {
+	cost := 0
+	pos := 0
+	for _, ctl := range g.Controls {
+		if ctl.Neg {
+			cost += 2 // conjugating X pair
+		}
+		pos++
+	}
+	if g.Kind == circuit.SWAP {
+		// SWAP(a,b) = CX·(controlled mid X)·CX.
+		return cost + 2 + estimateX(pos+1, n)
+	}
+	if g.Kind == circuit.X {
+		return cost + estimateX(pos, n)
+	}
+	return cost + estimateU(pos, n)
+}
+
+// estimateX is the lowering cost of an X with c positive controls on an
+// n-wire register.
+func estimateX(c, n int) int {
+	switch c {
+	case 0, 1:
+		return 1
+	case 2:
+		return 15 // toffoliCliffordT
+	}
+	// 3+ controls: Barenco split when a wire is free, else the square-root
+	// recursion on the full register.
+	if c+1 < n {
+		return mcxSplitCost(c, n)
+	}
+	return mcuCost(c, n)
+}
+
+func mcxSplitCost(c, n int) int {
+	m := (c + 1) / 2
+	half := func(k int) int {
+		if k <= 2 {
+			return estimateX(k, n)
+		}
+		return mcxSplitCost(k, n) // split recursion always has the borrowed wire free
+	}
+	return 2 * (half(m) + half(c-m+1))
+}
+
+// estimateU is the lowering cost of an arbitrary (non-X) single-qubit
+// operation with c positive controls.
+func estimateU(c, n int) int {
+	switch c {
+	case 0:
+		return 1
+	case 1:
+		// controlledU, Lemma 5.1: up to 5 rotations + 2 CX + 1 control phase.
+		return 8
+	}
+	return mcuCost(c, n)
+}
+
+// mcuCost is the square-root recursion (Lemma 7.5):
+// C^c U = CV · C^{c-1}X · CV† · C^{c-1}X · C^{c-1}V.
+func mcuCost(c, n int) int {
+	if c <= 1 {
+		return estimateU(c, n)
+	}
+	return 2*estimateU(1, n) + 2*estimateX(c-1, n) + mcuCost(c-1, n)
+}
+
+// ComposeProfiles chains two per-gate cost profiles across compilation
+// stages: outer[i] gates of the intermediate circuit came from source gate i,
+// and inner[j] gates of the final circuit came from intermediate gate j, so
+// the composition sums inner over each outer chunk.  len(inner) must equal
+// the total of outer (i.e. the intermediate circuit's gate count); the
+// result maps source gates directly to final-circuit emission counts.
+func ComposeProfiles(outer, inner []int) []int {
+	composed := make([]int, len(outer))
+	j := 0
+	for i, f := range outer {
+		sum := 0
+		for k := 0; k < f && j < len(inner); k++ {
+			sum += inner[j]
+			j++
+		}
+		composed[i] = sum
+	}
+	// Any trailing inner entries (e.g. layout-restoring SWAPs attributed past
+	// the last source gate) fold into the final chunk so totals stay equal.
+	for ; j < len(inner); j++ {
+		if len(composed) > 0 {
+			composed[len(composed)-1] += inner[j]
+		}
+	}
+	return composed
+}

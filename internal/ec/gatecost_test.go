@@ -1,0 +1,113 @@
+package ec
+
+import (
+	"reflect"
+	"testing"
+
+	"qcec/internal/circuit"
+)
+
+func TestGateCostSchedule(t *testing.T) {
+	g1 := circuit.New(3, "g1")
+	g1.H(0).CCX(0, 1, 2).X(1)
+	g2 := circuit.New(3, "g2")
+	for k := 0; k < 17; k++ {
+		g2.X(k % 3)
+	}
+	// Profile total matches len(g2.Gates) exactly: the schedule is the
+	// exclusive prefix sum (gate i of G is undone before its chunk).
+	sched := gateCostSchedule(g1, g2, []int{1, 15, 1})
+	if want := []int{0, 1, 16}; !reflect.DeepEqual(sched, want) {
+		t.Errorf("sched = %v, want %v", sched, want)
+	}
+}
+
+func TestGateCostScheduleRescales(t *testing.T) {
+	g1 := circuit.New(2, "g1")
+	g1.H(0).H(1)
+	g2 := circuit.New(2, "g2")
+	for k := 0; k < 10; k++ {
+		g2.X(k % 2)
+	}
+	// Profile total 4 vs 10 actual gates (e.g. an error-injected mutant
+	// changed the compiled side): prefix sums rescale to cover g2 exactly.
+	sched := gateCostSchedule(g1, g2, []int{1, 3})
+	if want := []int{0, 3}; !reflect.DeepEqual(sched, want) {
+		t.Errorf("sched = %v, want %v", sched, want)
+	}
+}
+
+func TestGateCostScheduleFallsBackToEstimate(t *testing.T) {
+	g1 := circuit.New(3, "g1")
+	g1.H(0).CCX(0, 1, 2)
+	g2 := circuit.New(3, "g2")
+	for k := 0; k < 16; k++ {
+		g2.X(k % 3)
+	}
+	want := gateCostSchedule(g1, g2, EstimateCostProfile(g1))
+	for _, bad := range [][]int{nil, {1}, {1, -2}} {
+		if got := gateCostSchedule(g1, g2, bad); !reflect.DeepEqual(got, want) {
+			t.Errorf("profile %v: sched = %v, want estimator fallback %v", bad, got, want)
+		}
+	}
+}
+
+func TestEstimateCostProfile(t *testing.T) {
+	g := circuit.New(5, "mix")
+	g.H(0)              // single-qubit: 1
+	g.CX(0, 1)          // controlled X: 1
+	g.CCX(0, 1, 2)      // Toffoli: the 15-gate Clifford+T network
+	g.Swap(0, 1)        // SWAP: CX + CX + middle CX
+	g.CPhase(0.3, 0, 1) // controlled phase: Lemma 5.1 network
+	got := EstimateCostProfile(g)
+	if want := []int{1, 1, 15, 3, 8}; !reflect.DeepEqual(got, want) {
+		t.Errorf("profile = %v, want %v", got, want)
+	}
+}
+
+func TestEstimateCostNegativeControls(t *testing.T) {
+	g := circuit.New(3, "neg")
+	g.Add(circuit.Gate{
+		Kind: circuit.X, Target: 2, Target2: -1,
+		Controls: []circuit.Control{{Qubit: 0, Neg: true}, {Qubit: 1}},
+	})
+	// A negative control costs its conjugating X pair on top of the
+	// positive-control Toffoli network.
+	if got := EstimateCostProfile(g); got[0] != 15+2 {
+		t.Errorf("negative-control Toffoli cost = %d, want 17", got[0])
+	}
+}
+
+func TestComposeProfiles(t *testing.T) {
+	// Source gate 0 lowered to 2 intermediate gates, gate 1 to 1; the
+	// intermediate gates lowered to 3, 1 and 4 final gates respectively.
+	got := ComposeProfiles([]int{2, 1}, []int{3, 1, 4})
+	if want := []int{4, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("composed = %v, want %v", got, want)
+	}
+	// Trailing inner entries (layout-restoring SWAPs past the last source
+	// gate) fold into the final chunk so totals stay equal.
+	got = ComposeProfiles([]int{2, 1}, []int{3, 1, 4, 2, 2})
+	if want := []int{4, 8}; !reflect.DeepEqual(got, want) {
+		t.Errorf("composed with trailing = %v, want %v", got, want)
+	}
+}
+
+// StrategyGateCost must reach the same verdicts as the other alternating
+// schemes on ordinary (non-compiled) pairs, where the static estimator
+// supplies the schedule.
+func TestGateCostStrategyVerdicts(t *testing.T) {
+	eq := Check(ghz(4), ghz(4), Options{Strategy: StrategyGateCost})
+	if eq.Verdict != Equivalent {
+		t.Errorf("equivalent pair: verdict = %v", eq.Verdict)
+	}
+	g2 := ghz(4)
+	g2.X(2)
+	neq := Check(ghz(4), g2, Options{Strategy: StrategyGateCost})
+	if neq.Verdict != NotEquivalent {
+		t.Errorf("broken pair: verdict = %v", neq.Verdict)
+	}
+	if neq.Counterexample == nil {
+		t.Error("broken pair: no counterexample")
+	}
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+
+	"qcec/internal/bench"
+	"qcec/internal/circuit"
+	"qcec/internal/decompose"
+	"qcec/internal/ec"
+	"qcec/internal/errinject"
+	"qcec/internal/mapping"
+)
+
+// CompiledPair couples a source circuit with its deeply compiled form — the
+// compilation-flow verification workload: the source is lowered to the CX
+// gate set and routed onto a sparse coupling graph, so one source gate
+// becomes many compiled gates and the blow-up is strongly non-uniform
+// (multi-controlled gates explode, single-qubit gates stay single gates).
+// Profile is the flow's native per-source-gate cost profile (decompose and
+// mapping emission counts composed with ec.ComposeProfiles), the input that
+// makes ec.StrategyGateCost keep the miter near the identity.
+type CompiledPair struct {
+	Name     string
+	Source   *circuit.Circuit
+	Compiled *circuit.Circuit
+	// Profile[i] is the number of Compiled gates source gate i lowered to;
+	// it sums to Compiled.NumGates().
+	Profile []int
+	// Equivalent is the ground truth: false for error-injected mutants.
+	Equivalent bool
+	// Injection describes the mutation of a non-equivalent pair ("" = clean).
+	Injection string
+}
+
+// CompilePair builds one increasing-levels pair: the G side is src lowered
+// to LevelToffoli (the granularity a frontend hands to a backend compiler),
+// and the G' side continues through LevelCX and routing onto arch (SWAPs
+// decomposed to CX, layout restored so the pair is strictly equivalent).
+// The returned profile composes the LevelCX and routing stages' native
+// emission counts, mapping each G gate to its G' chunk.
+func CompilePair(name string, src *circuit.Circuit, arch *mapping.Architecture) (CompiledPair, error) {
+	g, _ := decompose.WithProfile(src, decompose.LevelToffoli)
+	lowered, dprof := decompose.WithProfile(g, decompose.LevelCX)
+	mapped, err := mapping.Map(lowered, mapping.Options{
+		Arch:           arch,
+		RestoreLayout:  true,
+		DecomposeSwaps: true,
+	})
+	if err != nil {
+		return CompiledPair{}, fmt.Errorf("harness: compiling %s: %w", name, err)
+	}
+	return CompiledPair{
+		Name:       name,
+		Source:     g,
+		Compiled:   mapped.Circuit,
+		Profile:    ec.ComposeProfiles(dprof, mapped.CostProfile),
+		Equivalent: true,
+	}, nil
+}
+
+// CompiledSuite builds the deeply-compiled workload shared by the qectab
+// gate-cost experiment and the qbench gate: seed circuits with strongly
+// non-uniform lowering costs (Grover's multi-controlled-Z reflections, the
+// QFT's controlled phases, the increment's MCT ripple chain), each compiled
+// through decompose+mapping onto a sparse architecture, plus one
+// error-injected mutant per clean pair so scheme comparisons also cover the
+// non-equivalent verdict.  All generators are deterministic in seed.
+func CompiledSuite(seed int64) ([]CompiledPair, error) {
+	specs := []struct {
+		name string
+		src  *circuit.Circuit
+		arch *mapping.Architecture
+	}{
+		{"grover-4@linear", bench.Grover(4, 5), mapping.Linear(5)},
+		{"grover-4@ring", bench.Grover(4, 11), mapping.Ring(5)},
+		{"qft-6@linear", bench.QFT(6), mapping.Linear(6)},
+		{"inc-5@linear", bench.Increment(5, 2), mapping.Linear(5)},
+		{"inc-6@ring", bench.Increment(6, 1), mapping.Ring(6)},
+	}
+	var pairs []CompiledPair
+	for i, s := range specs {
+		pair, err := CompilePair(s.name, s.src, s.arch)
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, pair)
+		// Mutate the compiled side; the native profile stays attached (a
+		// removed gate leaves it one off, which the checker's schedule
+		// rescaling absorbs) so the mutant exercises exactly the
+		// profile-under-error path a real compiler bug would hit.
+		mutant, inj, err := errinject.InjectAny(pair.Compiled.Clone(), seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("harness: mutating %s: %w", s.name, err)
+		}
+		pairs = append(pairs, CompiledPair{
+			Name:       s.name + "+err",
+			Source:     pair.Source,
+			Compiled:   mutant,
+			Profile:    pair.Profile,
+			Equivalent: false,
+			Injection:  inj.String(),
+		})
+	}
+	return pairs, nil
+}

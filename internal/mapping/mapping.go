@@ -32,6 +32,13 @@ type Result struct {
 	OutputPerm []int
 	// SwapsInserted counts inserted SWAP operations (before CX lowering).
 	SwapsInserted int
+	// CostProfile[i] is the number of output gates input gate i produced
+	// (the gate itself plus routing SWAPs or their CX lowering); trailing
+	// layout-restoring SWAPs are attributed to the last input gate, so the
+	// profile's total equals the output gate count.  It is the native
+	// gate-cost profile for ec.StrategyGateCost, composable with the
+	// decompose stage's profile via ec.ComposeProfiles.
+	CostProfile []int
 }
 
 // router tracks the logical-to-physical placement during routing.
@@ -78,14 +85,21 @@ func Map(c *circuit.Circuit, opts Options) (*Result, error) {
 			}
 		}
 	}
+	profile := make([]int, len(c.Gates))
 	for i, g := range c.Gates {
+		before := len(r.out.Gates)
 		if err := r.route(g); err != nil {
 			return nil, fmt.Errorf("mapping: gate %d (%s): %w", i, g, err)
 		}
+		profile[i] = len(r.out.Gates) - before
 	}
-	res := &Result{Circuit: r.out, SwapsInserted: r.swaps}
+	res := &Result{Circuit: r.out, SwapsInserted: r.swaps, CostProfile: profile}
 	if opts.RestoreLayout {
+		before := len(r.out.Gates)
 		r.restore()
+		if len(profile) > 0 {
+			profile[len(profile)-1] += len(r.out.Gates) - before
+		}
 		res.Circuit = r.out
 	} else {
 		identity := true

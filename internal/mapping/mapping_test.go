@@ -276,3 +276,27 @@ func TestLookaheadRestoreLayout(t *testing.T) {
 		t.Fatalf("verdict %v", r.Verdict)
 	}
 }
+
+func TestMapCostProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := randomTwoQubitCircuit(rng, 5, 30)
+	res, err := Map(c, Options{Arch: Linear(5), RestoreLayout: true, DecomposeSwaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CostProfile) != len(c.Gates) {
+		t.Fatalf("profile length %d, want %d", len(res.CostProfile), len(c.Gates))
+	}
+	sum := 0
+	for i, f := range res.CostProfile {
+		if f < 0 {
+			t.Errorf("negative profile entry %d at gate %d", f, i)
+		}
+		sum += f
+	}
+	// The layout-restoring SWAP tail is attributed to the last source gate,
+	// so the profile covers every routed gate.
+	if sum != len(res.Circuit.Gates) {
+		t.Errorf("profile sums to %d, routed circuit has %d gates", sum, len(res.Circuit.Gates))
+	}
+}

@@ -237,3 +237,35 @@ func TestAllInconclusive(t *testing.T) {
 		t.Fatalf("reports = %+v", res.Reports)
 	}
 }
+
+// TestGateCostProverSelfSelects: the gate-cost prover declines pairs without
+// a cost profile or compilation blow-up, runs compiled-looking pairs with
+// the static estimate, and uses a supplied profile directly.
+func TestGateCostProverSelfSelects(t *testing.T) {
+	ctx := context.Background()
+
+	// Similar-length pair, no profile: decline so the plain alternating
+	// prover keeps it.
+	g1, g2 := pairGHZ(t)
+	out := GateCostProver(Config{}).Run(ctx, g1, g2)
+	if out.Stop != StopError {
+		t.Fatalf("uncompiled pair: stop = %v, want decline", out.Stop)
+	}
+
+	// Compilation-shaped pair (lowered Toffoli blows up g2): accepted via
+	// the static estimate.
+	src := circuit.New(3, "ccx")
+	src.CCX(0, 1, 2)
+	lowered := decompose.Circuit(src, decompose.LevelCX)
+	out = GateCostProver(Config{ECTimeout: 10 * time.Second}).Run(ctx, src, lowered)
+	if out.Verdict != Equivalent {
+		t.Fatalf("compiled pair: verdict = %v (stop %v, detail %q)", out.Verdict, out.Stop, out.Detail)
+	}
+
+	// An explicit profile overrides the shape heuristic.
+	lowered2, profile := decompose.WithProfile(src, decompose.LevelCX)
+	out = GateCostProver(Config{CostProfile: profile, ECTimeout: 10 * time.Second}).Run(ctx, src, lowered2)
+	if out.Verdict != Equivalent {
+		t.Fatalf("profiled pair: verdict = %v (stop %v)", out.Verdict, out.Stop)
+	}
+}

@@ -46,6 +46,11 @@ type Config struct {
 	// DisableApplyKernel switches the sim prover's gate application to the
 	// legacy GateDD+MulMV path (see core.Options.DisableApplyKernel).
 	DisableApplyKernel bool
+	// CostProfile is the native per-gate compilation cost profile of the
+	// pair (g1 gate i lowered to CostProfile[i] gates of g2); when set, the
+	// gatecost prover uses it directly instead of the static estimate.  See
+	// ec.Options.CostProfile.
+	CostProfile []int
 }
 
 // degraded derives the conservative fallback configuration used when a
@@ -67,13 +72,14 @@ func (c Config) degraded() Config {
 }
 
 // ProverNames lists the selectable standard provers in canonical order.
-var ProverNames = []string{"sim", "dd", "alt", "sat", "zx", "stab"}
+var ProverNames = []string{"sim", "dd", "alt", "gatecost", "sat", "zx", "stab"}
 
 // FromNames builds the named subset of the standard provers:
 //
 //	sim — the paper's simulation prefilter (random basis-state runs)
 //	dd  — complete DD check, construction strategy (build and compare)
 //	alt — complete DD check, alternating scheme (cfg.Strategy)
+//	gatecost — complete DD check, gate-cost schedule (compiled pairs only)
 //	sat — SAT miter (classical reversible netlists only)
 //	zx  — ZX-calculus rewriting (sound, incomplete, up to phase)
 //	stab — polynomial-time stabilizer tableau (Clifford-only pairs)
@@ -93,6 +99,8 @@ func FromNames(names []string, cfg Config) ([]Prover, error) {
 			provers = append(provers, withDegraded(DDProver(cfg), DDProver(dcfg)))
 		case "alt":
 			provers = append(provers, withDegraded(AlternatingProver(cfg), AlternatingProver(dcfg)))
+		case "gatecost":
+			provers = append(provers, withDegraded(GateCostProver(cfg), GateCostProver(dcfg)))
 		case "sat":
 			provers = append(provers, SATProver(cfg))
 		case "zx":
@@ -217,12 +225,43 @@ func AlternatingProver(cfg Config) Prover {
 	return ecProver("alt", cfg.Strategy, cfg)
 }
 
+// GateCostProver wraps the complete DD routine with the gate-cost
+// (compilation-flow) schedule.  It self-selects: with a native profile
+// attached (cfg.CostProfile) it always runs; without one it runs only when
+// the pair looks like a compilation flow — g2 at least twice as long as a
+// non-empty g1, the shape on which the static estimate pays off — and
+// otherwise declines (StopError) so uncompiled pairs stay with the plain
+// alternating prover.
+func GateCostProver(cfg Config) Prover {
+	return Prover{
+		Name: "gatecost",
+		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
+			if cfg.CostProfile == nil && (len(g1.Gates) == 0 || len(g2.Gates) < 2*len(g1.Gates)) {
+				return Outcome{Stop: StopError, Detail: "no cost profile and no compilation blow-up"}
+			}
+			return ecOutcome(ec.Check(g1, g2, ec.Options{
+				Strategy:           ec.StrategyGateCost,
+				CostProfile:        cfg.CostProfile,
+				Context:            ctx,
+				Timeout:            cfg.ECTimeout,
+				NodeLimit:          cfg.ECNodeLimit,
+				UpToGlobalPhase:    cfg.UpToGlobalPhase,
+				OutputPerm:         cfg.OutputPerm,
+				Tolerance:          cfg.Tolerance,
+				DisableGateCache:   cfg.DisableGateCache,
+				DisableApplyKernel: cfg.DisableApplyKernel,
+			}))
+		},
+	}
+}
+
 func ecProver(name string, strategy ec.Strategy, cfg Config) Prover {
 	return Prover{
 		Name: name,
 		Run: func(ctx context.Context, g1, g2 *circuit.Circuit) Outcome {
 			return ecOutcome(ec.Check(g1, g2, ec.Options{
 				Strategy:           strategy,
+				CostProfile:        cfg.CostProfile,
 				Context:            ctx,
 				Timeout:            cfg.ECTimeout,
 				NodeLimit:          cfg.ECNodeLimit,

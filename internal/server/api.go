@@ -24,7 +24,9 @@ type CheckOptions struct {
 	// capped at the server's per-job parallelism limit).
 	Parallel int `json:"parallel,omitempty"`
 	// Strategy selects the complete routine's gate order:
-	// proportional|construction|sequential|lookahead ("" = proportional).
+	// proportional|construction|sequential|lookahead|gate_cost|stabilizer
+	// ("" = proportional; "gate-cost", "gatecost" and "compilation_flow"
+	// are accepted aliases of gate_cost and share its cache entries).
 	Strategy string `json:"strategy,omitempty"`
 	// NodeLimit bounds the complete routine's DD size (0 = none).
 	NodeLimit int `json:"node_limit,omitempty"`

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"qcec/internal/ec"
 	"qcec/internal/fingerprint"
 )
 
@@ -209,5 +210,30 @@ func assertMetric(t *testing.T, text, name string, want int) {
 	line := fmt.Sprintf("%s %d\n", name, want)
 	if !strings.Contains(text, line) {
 		t.Errorf("metrics missing %q", strings.TrimSpace(line))
+	}
+}
+
+// TestGateCostAliasesShareCacheKey: every wire spelling of the gate-cost
+// strategy must parse to the same scheme and normalize to one cache-key
+// string, so aliases cannot split the cache.
+func TestGateCostAliasesShareCacheKey(t *testing.T) {
+	aliases := []string{"gate_cost", "gate-cost", "gatecost", "compilation_flow"}
+	for _, a := range aliases {
+		strat, err := parseStrategy(a)
+		if err != nil {
+			t.Fatalf("parseStrategy(%q): %v", a, err)
+		}
+		if strat != ec.StrategyGateCost {
+			t.Errorf("parseStrategy(%q) = %v, want StrategyGateCost", a, strat)
+		}
+		if got := normalizeStrategy(a); got != "gate_cost" {
+			t.Errorf("normalizeStrategy(%q) = %q, want %q", a, got, "gate_cost")
+		}
+	}
+	if got := normalizeStrategy(""); got != "proportional" {
+		t.Errorf("normalizeStrategy(\"\") = %q, want proportional", got)
+	}
+	if _, err := parseStrategy("bogus"); err == nil {
+		t.Error("parseStrategy accepted an unknown strategy")
 	}
 }

@@ -647,11 +647,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// normalizeStrategy folds the wire strategy's default alias so the cache key
-// cannot split "" and "proportional" into two entries.
+// normalizeStrategy folds the wire strategy's aliases so the cache key
+// cannot split one scheme into several entries: "" selects the default
+// (proportional), and the gate-cost spellings ("gate-cost", "gatecost",
+// "compilation_flow") collapse onto the canonical "gate_cost".
 func normalizeStrategy(name string) string {
-	if name == "" {
+	switch name {
+	case "":
 		return "proportional"
+	case "gate-cost", "gatecost", "compilation_flow":
+		return "gate_cost"
 	}
 	return name
 }
@@ -677,9 +682,14 @@ func parseStrategy(name string) (ec.Strategy, error) {
 		return ec.Sequential, nil
 	case "lookahead":
 		return ec.Lookahead, nil
+	case "gate_cost", "gate-cost", "gatecost", "compilation_flow":
+		// The compilation-flow scheme; wire pairs carry no compilation
+		// provenance, so the checker derives the schedule from the static
+		// per-kind cost estimate (ec.EstimateCostProfile).
+		return ec.StrategyGateCost, nil
 	case "stabilizer":
 		return ec.StrategyStabilizer, nil
 	default:
-		return 0, fmt.Errorf("unknown strategy %q (want construction|sequential|proportional|lookahead|stabilizer)", name)
+		return 0, fmt.Errorf("unknown strategy %q (want construction|sequential|proportional|lookahead|gate_cost|stabilizer)", name)
 	}
 }
